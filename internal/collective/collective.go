@@ -1,0 +1,167 @@
+// Package collective implements the collective-communication primitives
+// recommendation-model training uses: all-reduce for dense gradients and
+// cache synchronization, and all-to-all for partitioned embedding exchange.
+//
+// The functional implementation synchronizes in-process trainer goroutines
+// deterministically: each rank deposits its contribution into a per-rank
+// slot and every rank folds the slots in rank order, so results are
+// bit-identical run to run regardless of goroutine scheduling. Cost
+// modelling of the same collectives on real networks (ring all-reduce
+// steps, per-call latency) lives in internal/perfmodel.
+package collective
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group coordinates a fixed set of n ranks performing collectives. A Group
+// is reusable: ranks may call the same collective repeatedly, but all ranks
+// must make the same sequence of calls (as with MPI communicators).
+type Group struct {
+	n int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	slots    [][]float32
+	joined   int
+	departed int
+	complete bool
+	gen      uint64
+	a2a      [][][]float32
+}
+
+// NewGroup returns a group of n ranks.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("collective: group size %d", n))
+	}
+	g := &Group{n: n, slots: make([][]float32, n)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.n }
+
+// arrive deposits data into rank's slot and blocks until all ranks of this
+// generation have arrived. Returns a stable snapshot of all slots. Every
+// arrive must be paired with a depart.
+func (g *Group) arrive(rank int, data []float32) [][]float32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rank < 0 || rank >= g.n {
+		panic(fmt.Sprintf("collective: rank %d out of [0,%d)", rank, g.n))
+	}
+	// a rank racing ahead into the next collective waits for the previous
+	// phase to fully drain first.
+	for g.complete {
+		g.cond.Wait()
+	}
+	if g.slots[rank] != nil {
+		panic(fmt.Sprintf("collective: rank %d arrived twice in one phase", rank))
+	}
+	g.slots[rank] = data
+	g.joined++
+	if g.joined == g.n {
+		g.complete = true
+		g.cond.Broadcast()
+	} else {
+		for !g.complete {
+			g.cond.Wait()
+		}
+	}
+	return g.slots
+}
+
+// depart releases the rank from the phase; the last one out resets the
+// group for the next collective, and earlier leavers block until then so
+// no rank can lap the group.
+func (g *Group) depart() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.departed++
+	if g.departed == g.n {
+		g.joined, g.departed = 0, 0
+		g.complete = false
+		g.slots = make([][]float32, g.n)
+		g.gen++
+		g.cond.Broadcast()
+		return
+	}
+	myGen := g.gen
+	for g.gen == myGen {
+		g.cond.Wait()
+	}
+}
+
+// AllReduceSum sums the equal-length vectors contributed by every rank and
+// writes the total into each rank's x in place. Summation is in rank order,
+// so every rank computes bit-identical results.
+func (g *Group) AllReduceSum(rank int, x []float32) {
+	if g.n == 1 {
+		return
+	}
+	contrib := append([]float32(nil), x...)
+	slots := g.arrive(rank, contrib)
+	for i := range x {
+		var s float32
+		for r := 0; r < g.n; r++ {
+			s += slots[r][i]
+		}
+		x[i] = s
+	}
+	g.depart()
+}
+
+// Barrier blocks until all ranks reach it.
+func (g *Group) Barrier(rank int) {
+	if g.n == 1 {
+		return
+	}
+	g.arrive(rank, []float32{})
+	g.depart()
+}
+
+// AllGather returns every rank's contribution, indexed by rank. The result
+// slices alias the contributed data; callers must treat them as read-only.
+func (g *Group) AllGather(rank int, x []float32) [][]float32 {
+	if g.n == 1 {
+		return [][]float32{x}
+	}
+	slots := g.arrive(rank, x)
+	out := make([][]float32, g.n)
+	copy(out, slots)
+	g.depart()
+	return out
+}
+
+// AllToAll exchanges per-destination buffers: send[j] goes to rank j. The
+// returned recv[j] is the buffer rank j sent to this rank. Used by the
+// TorchRec-style baseline's embedding exchange.
+func (g *Group) AllToAll(rank int, send [][]float32) [][]float32 {
+	if len(send) != g.n {
+		panic(fmt.Sprintf("collective: AllToAll needs %d send buffers, got %d", g.n, len(send)))
+	}
+	if g.n == 1 {
+		return [][]float32{send[0]}
+	}
+	// flatten pointers through two phases: publish all send matrices, then
+	// pick out the column addressed to us.
+	g.mu.Lock()
+	if g.a2a == nil {
+		g.a2a = make([][][]float32, g.n)
+	}
+	g.a2a[rank] = send
+	g.mu.Unlock()
+	g.Barrier(rank)
+	recv := make([][]float32, g.n)
+	for r := 0; r < g.n; r++ {
+		recv[r] = g.a2a[r][rank]
+	}
+	g.Barrier(rank)
+	g.mu.Lock()
+	g.a2a[rank] = nil
+	g.mu.Unlock()
+	return recv
+}

@@ -1,0 +1,181 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+)
+
+// run spawns n ranks executing fn and waits for all of them.
+func run(n int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllReduceSum(t *testing.T) {
+	g := NewGroup(4)
+	results := make([][]float32, 4)
+	run(4, func(rank int) {
+		x := []float32{float32(rank), 1}
+		g.AllReduceSum(rank, x)
+		results[rank] = x
+	})
+	for rank, x := range results {
+		if x[0] != 6 || x[1] != 4 {
+			t.Fatalf("rank %d got %v want [6 4]", rank, x)
+		}
+	}
+}
+
+func TestAllReduceSumRepeated(t *testing.T) {
+	g := NewGroup(3)
+	const iters = 50
+	run(3, func(rank int) {
+		for i := 0; i < iters; i++ {
+			x := []float32{1}
+			g.AllReduceSum(rank, x)
+			if x[0] != 3 {
+				t.Errorf("iter %d rank %d got %v", i, rank, x[0])
+				return
+			}
+		}
+	})
+}
+
+func TestAllReduceSingleRankNoop(t *testing.T) {
+	g := NewGroup(1)
+	x := []float32{5}
+	g.AllReduceSum(0, x)
+	if x[0] != 5 {
+		t.Fatalf("got %v", x[0])
+	}
+}
+
+func TestAllReduceDeterministicOrder(t *testing.T) {
+	// values chosen so float addition order matters; per-rank slots force
+	// rank-order summation, so every run and every rank must agree exactly.
+	vals := []float32{1e8, -1e8, 3.14159, 2.71828}
+	var first []float32
+	for trial := 0; trial < 20; trial++ {
+		g := NewGroup(4)
+		results := make([][]float32, 4)
+		run(4, func(rank int) {
+			x := []float32{vals[rank]}
+			g.AllReduceSum(rank, x)
+			results[rank] = x
+		})
+		for rank := 1; rank < 4; rank++ {
+			if results[rank][0] != results[0][0] {
+				t.Fatal("ranks disagree")
+			}
+		}
+		if trial == 0 {
+			first = results[0]
+		} else if results[0][0] != first[0] {
+			t.Fatal("nondeterministic across runs")
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	g := NewGroup(4)
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	run(4, func(rank int) {
+		for i := 0; i < 10; i++ {
+			mu.Lock()
+			phase[rank] = i
+			// no rank may be more than one barrier phase away
+			for r, p := range phase {
+				if p < i-1 || p > i+1 {
+					t.Errorf("rank %d at %d while rank %d at %d", rank, i, r, p)
+				}
+			}
+			mu.Unlock()
+			g.Barrier(rank)
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	g := NewGroup(3)
+	run(3, func(rank int) {
+		got := g.AllGather(rank, []float32{float32(rank * 10)})
+		for r := 0; r < 3; r++ {
+			if got[r][0] != float32(r*10) {
+				t.Errorf("rank %d sees %v for rank %d", rank, got[r][0], r)
+			}
+		}
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	const n = 3
+	g := NewGroup(n)
+	var mu sync.Mutex
+	seen := make(map[[2]int]float32) // (receiver, sender) → value
+	run(n, func(rank int) {
+		send := make([][]float32, n)
+		for j := 0; j < n; j++ {
+			send[j] = []float32{float32(rank*100 + j)}
+		}
+		recv := g.AllToAll(rank, send)
+		mu.Lock()
+		for r := 0; r < n; r++ {
+			seen[[2]int{rank, r}] = recv[r][0]
+		}
+		mu.Unlock()
+	})
+	for recvRank := 0; recvRank < n; recvRank++ {
+		for sender := 0; sender < n; sender++ {
+			want := float32(sender*100 + recvRank)
+			if got := seen[[2]int{recvRank, sender}]; got != want {
+				t.Fatalf("recv %d from %d: got %v want %v", recvRank, sender, got, want)
+			}
+		}
+	}
+}
+
+func TestAllToAllRepeated(t *testing.T) {
+	g := NewGroup(2)
+	run(2, func(rank int) {
+		for i := 0; i < 30; i++ {
+			send := [][]float32{{float32(rank)}, {float32(rank)}}
+			recv := g.AllToAll(rank, send)
+			if recv[0][0] != 0 || recv[1][0] != 1 {
+				t.Errorf("iter %d rank %d bad recv", i, rank)
+				return
+			}
+		}
+	})
+}
+
+func TestGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGroup(0)
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	g := NewGroup(2)
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+			close(done)
+		}()
+		g.AllReduceSum(5, []float32{1})
+	}()
+	<-done
+}

@@ -1,0 +1,346 @@
+// Package core implements Bagpipe's primary contribution: the Oracle
+// Cacher with its lookahead algorithm (Algorithm 1 of the paper), the
+// trainer-side TTL cache it drives, the logically-replicated
+// physically-partitioned (LRPP) synchronization planner with delayed
+// (critical-path-aware) synchronization, and the batch partitioners used to
+// compare cache designs (§3.3).
+//
+// The Oracle Cacher looks ℒ batches beyond the current batch to decide,
+// for every embedding the current batch touches, (a) whether it must be
+// prefetched (cache miss) and (b) how long it must stay cached — its TTL,
+// the last iteration inside the lookahead window that uses it. This yields
+// Belady-style perfect caching while guaranteeing consistency: when batch x
+// trains, an embedding it needs is either cached with its latest value, or
+// no batch in [x−ℒ, x) updated it, so a prefetch issued after batch x−ℒ's
+// write-backs can never observe a stale value (§3.2).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bagpipe/internal/data"
+)
+
+// BatchSource supplies the ordered batch stream the Oracle Cacher inspects.
+type BatchSource interface {
+	// Next returns the next batch, or ok=false when the stream ends.
+	Next() (b *data.Batch, ok bool)
+}
+
+// GeneratorSource adapts a data.Generator to a BatchSource over a fixed
+// range of iterations.
+type GeneratorSource struct {
+	Gen       *data.Generator
+	BatchSize int
+	NextIndex int
+	Limit     int // exclusive upper bound on batch index
+}
+
+// NewGeneratorSource streams batches [0, limit) of the given size.
+func NewGeneratorSource(gen *data.Generator, batchSize, limit int) *GeneratorSource {
+	return &GeneratorSource{Gen: gen, BatchSize: batchSize, Limit: limit}
+}
+
+// Next implements BatchSource.
+func (g *GeneratorSource) Next() (*data.Batch, bool) {
+	if g.NextIndex >= g.Limit {
+		return nil, false
+	}
+	b := g.Gen.Batch(g.NextIndex, g.BatchSize)
+	g.NextIndex++
+	return b, true
+}
+
+// SliceSource is a BatchSource over a fixed slice (tests).
+type SliceSource struct {
+	Batches []*data.Batch
+	pos     int
+}
+
+// Next implements BatchSource.
+func (s *SliceSource) Next() (*data.Batch, bool) {
+	if s.pos >= len(s.Batches) {
+		return nil, false
+	}
+	b := s.Batches[s.pos]
+	s.pos++
+	return b, true
+}
+
+// Decision is the Oracle Cacher's output for one iteration: the batch
+// itself plus every cache/prefetch/synchronization instruction the trainers
+// need. It corresponds to the TTLUpdateRequests and CacheFetchRequests of
+// Algorithm 1, extended with the LRPP single-trainer marks (§3.3) and the
+// delayed-synchronization split (§3.3, "Delayed Synchronization").
+type Decision struct {
+	Iter  int
+	Batch *data.Batch
+
+	// Prefetch lists the embedding IDs the batch needs that are not in the
+	// (logically replicated) cache; trainers fetch these from the
+	// embedding servers, overlapped with earlier iterations' compute.
+	Prefetch []uint64
+
+	// TTL maps every unique embedding ID in the batch to the last
+	// iteration within the lookahead window that uses it. An entry whose
+	// TTL equals Iter is used only by this batch and is evicted (with
+	// write-back) right after it.
+	TTL map[uint64]int
+
+	// Assign maps each example index to the trainer that will process it.
+	Assign []int
+
+	// UsedBy maps each unique embedding ID to the sorted list of trainers
+	// whose partition touches it. IDs with a single user are the LRPP
+	// fast path: only that trainer fetches them and no collective
+	// synchronization happens for them.
+	UsedBy map[uint64][]int
+
+	// NeededNext marks IDs (that remain cached after this iteration) that
+	// the very next batch needs; their synchronization is on the critical
+	// path, everything else can be delayed into the next forward pass.
+	NeededNext map[uint64]bool
+}
+
+// EvictAfter returns the IDs whose TTL expires at this iteration, sorted.
+func (d *Decision) EvictAfter() []uint64 {
+	var ids []uint64
+	for id, ttl := range d.TTL {
+		if ttl == d.Iter {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IterStats summarizes a decision for the performance model and the
+// experiment harness.
+type IterStats struct {
+	Iter           int
+	BatchSize      int
+	TotalAccesses  int
+	UniqueIDs      int
+	Prefetched     int // cache misses fetched from embedding servers
+	CachedHits     int // unique IDs served from the trainer cache
+	Evicted        int // IDs evicted (written back) after this iteration
+	SingleUse      int // LRPP: IDs used by exactly one trainer
+	MultiUse       int // IDs used by >1 trainer (all-reduce synchronized)
+	CriticalSync   int // multi-use IDs needed by iteration+1 (critical path)
+	DelayedSync    int // multi-use IDs deferred to background sync
+	CacheOccupancy int // oracle's view of cache rows after this iteration
+}
+
+// Stats derives IterStats from the decision. cacheOccupancy is the oracle's
+// post-iteration InCache size, passed by the Oracle.
+func (d *Decision) Stats(cacheOccupancy int) IterStats {
+	st := IterStats{
+		Iter:           d.Iter,
+		BatchSize:      d.Batch.Size(),
+		TotalAccesses:  d.Batch.TotalAccesses(),
+		UniqueIDs:      len(d.TTL),
+		Prefetched:     len(d.Prefetch),
+		Evicted:        len(d.EvictAfter()),
+		CacheOccupancy: cacheOccupancy,
+	}
+	st.CachedHits = st.UniqueIDs - st.Prefetched
+	for id, trainers := range d.UsedBy {
+		if len(trainers) == 1 {
+			st.SingleUse++
+			continue
+		}
+		st.MultiUse++
+		if d.NeededNext[id] {
+			st.CriticalSync++
+		} else {
+			st.DelayedSync++
+		}
+	}
+	return st
+}
+
+// Oracle is the Oracle Cacher: a centralized service that inspects batches
+// LookAhead iterations beyond the current one and emits Decisions.
+type Oracle struct {
+	// LookAhead is ℒ: the size of the inspection window in batches,
+	// counting the current batch, exactly as in Algorithm 1's
+	// BatchQueue.size() < LookAheadValue bound and the Figure 6 worked
+	// example (the paper's default is 200). The oracle therefore sees
+	// ℒ−1 batches beyond the one being dispatched.
+	LookAhead int
+	// NumTrainers is the trainer count used for LRPP annotations.
+	NumTrainers int
+	// MaxCacheRows, if positive, bounds the oracle's view of cache
+	// occupancy; the window stops growing while the bound would be
+	// exceeded, dynamically shrinking the effective lookahead (§4,
+	// "Automatically Calculating Lookahead").
+	MaxCacheRows int
+	// Partitioner assigns batch examples to trainers; nil means contiguous
+	// equal chunks (Bagpipe's default).
+	Partitioner Partitioner
+
+	src     BatchSource
+	queue   []*data.Batch
+	uniques map[int][]uint64 // batch index → unique IDs (computed once)
+	latest  map[uint64]int
+	inCache map[uint64]struct{}
+	done    bool
+	peak    int
+}
+
+// NewOracle returns an Oracle over src with lookahead l for numTrainers
+// trainers.
+func NewOracle(src BatchSource, l, numTrainers int) *Oracle {
+	if l < 1 {
+		panic(fmt.Sprintf("core: lookahead must be >= 1, got %d", l))
+	}
+	if numTrainers < 1 {
+		panic(fmt.Sprintf("core: need at least one trainer, got %d", numTrainers))
+	}
+	return &Oracle{
+		LookAhead:   l,
+		NumTrainers: numTrainers,
+		src:         src,
+		uniques:     make(map[int][]uint64),
+		latest:      make(map[uint64]int),
+		inCache:     make(map[uint64]struct{}),
+	}
+}
+
+// fill tops the window up to LookAhead batches beyond the current front.
+func (o *Oracle) fill() {
+	for !o.done && len(o.queue) < o.LookAhead {
+		if o.MaxCacheRows > 0 && len(o.latest) >= o.MaxCacheRows && len(o.queue) > 0 {
+			// Cache budget exhausted: run with a shorter effective window
+			// until occupancy drains.
+			return
+		}
+		b, ok := o.src.Next()
+		if !ok {
+			o.done = true
+			return
+		}
+		ids := b.UniqueIDs()
+		o.uniques[b.Index] = ids
+		for _, id := range ids {
+			o.latest[id] = b.Index
+		}
+		o.queue = append(o.queue, b)
+	}
+}
+
+// Next runs one step of Algorithm 1 and returns the decision for the next
+// batch, or ok=false when the stream is exhausted.
+func (o *Oracle) Next() (*Decision, bool) {
+	o.fill()
+	if len(o.queue) == 0 {
+		return nil, false
+	}
+	cur := o.queue[0]
+	o.queue = o.queue[1:]
+	ids := o.uniques[cur.Index]
+	delete(o.uniques, cur.Index)
+
+	d := &Decision{
+		Iter:  cur.Index,
+		Batch: cur,
+		TTL:   make(map[uint64]int, len(ids)),
+	}
+	for _, id := range ids {
+		ttl := o.latest[id]
+		d.TTL[id] = ttl
+		if _, cached := o.inCache[id]; !cached {
+			d.Prefetch = append(d.Prefetch, id)
+			o.inCache[id] = struct{}{}
+		}
+		if ttl == cur.Index {
+			delete(o.inCache, id)
+			delete(o.latest, id)
+		}
+	}
+	sort.Slice(d.Prefetch, func(i, j int) bool { return d.Prefetch[i] < d.Prefetch[j] })
+	if len(o.inCache) > o.peak {
+		o.peak = len(o.inCache)
+	}
+
+	o.annotate(d)
+	return d, true
+}
+
+// annotate computes the LRPP and delayed-sync metadata for d.
+func (o *Oracle) annotate(d *Decision) {
+	p := o.Partitioner
+	if p == nil {
+		p = Contiguous{}
+	}
+	d.Assign = p.Assign(d.Batch, o.NumTrainers)
+	d.UsedBy = usedBy(d.Batch, d.Assign)
+
+	d.NeededNext = make(map[uint64]bool)
+	if len(o.queue) > 0 {
+		next := o.uniques[o.queue[0].Index]
+		nextSet := make(map[uint64]struct{}, len(next))
+		for _, id := range next {
+			nextSet[id] = struct{}{}
+		}
+		for id, ttl := range d.TTL {
+			if ttl > d.Iter {
+				if _, ok := nextSet[id]; ok {
+					d.NeededNext[id] = true
+				}
+			}
+		}
+	}
+}
+
+// usedBy returns, for each unique embedding ID in b, the sorted set of
+// trainers whose assigned examples touch it.
+func usedBy(b *data.Batch, assign []int) map[uint64][]int {
+	m := make(map[uint64]map[int]struct{})
+	for i, ex := range b.Examples {
+		t := assign[i]
+		for _, id := range ex.Cat {
+			s, ok := m[id]
+			if !ok {
+				s = make(map[int]struct{}, 2)
+				m[id] = s
+			}
+			s[t] = struct{}{}
+		}
+	}
+	out := make(map[uint64][]int, len(m))
+	for id, s := range m {
+		ts := make([]int, 0, len(s))
+		for t := range s {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		out[id] = ts
+	}
+	return out
+}
+
+// CacheOccupancy returns the oracle's current view of cached rows.
+func (o *Oracle) CacheOccupancy() int { return len(o.inCache) }
+
+// PeakOccupancy returns the maximum cache occupancy seen so far; with the
+// row width this gives the cache size requirement Table 3 reports per ℒ.
+func (o *Oracle) PeakOccupancy() int { return o.peak }
+
+// EstimateLookahead simulates the startup procedure of §4 ("Automatically
+// Calculating Lookahead"): keep extending the window until the cache-size
+// budget (in rows) is reached, and return the number of batches that fit.
+func EstimateLookahead(gen *data.Generator, batchSize, maxRows, maxL int) int {
+	latest := make(map[uint64]struct{})
+	for l := 0; l < maxL; l++ {
+		b := gen.Batch(l, batchSize)
+		for _, id := range b.UniqueIDs() {
+			latest[id] = struct{}{}
+		}
+		if len(latest) > maxRows {
+			return l // the batch that overflowed doesn't fit
+		}
+	}
+	return maxL
+}

@@ -1,0 +1,151 @@
+package data
+
+import (
+	"sort"
+)
+
+// AccessProfile summarizes embedding-access frequencies over a sampled
+// stretch of a dataset, supporting the paper's Figure 3 (access CDF) and
+// Figure 4 (static-cache hit rate vs batch size) analyses.
+type AccessProfile struct {
+	// Counts holds per-ID access counts for every ID seen.
+	Counts map[uint64]int64
+	// Total is the total number of accesses recorded.
+	Total int64
+	// sorted counts, descending; built lazily.
+	sorted []int64
+	// hot IDs in descending popularity; built lazily.
+	ranked []uint64
+}
+
+// Profile scans numBatches batches of batchSize from g and tallies accesses.
+func Profile(g *Generator, numBatches, batchSize int) *AccessProfile {
+	p := &AccessProfile{Counts: make(map[uint64]int64)}
+	for i := 0; i < numBatches; i++ {
+		b := g.Batch(i, batchSize)
+		for _, ex := range b.Examples {
+			for _, id := range ex.Cat {
+				p.Counts[id]++
+				p.Total++
+			}
+		}
+	}
+	return p
+}
+
+func (p *AccessProfile) build() {
+	if p.sorted != nil {
+		return
+	}
+	type kv struct {
+		id uint64
+		n  int64
+	}
+	kvs := make([]kv, 0, len(p.Counts))
+	for id, n := range p.Counts {
+		kvs = append(kvs, kv{id, n})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].n != kvs[j].n {
+			return kvs[i].n > kvs[j].n
+		}
+		return kvs[i].id < kvs[j].id
+	})
+	p.sorted = make([]int64, len(kvs))
+	p.ranked = make([]uint64, len(kvs))
+	for i, e := range kvs {
+		p.sorted[i] = e.n
+		p.ranked[i] = e.id
+	}
+}
+
+// CDFAt returns the fraction of total accesses captured by the most popular
+// `frac` fraction of *distinct accessed* embeddings (the x-axis of Fig 3).
+func (p *AccessProfile) CDFAt(frac float64) float64 {
+	p.build()
+	if p.Total == 0 {
+		return 0
+	}
+	k := int(frac * float64(len(p.sorted)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(p.sorted) {
+		k = len(p.sorted)
+	}
+	var captured int64
+	for _, n := range p.sorted[:k] {
+		captured += n
+	}
+	return float64(captured) / float64(p.Total)
+}
+
+// TopShare returns the fraction of total accesses captured by the k most
+// popular embeddings (absolute k, unlike CDFAt's fraction of distinct IDs).
+func (p *AccessProfile) TopShare(k int) float64 {
+	p.build()
+	if p.Total == 0 {
+		return 0
+	}
+	if k > len(p.sorted) {
+		k = len(p.sorted)
+	}
+	var captured int64
+	for _, n := range p.sorted[:k] {
+		captured += n
+	}
+	return float64(captured) / float64(p.Total)
+}
+
+// TopIDs returns the k most popular IDs (the static cache FAE-style systems
+// would pin).
+func (p *AccessProfile) TopIDs(k int) map[uint64]struct{} {
+	p.build()
+	if k > len(p.ranked) {
+		k = len(p.ranked)
+	}
+	set := make(map[uint64]struct{}, k)
+	for _, id := range p.ranked[:k] {
+		set[id] = struct{}{}
+	}
+	return set
+}
+
+// NumDistinct returns the number of distinct embeddings accessed.
+func (p *AccessProfile) NumDistinct() int { return len(p.Counts) }
+
+// StaticCacheHitStats reports, for a fixed cached set, the per-batch ratio
+// of unique embeddings served from the cache to total unique embeddings
+// needed — the Figure 4 metric (hit rate over *unique* accesses).
+type StaticCacheHitStats struct {
+	BatchSize      int
+	MeanUniqueIDs  float64
+	MeanUniqueHits float64
+	HitRate        float64
+}
+
+// StaticCacheHitRate measures the unique-access hit rate of caching the
+// fixed `cached` set, over numBatches batches of batchSize starting at
+// batch `start`.
+func StaticCacheHitRate(g *Generator, cached map[uint64]struct{}, start, numBatches, batchSize int) StaticCacheHitStats {
+	var uniqTotal, hitTotal int64
+	for i := 0; i < numBatches; i++ {
+		b := g.Batch(start+i, batchSize)
+		ids := b.UniqueIDs()
+		uniqTotal += int64(len(ids))
+		for _, id := range ids {
+			if _, ok := cached[id]; ok {
+				hitTotal++
+			}
+		}
+	}
+	st := StaticCacheHitStats{
+		BatchSize:      batchSize,
+		MeanUniqueIDs:  float64(uniqTotal) / float64(numBatches),
+		MeanUniqueHits: float64(hitTotal) / float64(numBatches),
+	}
+	if uniqTotal > 0 {
+		st.HitRate = float64(hitTotal) / float64(uniqTotal)
+	}
+	return st
+}

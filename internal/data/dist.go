@@ -1,0 +1,156 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"bagpipe/internal/tensor"
+)
+
+// HotTail is the default access distribution: with probability HotShare the
+// draw comes from the "hot" head of the table (the first HotFrac fraction
+// of rows), with a Zipf-like rank profile inside the head; otherwise the
+// draw is uniform over the cold tail. This directly reproduces the paper's
+// §2.3 observation ("90% of accesses come from just 0.1% of embeddings")
+// and is the knob the Figure 18 skew-change experiment turns.
+type HotTail struct {
+	HotFrac  float64 // fraction of rows considered hot (e.g. 0.001)
+	HotShare float64 // probability an access goes to the hot set (e.g. 0.90)
+	Alpha    float64 // Zipf exponent within the hot set (>= 1)
+}
+
+// NewHotTail returns a HotTail distribution.
+func NewHotTail(hotFrac, hotShare, alpha float64) *HotTail {
+	if hotFrac <= 0 || hotFrac > 1 {
+		panic(fmt.Sprintf("data: HotTail hotFrac %v out of (0,1]", hotFrac))
+	}
+	if hotShare < 0 || hotShare > 1 {
+		panic(fmt.Sprintf("data: HotTail hotShare %v out of [0,1]", hotShare))
+	}
+	return &HotTail{HotFrac: hotFrac, HotShare: hotShare, Alpha: alpha}
+}
+
+// Name implements Distribution.
+func (h *HotTail) Name() string {
+	return fmt.Sprintf("hottail(f=%.4g,s=%.3g,a=%.3g)", h.HotFrac, h.HotShare, h.Alpha)
+}
+
+// Sample implements Distribution.
+func (h *HotTail) Sample(rng *tensor.RNG, tableSize int64) int64 {
+	hot := int64(float64(tableSize) * h.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= tableSize {
+		return zipfRank(rng, tableSize, h.Alpha)
+	}
+	if rng.Float64() < h.HotShare {
+		return zipfRank(rng, hot, h.Alpha)
+	}
+	// cold tail: uniform over [hot, tableSize)
+	return hot + int64(rng.Float64()*float64(tableSize-hot))
+}
+
+// Zipf draws ranks with probability proportional to rank^-Alpha over the
+// whole table (the Figure 19 sweep varies Alpha from 1 to 5).
+type Zipf struct {
+	Alpha float64
+}
+
+// NewZipf returns a Zipf distribution with exponent alpha (>= 1).
+func NewZipf(alpha float64) *Zipf {
+	if alpha < 1 {
+		panic(fmt.Sprintf("data: Zipf alpha %v < 1", alpha))
+	}
+	return &Zipf{Alpha: alpha}
+}
+
+// Name implements Distribution.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(a=%.3g)", z.Alpha) }
+
+// Sample implements Distribution.
+func (z *Zipf) Sample(rng *tensor.RNG, tableSize int64) int64 {
+	return zipfRank(rng, tableSize, z.Alpha)
+}
+
+// zipfRank draws a rank in [0, n) with P(k) ∝ (k+1)^-alpha using inverse
+// transform sampling on the continuous bounded Pareto approximation. For
+// alpha very close to 1 the CDF degenerates to log-uniform, which we handle
+// separately. Accuracy of the discrete tail probabilities is not critical
+// here; the head concentration — which drives cache behaviour — is correct.
+func zipfRank(rng *tensor.RNG, n int64, alpha float64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	var x float64
+	nf := float64(n)
+	if math.Abs(alpha-1) < 1e-9 {
+		// CDF(x) = ln(x)/ln(n) for x in [1, n]
+		x = math.Exp(u * math.Log(nf))
+	} else {
+		// bounded Pareto inverse CDF on [1, n]
+		a1 := 1 - alpha
+		x = math.Pow(u*(math.Pow(nf, a1)-1)+1, 1/a1)
+	}
+	k := int64(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// Uniform draws rows uniformly (no skew); the degenerate case of Figure 18.
+type Uniform struct{}
+
+// Name implements Distribution.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements Distribution.
+func (Uniform) Sample(rng *tensor.RNG, tableSize int64) int64 {
+	return int64(rng.Float64() * float64(tableSize))
+}
+
+// Drifting wraps a HotTail distribution whose hot set rotates through the
+// table over time, modelling the day-over-day popularity drift the paper
+// measures in §2.3 (static caches degrade from 91% to 82% hit rate). The
+// rotation position advances every Period samples drawn.
+type Drifting struct {
+	Base   *HotTail
+	Period int64 // samples per rotation step
+	Step   int64 // rows the hot set advances per period
+
+	drawn int64
+}
+
+// NewDrifting returns a drifting-hot-set distribution.
+func NewDrifting(base *HotTail, period, step int64) *Drifting {
+	if period <= 0 {
+		panic("data: Drifting period must be positive")
+	}
+	return &Drifting{Base: base, Period: period, Step: step}
+}
+
+// Name implements Distribution.
+func (d *Drifting) Name() string {
+	return fmt.Sprintf("drifting(%s,period=%d,step=%d)", d.Base.Name(), d.Period, d.Step)
+}
+
+// Sample implements Distribution. Unlike the stateless distributions,
+// Drifting advances an internal clock; generators using it remain
+// deterministic because batches are always generated in order within one
+// walker (see Generator.Batch, which re-seeds per batch and resets drift by
+// batch index).
+func (d *Drifting) Sample(rng *tensor.RNG, tableSize int64) int64 {
+	d.drawn++
+	shift := (d.drawn / d.Period) * d.Step
+	base := d.Base.Sample(rng, tableSize)
+	return (base + shift) % tableSize
+}
+
+// SetClock positions the drift clock; Generator uses this to keep batch
+// generation a pure function of the batch index.
+func (d *Drifting) SetClock(samples int64) { d.drawn = samples }

@@ -1,0 +1,216 @@
+package embed
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowInitDeterministic(t *testing.T) {
+	a := NewTable(8, 42, 0.1)
+	b := NewTable(8, 42, 0.1)
+	ra := make([]float32, 8)
+	rb := make([]float32, 8)
+	for id := uint64(0); id < 100; id++ {
+		a.Get(id, ra)
+		b.Get(id, rb)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("id %d col %d: %v vs %v", id, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestRowInitVariesWithSeedAndID(t *testing.T) {
+	a := NewTable(8, 1, 0.1)
+	b := NewTable(8, 2, 0.1)
+	ra := make([]float32, 8)
+	rb := make([]float32, 8)
+	a.Get(5, ra)
+	b.Get(5, rb)
+	same := true
+	for i := range ra {
+		if ra[i] != rb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different rows")
+	}
+	a.Get(6, rb)
+	same = true
+	for i := range ra {
+		if ra[i] != rb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different ids must give different rows")
+	}
+}
+
+func TestRowInitBounded(t *testing.T) {
+	if err := quick.Check(func(id uint64, col uint8, dim uint8) bool {
+		d := int(dim%64) + 1
+		v := rowInit(7, id, int(col)%d, d, 0.05)
+		return v >= -0.05 && v < 0.05
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	tab := NewTable(4, 1, 0.1)
+	want := []float32{1, 2, 3, 4}
+	tab.Set(99, want)
+	got := make([]float32, 4)
+	tab.Get(99, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if tab.NumMaterialized() != 1 {
+		t.Fatalf("materialized=%d", tab.NumMaterialized())
+	}
+}
+
+func TestTableCheckpointRestore(t *testing.T) {
+	tab := NewTable(4, 5, 0.1)
+	tab.Set(1, []float32{9, 9, 9, 9})
+	var buf bytes.Buffer
+	if err := tab.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float32, 4)
+	got.Get(1, row)
+	if row[0] != 9 {
+		t.Fatalf("restored row %v", row)
+	}
+	// untouched rows must still materialize identically
+	a := make([]float32, 4)
+	b := make([]float32, 4)
+	tab.Get(77, a)
+	got.Get(77, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("untouched rows differ after restore")
+		}
+	}
+}
+
+func TestServerShardingConsistent(t *testing.T) {
+	s := NewServer(4, 8, 11, 0.1)
+	for id := uint64(0); id < 64; id++ {
+		if s.ShardOf(id) != int(id%4) {
+			t.Fatalf("shard of %d = %d", id, s.ShardOf(id))
+		}
+	}
+}
+
+func TestServerFetchWriteAndStats(t *testing.T) {
+	s := NewServer(3, 4, 13, 0.1)
+	ids := []uint64{1, 5, 9}
+	rows := s.Fetch(ids)
+	if len(rows) != 3 || len(rows[0]) != 4 {
+		t.Fatalf("bad fetch shape")
+	}
+	rows[1][0] = 123
+	s.Write(ids[1:2], rows[1:2])
+	if got := s.Get(5); got[0] != 123 {
+		t.Fatalf("write-back lost: %v", got)
+	}
+	st := s.Stats()
+	if st.RowsFetched != 3 || st.RowsWritten != 1 || st.Fetches != 1 || st.Writes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats().RowsFetched != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestServerStateIndependentOfShardCount(t *testing.T) {
+	// Reproducibility across resharding: row values depend only on ID.
+	a := NewServer(2, 4, 99, 0.1)
+	b := NewServer(7, 4, 99, 0.1)
+	for id := uint64(0); id < 50; id++ {
+		ra, rb := a.Get(id), b.Get(id)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("id %d differs across shard counts", id)
+			}
+		}
+	}
+}
+
+func TestServerCheckpointRestore(t *testing.T) {
+	s := NewServer(2, 4, 21, 0.1)
+	s.Write([]uint64{3, 4}, [][]float32{{1, 1, 1, 1}, {2, 2, 2, 2}})
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreServer(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(3)[0] != 1 || r.Get(4)[0] != 2 {
+		t.Fatal("restored server lost writes")
+	}
+	if r.Dim != 4 {
+		t.Fatalf("restored dim %d", r.Dim)
+	}
+}
+
+func TestConcurrentFetchWrite(t *testing.T) {
+	s := NewServer(4, 8, 31, 0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]uint64, 16)
+			for i := range ids {
+				ids[i] = uint64(w*16 + i)
+			}
+			for iter := 0; iter < 50; iter++ {
+				rows := s.Fetch(ids)
+				for _, r := range rows {
+					r[0] += 1
+				}
+				s.Write(ids, rows)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.RowsFetched != 8*50*16 || st.RowsWritten != 8*50*16 {
+		t.Fatalf("stats after concurrent load: %+v", st)
+	}
+	// disjoint id ranges: each row got exactly 50 increments
+	base := NewServer(4, 8, 31, 0.1)
+	for id := uint64(0); id < 128; id++ {
+		want := base.Get(id)[0] + 50
+		got := s.Get(id)[0]
+		if diff := got - want; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("id %d: got %v want %v", id, got, want)
+		}
+	}
+}
+
+func TestFetchReturnsCopies(t *testing.T) {
+	s := NewServer(1, 4, 41, 0.1)
+	r1 := s.Fetch([]uint64{7})
+	r1[0][0] = 555
+	r2 := s.Fetch([]uint64{7})
+	if r2[0][0] == 555 {
+		t.Fatal("Fetch must return copies, not aliases")
+	}
+}

@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Stats counts server traffic, used by the experiments to account bytes.
+type Stats struct {
+	RowsFetched int64
+	RowsWritten int64
+	Fetches     int64 // fetch RPCs
+	Writes      int64 // write RPCs
+}
+
+// Server is Bagpipe's Embedding Server tier: embedding rows sharded across
+// NumShards partitions by ID, serving batched fetch (prefetch) and
+// write-back requests. In the disaggregated deployment each shard lives on
+// its own machine; here shards are separate lock domains, and the transport
+// layer (internal/transport) decides whether calls cross a real network.
+type Server struct {
+	Dim    int
+	shards []*Table
+
+	rowsFetched atomic.Int64
+	rowsWritten atomic.Int64
+	fetches     atomic.Int64
+	writes      atomic.Int64
+}
+
+// NewServer returns a server with numShards shards of width-dim rows.
+func NewServer(numShards, dim int, seed uint64, initScale float32) *Server {
+	if numShards <= 0 {
+		panic(fmt.Sprintf("embed: non-positive shard count %d", numShards))
+	}
+	s := &Server{Dim: dim, shards: make([]*Table, numShards)}
+	for i := range s.shards {
+		// all shards share the seed: a row's initial value depends only on
+		// its ID, not on the sharding, so resharding preserves state.
+		s.shards[i] = NewTable(dim, seed, initScale)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning id.
+func (s *Server) ShardOf(id uint64) int { return int(id % uint64(len(s.shards))) }
+
+// Fetch copies the rows for ids into a freshly allocated [len(ids)][dim]
+// block and returns per-row slices into it. This is the prefetch RPC.
+func (s *Server) Fetch(ids []uint64) [][]float32 {
+	flat := make([]float32, len(ids)*s.Dim)
+	out := make([][]float32, len(ids))
+	for i, id := range ids {
+		row := flat[i*s.Dim : (i+1)*s.Dim]
+		s.shards[s.ShardOf(id)].Get(id, row)
+		out[i] = row
+	}
+	s.rowsFetched.Add(int64(len(ids)))
+	s.fetches.Add(1)
+	return out
+}
+
+// Write writes back updated rows (trainer evictions / background sync).
+func (s *Server) Write(ids []uint64, rows [][]float32) {
+	if len(ids) != len(rows) {
+		panic("embed: Write ids/rows length mismatch")
+	}
+	for i, id := range ids {
+		s.shards[s.ShardOf(id)].Set(id, rows[i])
+	}
+	s.rowsWritten.Add(int64(len(ids)))
+	s.writes.Add(1)
+}
+
+// Get reads one row (convenience for tests and the reference trainer).
+func (s *Server) Get(id uint64) []float32 {
+	row := make([]float32, s.Dim)
+	s.shards[s.ShardOf(id)].Get(id, row)
+	return row
+}
+
+// Stats returns a snapshot of traffic counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		RowsFetched: s.rowsFetched.Load(),
+		RowsWritten: s.rowsWritten.Load(),
+		Fetches:     s.fetches.Load(),
+		Writes:      s.writes.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Server) ResetStats() {
+	s.rowsFetched.Store(0)
+	s.rowsWritten.Store(0)
+	s.fetches.Store(0)
+	s.writes.Store(0)
+}
+
+// NumMaterialized returns the total number of touched rows across shards.
+func (s *Server) NumMaterialized() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.NumMaterialized()
+	}
+	return n
+}
+
+// Checkpoint writes every shard to w.
+func (s *Server) Checkpoint(w io.Writer) error {
+	for i, sh := range s.shards {
+		if err := sh.Checkpoint(w); err != nil {
+			return fmt.Errorf("embed: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RestoreServer reads numShards shard checkpoints written by Checkpoint.
+func RestoreServer(r io.Reader, numShards int) (*Server, error) {
+	s := &Server{shards: make([]*Table, numShards)}
+	for i := range s.shards {
+		t, err := RestoreTable(r)
+		if err != nil {
+			return nil, fmt.Errorf("embed: restore shard %d: %w", i, err)
+		}
+		s.shards[i] = t
+		s.Dim = t.Dim
+	}
+	return s, nil
+}

@@ -1,0 +1,131 @@
+// Package embed implements the embedding-table substrate: lazily
+// materialized tables addressed by a flat global-ID keyspace, and the
+// sharded Embedding Server component of Bagpipe's disaggregated
+// architecture (§3.4), which acts as a sharded parameter server handling
+// prefetch and write-back requests from trainers.
+//
+// Rows are initialized deterministically from their ID, so two servers
+// built with the same seed hold identical logical state without ever
+// materializing the full table — the property that lets this reproduction
+// "store" Criteo-Terabyte's 882M-row tables while only ever allocating the
+// rows a run touches, and that lets the sync-equivalence tests compare a
+// distributed run against a single-process reference.
+package embed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// rowInit derives the deterministic initial value of element col of row id.
+// The paper's systems initialize embeddings uniformly in a small range;
+// we use ±initScale.
+func rowInit(seed, id uint64, col int, dim int, scale float32) float32 {
+	h := seed ^ (id*0x9E3779B97F4A7C15 + uint64(col)*0xBF58476D1CE4E5B9)
+	h ^= h >> 30
+	h *= 0x94D049BB133111EB
+	h ^= h >> 27
+	// map to [-scale, scale)
+	u := float32(h>>40) / float32(1<<24)
+	return (u*2 - 1) * scale
+}
+
+// Table is one embedding table shard: a lazily materialized map from global
+// embedding ID to its float32 row. Safe for concurrent use.
+type Table struct {
+	Dim       int
+	Seed      uint64
+	InitScale float32
+
+	mu   sync.RWMutex
+	rows map[uint64][]float32
+}
+
+// NewTable returns an empty lazily-initialized table.
+func NewTable(dim int, seed uint64, initScale float32) *Table {
+	if dim <= 0 {
+		panic(fmt.Sprintf("embed: non-positive dim %d", dim))
+	}
+	return &Table{Dim: dim, Seed: seed, InitScale: initScale, rows: make(map[uint64][]float32)}
+}
+
+// materialize returns the live row for id, creating it deterministically if
+// it has never been touched. Caller must hold mu for writing.
+func (t *Table) materialize(id uint64) []float32 {
+	row, ok := t.rows[id]
+	if !ok {
+		row = make([]float32, t.Dim)
+		for c := range row {
+			row[c] = rowInit(t.Seed, id, c, t.Dim, t.InitScale)
+		}
+		t.rows[id] = row
+	}
+	return row
+}
+
+// Get copies the current value of row id into dst (len Dim).
+func (t *Table) Get(id uint64, dst []float32) {
+	if len(dst) != t.Dim {
+		panic(fmt.Sprintf("embed: Get dst len %d != dim %d", len(dst), t.Dim))
+	}
+	t.mu.RLock()
+	row, ok := t.rows[id]
+	t.mu.RUnlock()
+	if ok {
+		copy(dst, row)
+		return
+	}
+	t.mu.Lock()
+	copy(dst, t.materialize(id))
+	t.mu.Unlock()
+}
+
+// Set overwrites row id with src (a trainer write-back).
+func (t *Table) Set(id uint64, src []float32) {
+	if len(src) != t.Dim {
+		panic(fmt.Sprintf("embed: Set src len %d != dim %d", len(src), t.Dim))
+	}
+	t.mu.Lock()
+	row := t.materialize(id)
+	copy(row, src)
+	t.mu.Unlock()
+}
+
+// NumMaterialized returns how many rows have been touched.
+func (t *Table) NumMaterialized() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// tableState is the gob wire form of a table checkpoint.
+type tableState struct {
+	Dim       int
+	Seed      uint64
+	InitScale float32
+	Rows      map[uint64][]float32
+}
+
+// Checkpoint serializes the materialized rows to w (Check-N-Run-style
+// periodic embedding-server checkpointing, §3.4).
+func (t *Table) Checkpoint(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(tableState{
+		Dim: t.Dim, Seed: t.Seed, InitScale: t.InitScale, Rows: t.rows,
+	})
+}
+
+// RestoreTable reads a checkpoint written by Checkpoint.
+func RestoreTable(r io.Reader) (*Table, error) {
+	var st tableState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("embed: restore: %w", err)
+	}
+	if st.Rows == nil {
+		st.Rows = make(map[uint64][]float32)
+	}
+	return &Table{Dim: st.Dim, Seed: st.Seed, InitScale: st.InitScale, rows: st.Rows}, nil
+}

@@ -1,0 +1,233 @@
+// Package optim implements the optimizers used for recommendation-model
+// training: plain SGD, SGD with momentum, Adagrad, and Adam, in both a
+// dense form (stepping nn.Param lists) and a sparse row-wise form for
+// embedding rows.
+//
+// The sparse variants keep per-row state lazily in maps, mirroring how
+// production systems keep optimizer state sharded alongside the embedding
+// tables. Bagpipe performs true gradient averaging (unlike cDLRM's
+// embedding averaging, see §6 of the paper), so any of these optimizers can
+// drive the embedding updates.
+package optim
+
+import (
+	"math"
+
+	"bagpipe/internal/nn"
+)
+
+// Optimizer updates dense parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes the gradients.
+	Step(params []nn.Param)
+	// Name identifies the optimizer in logs and experiment output.
+	Name() string
+}
+
+// RowOptimizer updates a single embedding row in place from its gradient.
+type RowOptimizer interface {
+	// UpdateRow applies one update to row (identified by id) in place.
+	UpdateRow(id uint64, row, grad []float32)
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct{ LR float32 }
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
+
+// Name implements Optimizer and RowOptimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []nn.Param) {
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.Value[i] -= s.LR * g
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// UpdateRow implements RowOptimizer.
+func (s *SGD) UpdateRow(_ uint64, row, grad []float32) {
+	for i, g := range grad {
+		row[i] -= s.LR * g
+	}
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	LR, Mu float32
+	vel    map[*float32][]float32 // keyed by ¶m.Value[0]
+	rowVel map[uint64][]float32
+}
+
+// NewMomentum returns SGD with momentum mu.
+func NewMomentum(lr, mu float32) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, vel: map[*float32][]float32{}, rowVel: map[uint64][]float32{}}
+}
+
+// Name implements Optimizer and RowOptimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []nn.Param) {
+	for _, p := range params {
+		if len(p.Value) == 0 {
+			continue
+		}
+		key := &p.Value[0]
+		v, ok := m.vel[key]
+		if !ok {
+			v = make([]float32, len(p.Value))
+			m.vel[key] = v
+		}
+		for i, g := range p.Grad {
+			v[i] = m.Mu*v[i] + g
+			p.Value[i] -= m.LR * v[i]
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// UpdateRow implements RowOptimizer.
+func (m *Momentum) UpdateRow(id uint64, row, grad []float32) {
+	v, ok := m.rowVel[id]
+	if !ok {
+		v = make([]float32, len(row))
+		m.rowVel[id] = v
+	}
+	for i, g := range grad {
+		v[i] = m.Mu*v[i] + g
+		row[i] -= m.LR * v[i]
+	}
+}
+
+// Adagrad keeps per-coordinate accumulated squared gradients.
+type Adagrad struct {
+	LR, Eps float32
+	acc     map[*float32][]float32
+	rowAcc  map[uint64][]float32
+}
+
+// NewAdagrad returns Adagrad with the given learning rate.
+func NewAdagrad(lr float32) *Adagrad {
+	return &Adagrad{LR: lr, Eps: 1e-8, acc: map[*float32][]float32{}, rowAcc: map[uint64][]float32{}}
+}
+
+// Name implements Optimizer and RowOptimizer.
+func (a *Adagrad) Name() string { return "adagrad" }
+
+// Step implements Optimizer.
+func (a *Adagrad) Step(params []nn.Param) {
+	for _, p := range params {
+		if len(p.Value) == 0 {
+			continue
+		}
+		key := &p.Value[0]
+		acc, ok := a.acc[key]
+		if !ok {
+			acc = make([]float32, len(p.Value))
+			a.acc[key] = acc
+		}
+		for i, g := range p.Grad {
+			acc[i] += g * g
+			p.Value[i] -= a.LR * g / (float32(math.Sqrt(float64(acc[i]))) + a.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// UpdateRow implements RowOptimizer.
+func (a *Adagrad) UpdateRow(id uint64, row, grad []float32) {
+	acc, ok := a.rowAcc[id]
+	if !ok {
+		acc = make([]float32, len(row))
+		a.rowAcc[id] = acc
+	}
+	for i, g := range grad {
+		acc[i] += g * g
+		row[i] -= a.LR * g / (float32(math.Sqrt(float64(acc[i]))) + a.Eps)
+	}
+}
+
+// Adam implements the Adam optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	t                     int
+	m, v                  map[*float32][]float32
+	rowM, rowV            map[uint64][]float32
+	rowT                  map[uint64]int
+}
+
+// NewAdam returns Adam with standard hyperparameters.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*float32][]float32{}, v: map[*float32][]float32{},
+		rowM: map[uint64][]float32{}, rowV: map[uint64][]float32{}, rowT: map[uint64]int{},
+	}
+}
+
+// Name implements Optimizer and RowOptimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []nn.Param) {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		if len(p.Value) == 0 {
+			continue
+		}
+		key := &p.Value[0]
+		m, ok := a.m[key]
+		if !ok {
+			m = make([]float32, len(p.Value))
+			a.m[key] = m
+		}
+		v, ok := a.v[key]
+		if !ok {
+			v = make([]float32, len(p.Value))
+			a.v[key] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Value[i] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// UpdateRow implements RowOptimizer. Each row keeps its own step counter so
+// rows touched at different frequencies get correct bias correction.
+func (a *Adam) UpdateRow(id uint64, row, grad []float32) {
+	m, ok := a.rowM[id]
+	if !ok {
+		m = make([]float32, len(row))
+		a.rowM[id] = m
+	}
+	v, ok := a.rowV[id]
+	if !ok {
+		v = make([]float32, len(row))
+		a.rowV[id] = v
+	}
+	a.rowT[id]++
+	t := a.rowT[id]
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(t)))
+	for i, g := range grad {
+		m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+		v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+		mh := m[i] / bc1
+		vh := v[i] / bc2
+		row[i] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+	}
+}

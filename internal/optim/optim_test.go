@@ -1,0 +1,147 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"bagpipe/internal/nn"
+)
+
+func oneParam(vals, grads []float32) []nn.Param {
+	return []nn.Param{{Name: "p", Value: vals, Grad: grads}}
+}
+
+func TestSGDStep(t *testing.T) {
+	v := []float32{1, 2}
+	g := []float32{0.5, -0.5}
+	NewSGD(0.1).Step(oneParam(v, g))
+	if v[0] != 0.95 || v[1] != 2.05 {
+		t.Fatalf("v=%v", v)
+	}
+	if g[0] != 0 || g[1] != 0 {
+		t.Fatal("grads must be zeroed after Step")
+	}
+}
+
+func TestSGDUpdateRow(t *testing.T) {
+	row := []float32{1, 1}
+	NewSGD(0.5).UpdateRow(7, row, []float32{2, -2})
+	if row[0] != 0 || row[1] != 2 {
+		t.Fatalf("row=%v", row)
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	m := NewMomentum(1, 0.9)
+	v := []float32{0}
+	// two steps with grad 1: v1=1 -> p=-1 ; v2=0.9+1=1.9 -> p=-2.9
+	g := []float32{1}
+	m.Step(oneParam(v, g))
+	g[0] = 1
+	m.Step(oneParam(v, g))
+	if math.Abs(float64(v[0]+2.9)) > 1e-6 {
+		t.Fatalf("v=%v want -2.9", v[0])
+	}
+}
+
+func TestMomentumRowStateIsPerRow(t *testing.T) {
+	m := NewMomentum(1, 0.9)
+	a := []float32{0}
+	b := []float32{0}
+	m.UpdateRow(1, a, []float32{1})
+	m.UpdateRow(2, b, []float32{1})
+	m.UpdateRow(1, a, []float32{1})
+	if math.Abs(float64(a[0]+2.9)) > 1e-6 {
+		t.Fatalf("row 1 = %v want -2.9", a[0])
+	}
+	if math.Abs(float64(b[0]+1)) > 1e-6 {
+		t.Fatalf("row 2 = %v want -1 (independent state)", b[0])
+	}
+}
+
+func TestAdagradShrinksSteps(t *testing.T) {
+	a := NewAdagrad(1)
+	v := []float32{0}
+	g := []float32{1}
+	a.Step(oneParam(v, g))
+	step1 := float64(-v[0]) // ≈ 1
+	prev := v[0]
+	g[0] = 1
+	a.Step(oneParam(v, g))
+	step2 := float64(prev - v[0]) // ≈ 1/sqrt(2)
+	if step2 >= step1 {
+		t.Fatalf("adagrad steps should shrink: %v then %v", step1, step2)
+	}
+	if math.Abs(step2-1/math.Sqrt(2)) > 1e-3 {
+		t.Fatalf("step2=%v want %v", step2, 1/math.Sqrt(2))
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	ad := NewAdam(0.01)
+	v := []float32{1}
+	g := []float32{42}
+	ad.Step(oneParam(v, g))
+	// With bias correction, the first Adam step is ≈ lr regardless of g.
+	if math.Abs(float64(1-v[0])-0.01) > 1e-4 {
+		t.Fatalf("first step %v want ≈0.01", 1-v[0])
+	}
+}
+
+func TestAdamRowBiasCorrectionPerRow(t *testing.T) {
+	ad := NewAdam(0.01)
+	a := []float32{0}
+	b := []float32{0}
+	ad.UpdateRow(1, a, []float32{5})
+	ad.UpdateRow(1, a, []float32{5})
+	ad.UpdateRow(2, b, []float32{5})
+	// row 2's first update must look like a t=1 update even though the
+	// optimizer has been used twice already.
+	if math.Abs(float64(-b[0])-0.01) > 1e-4 {
+		t.Fatalf("row-2 first step %v want ≈0.01", -b[0])
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	cases := map[string]interface{ Name() string }{
+		"sgd": NewSGD(1), "momentum": NewMomentum(1, 0.9), "adagrad": NewAdagrad(1), "adam": NewAdam(1),
+	}
+	for want, o := range cases {
+		if o.Name() != want {
+			t.Fatalf("Name()=%q want %q", o.Name(), want)
+		}
+	}
+}
+
+func TestAllRowOptimizersMoveAgainstGradient(t *testing.T) {
+	opts := []RowOptimizer{NewSGD(0.1), NewMomentum(0.1, 0.9), NewAdagrad(0.1), NewAdam(0.1)}
+	for _, o := range opts {
+		row := []float32{1, -1}
+		o.UpdateRow(3, row, []float32{1, -1})
+		if row[0] >= 1 || row[1] <= -1 {
+			t.Fatalf("%s: update moved with the gradient: %v", o.Name(), row)
+		}
+	}
+}
+
+func TestDenseOptimizersConvergeOnQuadratic(t *testing.T) {
+	// minimize f(x) = (x-3)^2 with each optimizer; all should approach 3.
+	builders := []func() Optimizer{
+		func() Optimizer { return NewSGD(0.1) },
+		func() Optimizer { return NewMomentum(0.05, 0.8) },
+		func() Optimizer { return NewAdagrad(0.5) },
+		func() Optimizer { return NewAdam(0.1) },
+	}
+	for _, b := range builders {
+		o := b()
+		x := []float32{0}
+		g := []float32{0}
+		for i := 0; i < 500; i++ {
+			g[0] = 2 * (x[0] - 3)
+			o.Step(oneParam(x, g))
+		}
+		if math.Abs(float64(x[0]-3)) > 0.05 {
+			t.Fatalf("%s did not converge: x=%v", o.Name(), x[0])
+		}
+	}
+}
