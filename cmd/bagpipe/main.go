@@ -1,0 +1,168 @@
+// Command bagpipe runs an end-to-end Bagpipe training experiment: the
+// Oracle Cacher, prefetch pool, TTL cache, data-parallel trainer ranks,
+// and background write-back maintenance, all against a sharded embedding
+// server reached through a (optionally simulated-network) transport.
+//
+// Examples:
+//
+//	bagpipe -dataset criteo-kaggle -scale 10000 -model wd -batches 50
+//	bagpipe -dataset avazu -scale 5000 -model dlrm -lookahead 64 -trainers 4
+//	bagpipe -transport simnet -net-latency 2ms -net-bw 1e9 -batches 40
+//	bagpipe -verify -batches 30   # differentially test against the baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/embed"
+	"bagpipe/internal/train"
+	"bagpipe/internal/transport"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "criteo-kaggle", "dataset shape: criteo-kaggle, avazu, criteo-terabyte, alibaba")
+		scale    = flag.Int64("scale", 10_000, "divide dataset example count and table sizes by this factor")
+		modelFl  = flag.String("model", "wd", "model: dlrm, wd, dc, deepfm")
+		optFl    = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+		lr       = flag.Float64("lr", 0.05, "learning rate")
+		batchSz  = flag.Int("batch-size", 256, "examples per batch")
+		batches  = flag.Int("batches", 50, "number of iterations to train")
+		lookahd  = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
+		trainers = flag.Int("trainers", 2, "data-parallel trainer ranks")
+		workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size")
+		shards   = flag.Int("shards", 4, "embedding server shard count")
+		embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+		transpFl = flag.String("transport", "inproc", "transport to embedding servers: inproc, simnet")
+		netLat   = flag.Duration("net-latency", time.Millisecond, "simnet: per-call round-trip latency")
+		netBW    = flag.Float64("net-bw", 1e9, "simnet: link bandwidth in bytes/sec (0 = infinite)")
+		verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
+		baseline = flag.Bool("baseline", false, "run only the no-cache baseline engine")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	if *scale > 1 {
+		spec = spec.Scaled(*scale)
+	}
+	if *embDim > 0 {
+		spec = spec.WithEmbDim(*embDim)
+	}
+
+	cfg := train.Config{
+		Spec:            spec,
+		Seed:            *seed,
+		Model:           *modelFl,
+		Optimizer:       *optFl,
+		LR:              float32(*lr),
+		BatchSize:       *batchSz,
+		NumBatches:      *batches,
+		LookAhead:       *lookahd,
+		NumTrainers:     *trainers,
+		PrefetchWorkers: *workers,
+	}
+
+	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
+		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
+	fmt.Printf("model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  shards %d  transport %s\n\n",
+		*modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *shards, *transpFl)
+
+	if *netLat < 0 || *netBW < 0 {
+		fatal(fmt.Errorf("negative -net-latency %v or -net-bw %g", *netLat, *netBW))
+	}
+	newTransport := func(srv *embed.Server) transport.Transport {
+		switch *transpFl {
+		case "inproc":
+			return transport.NewInProcess(srv)
+		case "simnet":
+			return transport.NewSimNet(srv, *netLat, *netBW)
+		}
+		fatal(fmt.Errorf("unknown transport %q", *transpFl))
+		return nil
+	}
+
+	if *baseline {
+		srv := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+		res, err := train.RunBaseline(cfg, newTransport(srv))
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+		return
+	}
+
+	srvPipe := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+	res, err := train.RunPipelined(cfg, newTransport(srvPipe))
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+
+	if *verify {
+		fmt.Println("\n--- verify: rerunning with the no-cache fetch-per-batch baseline ---")
+		srvBase := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+		baseRes, err := train.RunBaseline(cfg, newTransport(srvBase))
+		if err != nil {
+			fatal(err)
+		}
+		report(baseRes)
+		diff := embed.Diff(srvBase, srvPipe)
+		if len(diff) != 0 {
+			fatal(fmt.Errorf("FAIL: embedding state differs at %d ids (first %v)", len(diff), diff[0]))
+		}
+		fmt.Printf("\nPASS: pipelined and baseline embedding state bit-identical across %d materialized rows\n",
+			len(srvPipe.MaterializedIDs()))
+		if res.Elapsed < baseRes.Elapsed {
+			fmt.Printf("pipelined speedup over baseline: %.2fx\n",
+				baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
+		}
+	}
+}
+
+// specByName resolves the dataset flag to a Table 1 shape.
+func specByName(name string) (*data.Spec, error) {
+	switch name {
+	case "criteo-kaggle":
+		return data.CriteoKaggle(), nil
+	case "avazu":
+		return data.Avazu(), nil
+	case "criteo-terabyte":
+		return data.CriteoTerabyte(), nil
+	case "alibaba":
+		return data.Alibaba(), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+// report prints one engine's result block.
+func report(r *train.Result) {
+	fmt.Printf("[%s] %d iters, %d examples in %v  (%.0f ex/s)\n",
+		r.Engine, r.Iters, r.Examples, r.Elapsed.Round(time.Millisecond), r.Throughput())
+	fmt.Printf("  loss: first %.4f  last %.4f  avg %.4f\n", r.FirstLoss, r.LastLoss, r.AvgLoss)
+	if r.Engine == "pipelined" {
+		fmt.Printf("  cache: hit-rate %.1f%%  (%d hits / %d unique ids), peak %d rows, %d evictions\n",
+			100*r.HitRate(), r.CachedHits, r.UniqueIDs, r.PeakCache, r.Evicted)
+		fmt.Printf("  overlap: prefetch||train observed %d times, writeback||train %d times\n",
+			r.OverlapPrefetchTrain, r.OverlapMaintTrain)
+	}
+	st := r.Transport
+	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",
+		st.RowsFetched, float64(st.BytesFetched)/1e6, st.Fetches,
+		st.RowsWritten, float64(st.BytesWritten)/1e6, st.Writes)
+	if st.SimulatedDelay > 0 {
+		fmt.Printf("  simulated network delay injected: %v\n", st.SimulatedDelay.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bagpipe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module bagpipe
+
+go 1.24

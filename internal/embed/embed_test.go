@@ -214,3 +214,115 @@ func TestFetchReturnsCopies(t *testing.T) {
 		t.Fatal("Fetch must return copies, not aliases")
 	}
 }
+
+func TestFetchParallelMatchesSerial(t *testing.T) {
+	// Above the parallel threshold the shard-grouped concurrent path must
+	// return bit-identical rows in the same order as the row-at-a-time
+	// reference, including rows mutated since init.
+	s := NewServer(8, 16, 77, 0.1)
+	dirty := []uint64{3, 1000, 4097}
+	for _, id := range dirty {
+		row := make([]float32, 16)
+		for i := range row {
+			row[i] = float32(id) + float32(i)
+		}
+		s.Write([]uint64{id}, [][]float32{row})
+	}
+	ids := make([]uint64, 500)
+	for i := range ids {
+		ids[i] = uint64(i*37) % 5000
+	}
+	got := s.Fetch(ids)
+	want := s.FetchSerial(ids)
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		for c := range got[i] {
+			if got[i][c] != want[i][c] {
+				t.Fatalf("id %d col %d: parallel %v serial %v", ids[i], c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+func TestWriteParallelVisible(t *testing.T) {
+	s := NewServer(8, 4, 5, 0.1)
+	n := 300 // above parallelMinRows so the concurrent path runs
+	ids := make([]uint64, n)
+	rows := make([][]float32, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+		rows[i] = []float32{float32(i), 0, 0, 0}
+	}
+	s.Write(ids, rows)
+	for i := range ids {
+		if got := s.Get(ids[i]); got[0] != float32(i) {
+			t.Fatalf("id %d: %v", ids[i], got)
+		}
+	}
+}
+
+func TestTableGetSetBatch(t *testing.T) {
+	tab := NewTable(4, 9, 0.1)
+	ids := []uint64{5, 1, 9, 5}
+	dsts := make([][]float32, len(ids))
+	for i := range dsts {
+		dsts[i] = make([]float32, 4)
+	}
+	tab.GetBatch(ids, dsts)
+	one := make([]float32, 4)
+	for i, id := range ids {
+		tab.Get(id, one)
+		for c := range one {
+			if dsts[i][c] != one[c] {
+				t.Fatalf("GetBatch id %d differs from Get", id)
+			}
+		}
+	}
+	tab.SetBatch([]uint64{1, 9}, [][]float32{{7, 7, 7, 7}, {8, 8, 8, 8}})
+	tab.Get(9, one)
+	if one[0] != 8 {
+		t.Fatalf("SetBatch lost write: %v", one)
+	}
+	if got := tab.IDs(); len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("IDs() = %v", got)
+	}
+}
+
+func TestRestoreServerRejectsDimMismatch(t *testing.T) {
+	// A concatenation of shard checkpoints with disagreeing dims is a
+	// corrupt server checkpoint and must be rejected.
+	var buf bytes.Buffer
+	if err := NewTable(4, 1, 0.1).Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewTable(8, 1, 0.1).Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreServer(&buf, 2); err == nil {
+		t.Fatal("expected dim-mismatch error")
+	}
+	if _, err := RestoreServer(&bytes.Buffer{}, 0); err == nil {
+		t.Fatal("expected shard-count error")
+	}
+}
+
+func TestServerDiff(t *testing.T) {
+	a := NewServer(2, 4, 55, 0.1)
+	b := NewServer(3, 4, 55, 0.1) // shard count must not matter
+	if d := Diff(a, b); len(d) != 0 {
+		t.Fatalf("fresh servers differ: %v", d)
+	}
+	a.Write([]uint64{10}, [][]float32{{1, 2, 3, 4}})
+	b.Write([]uint64{10}, [][]float32{{1, 2, 3, 4}})
+	b.Write([]uint64{11}, [][]float32{{9, 9, 9, 9}})
+	if d := Diff(a, b); len(d) != 1 || d[0] != 11 {
+		t.Fatalf("Diff = %v, want [11]", d)
+	}
+	// Diff must be read-only: comparing id 11 (materialized only in b)
+	// must not materialize it in a.
+	if got := a.NumMaterialized(); got != 1 {
+		t.Fatalf("Diff materialized rows in its input: %d rows, want 1", got)
+	}
+}

@@ -3,6 +3,9 @@ package embed
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -49,9 +52,95 @@ func (s *Server) NumShards() int { return len(s.shards) }
 // ShardOf returns the shard index owning id.
 func (s *Server) ShardOf(id uint64) int { return int(id % uint64(len(s.shards))) }
 
+// parallelMinRows is the request size below which shard grouping costs more
+// than it saves; smaller requests take the row-at-a-time path.
+const parallelMinRows = 64
+
+// shardGroups partitions the positions 0..len(ids)-1 into contiguous
+// per-shard runs using a counting sort: the returned pos holds every index
+// grouped by owning shard, and bounds[sh]..bounds[sh+1] delimits shard sh's
+// run. The shard of each id is computed once (the modulo is not free at
+// this call rate) and replayed from a scratch array on the placement pass.
+func (s *Server) shardGroups(ids []uint64) (pos []int, bounds []int) {
+	n := len(s.shards)
+	shard := make([]int32, len(ids))
+	counts := make([]int, n+1)
+	for i, id := range ids {
+		sh := int32(id % uint64(n))
+		shard[i] = sh
+		counts[sh+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	bounds = append([]int(nil), counts...)
+	pos = make([]int, len(ids))
+	for i := range ids {
+		sh := shard[i]
+		pos[counts[sh]] = i
+		counts[sh]++
+	}
+	return pos, bounds
+}
+
 // Fetch copies the rows for ids into a freshly allocated [len(ids)][dim]
 // block and returns per-row slices into it. This is the prefetch RPC.
+// Requests are grouped by shard — one batched call per shard instead of one
+// lock acquisition per row — and when more than one CPU is available the
+// shards (separate machines in the disaggregated deployment) serve their
+// slices concurrently.
 func (s *Server) Fetch(ids []uint64) [][]float32 {
+	flat := make([]float32, len(ids)*s.Dim)
+	out := make([][]float32, len(ids))
+	for i := range out {
+		out[i] = flat[i*s.Dim : (i+1)*s.Dim]
+	}
+	if len(s.shards) == 1 || len(ids) < parallelMinRows {
+		for i, id := range ids {
+			s.shards[s.ShardOf(id)].Get(id, out[i])
+		}
+	} else {
+		pos, bounds := s.shardGroups(ids)
+		s.forEachShard(bounds, func(sh int) {
+			s.shards[sh].GetMany(ids, pos[bounds[sh]:bounds[sh+1]], out)
+		})
+	}
+	s.rowsFetched.Add(int64(len(ids)))
+	s.fetches.Add(1)
+	return out
+}
+
+// forEachShard runs fn for every shard with a non-empty run in bounds,
+// concurrently when more than one CPU is available, serially otherwise
+// (goroutine fan-out is pure overhead on a single core).
+func (s *Server) forEachShard(bounds []int, fn func(sh int)) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for sh := range s.shards {
+			if bounds[sh] == bounds[sh+1] {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				fn(sh)
+			}(sh)
+		}
+		wg.Wait()
+		return
+	}
+	for sh := range s.shards {
+		if bounds[sh] != bounds[sh+1] {
+			fn(sh)
+		}
+	}
+}
+
+// FetchSerial is the pre-refactor row-at-a-time fetch path (one shard lock
+// acquisition per row, no concurrency). It is retained as the reference
+// implementation for differential tests and as the benchmark baseline the
+// shard-grouped Fetch is measured against.
+func (s *Server) FetchSerial(ids []uint64) [][]float32 {
 	flat := make([]float32, len(ids)*s.Dim)
 	out := make([][]float32, len(ids))
 	for i, id := range ids {
@@ -64,13 +153,21 @@ func (s *Server) Fetch(ids []uint64) [][]float32 {
 	return out
 }
 
-// Write writes back updated rows (trainer evictions / background sync).
+// Write writes back updated rows (trainer evictions / background sync),
+// shard-grouped and shard-parallel like Fetch.
 func (s *Server) Write(ids []uint64, rows [][]float32) {
 	if len(ids) != len(rows) {
 		panic("embed: Write ids/rows length mismatch")
 	}
-	for i, id := range ids {
-		s.shards[s.ShardOf(id)].Set(id, rows[i])
+	if len(s.shards) == 1 || len(ids) < parallelMinRows {
+		for i, id := range ids {
+			s.shards[s.ShardOf(id)].Set(id, rows[i])
+		}
+	} else {
+		pos, bounds := s.shardGroups(ids)
+		s.forEachShard(bounds, func(sh int) {
+			s.shards[sh].SetMany(ids, pos[bounds[sh]:bounds[sh+1]], rows)
+		})
 	}
 	s.rowsWritten.Add(int64(len(ids)))
 	s.writes.Add(1)
@@ -121,15 +218,74 @@ func (s *Server) Checkpoint(w io.Writer) error {
 }
 
 // RestoreServer reads numShards shard checkpoints written by Checkpoint.
+// All shards must agree on the row width; a checkpoint whose shards report
+// different Dims is corrupt and is rejected rather than silently yielding a
+// server whose Dim is whatever the last shard said.
 func RestoreServer(r io.Reader, numShards int) (*Server, error) {
+	if numShards <= 0 {
+		return nil, fmt.Errorf("embed: restore with non-positive shard count %d", numShards)
+	}
 	s := &Server{shards: make([]*Table, numShards)}
 	for i := range s.shards {
 		t, err := RestoreTable(r)
 		if err != nil {
 			return nil, fmt.Errorf("embed: restore shard %d: %w", i, err)
 		}
+		if i == 0 {
+			s.Dim = t.Dim
+		} else if t.Dim != s.Dim {
+			return nil, fmt.Errorf("embed: restore shard %d has dim %d, shard 0 has dim %d (corrupt checkpoint)",
+				i, t.Dim, s.Dim)
+		}
 		s.shards[i] = t
-		s.Dim = t.Dim
 	}
 	return s, nil
+}
+
+// MaterializedIDs returns the sorted ids of every materialized row across
+// all shards.
+func (s *Server) MaterializedIDs() []uint64 {
+	var ids []uint64
+	for _, sh := range s.shards {
+		ids = append(ids, sh.IDs()...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Diff compares the logical state of two servers and returns the ids whose
+// rows differ bit-for-bit. Only the union of materialized ids is inspected:
+// untouched rows are deterministic functions of (seed, id) and therefore
+// already known equal when seeds match. Shard counts may differ (state is
+// sharding-independent). Used by the differential tests and cmd/bagpipe's
+// -verify mode to certify that the pipelined trainer and the baseline
+// trainer left the embedding tier in identical states.
+func Diff(a, b *Server) []uint64 {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("embed: Diff dim mismatch %d vs %d", a.Dim, b.Dim))
+	}
+	union := make(map[uint64]struct{})
+	for _, id := range a.MaterializedIDs() {
+		union[id] = struct{}{}
+	}
+	for _, id := range b.MaterializedIDs() {
+		union[id] = struct{}{}
+	}
+	ra := make([]float32, a.Dim)
+	rb := make([]float32, b.Dim)
+	var differ []uint64
+	for id := range union {
+		// peek, not Get: comparison must not materialize rows in either
+		// server (Get would permanently inflate their materialized sets).
+		a.shards[a.ShardOf(id)].peek(id, ra)
+		b.shards[b.ShardOf(id)].peek(id, rb)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				differ = append(differ, id)
+				break
+			}
+		}
+	}
+	sort.Slice(differ, func(i, j int) bool { return differ[i] < differ[j] })
+	return differ
 }

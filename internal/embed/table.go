@@ -16,6 +16,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -91,6 +92,119 @@ func (t *Table) Set(id uint64, src []float32) {
 	row := t.materialize(id)
 	copy(row, src)
 	t.mu.Unlock()
+}
+
+// GetBatch copies the current values of rows ids[i] into dsts[i], taking
+// the table lock once for the whole batch instead of once per row. This is
+// the shard-side half of the Server's shard-grouped fetch path.
+func (t *Table) GetBatch(ids []uint64, dsts [][]float32) {
+	if len(ids) != len(dsts) {
+		panic(fmt.Sprintf("embed: GetBatch %d ids, %d dsts", len(ids), len(dsts)))
+	}
+	t.GetMany(ids, nil, dsts)
+}
+
+// GetMany copies rows ids[i] into dsts[i] for every i in idxs (or for every
+// index when idxs is nil), under a single lock acquisition. The index-list
+// form lets the Server hand each shard its slice of a fetch without
+// building per-shard copies of the request arrays — this is the hot path
+// behind every oracle-driven prefetch.
+func (t *Table) GetMany(ids []uint64, idxs []int, dsts [][]float32) {
+	var missing []int
+	t.mu.RLock()
+	get := func(i int) {
+		if len(dsts[i]) != t.Dim {
+			t.mu.RUnlock()
+			panic(fmt.Sprintf("embed: GetMany dst len %d != dim %d", len(dsts[i]), t.Dim))
+		}
+		if row, ok := t.rows[ids[i]]; ok {
+			copy(dsts[i], row)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if idxs == nil {
+		for i := range ids {
+			get(i)
+		}
+	} else {
+		for _, i := range idxs {
+			get(i)
+		}
+	}
+	t.mu.RUnlock()
+	if len(missing) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, i := range missing {
+		copy(dsts[i], t.materialize(ids[i]))
+	}
+	t.mu.Unlock()
+}
+
+// SetBatch overwrites rows ids[i] with srcs[i] under a single lock
+// acquisition (the shard-side half of the Server's batched write-back).
+func (t *Table) SetBatch(ids []uint64, srcs [][]float32) {
+	if len(ids) != len(srcs) {
+		panic(fmt.Sprintf("embed: SetBatch %d ids, %d srcs", len(ids), len(srcs)))
+	}
+	t.SetMany(ids, nil, srcs)
+}
+
+// SetMany overwrites rows ids[i] with srcs[i] for every i in idxs (or for
+// every index when idxs is nil) under a single lock acquisition; the
+// index-list counterpart of GetMany for batched write-backs.
+func (t *Table) SetMany(ids []uint64, idxs []int, srcs [][]float32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := func(i int) {
+		if len(srcs[i]) != t.Dim {
+			panic(fmt.Sprintf("embed: SetMany src len %d != dim %d", len(srcs[i]), t.Dim))
+		}
+		copy(t.materialize(ids[i]), srcs[i])
+	}
+	if idxs == nil {
+		for i := range ids {
+			set(i)
+		}
+	} else {
+		for _, i := range idxs {
+			set(i)
+		}
+	}
+}
+
+// peek copies the current logical value of row id into dst without
+// materializing it: untouched rows are computed from the deterministic init
+// on the fly. Read-only counterpart of Get for state comparison.
+func (t *Table) peek(id uint64, dst []float32) {
+	if len(dst) != t.Dim {
+		panic(fmt.Sprintf("embed: peek dst len %d != dim %d", len(dst), t.Dim))
+	}
+	t.mu.RLock()
+	row, ok := t.rows[id]
+	if ok {
+		copy(dst, row)
+	}
+	t.mu.RUnlock()
+	if !ok {
+		for c := range dst {
+			dst[c] = rowInit(t.Seed, id, c, t.Dim, t.InitScale)
+		}
+	}
+}
+
+// IDs returns the sorted ids of every materialized row.
+func (t *Table) IDs() []uint64 {
+	t.mu.RLock()
+	ids := make([]uint64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NumMaterialized returns how many rows have been touched.

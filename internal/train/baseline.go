@@ -1,0 +1,69 @@
+package train
+
+import (
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/transport"
+)
+
+// RunBaseline trains with the fetch-per-batch strategy every system in §2.3
+// of the paper starts from: no cache, no lookahead, no overlap. Each
+// iteration synchronously fetches the batch's unique embedding rows from
+// the servers, runs the data-parallel ranks, applies the sparse updates,
+// and writes every row straight back. It is the reference the pipelined
+// engine is differentially tested against: over the same Config the two
+// must leave the embedding servers in bit-identical state.
+func RunBaseline(cfg Config, tr transport.Transport) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gen := data.NewGenerator(cfg.Spec, cfg.Seed)
+	rk, err := newRanks(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rk.close()
+	rowOpt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	part := cfg.partitioner()
+
+	res := &Result{Engine: "baseline"}
+	start := time.Now()
+	var lossSum float64
+	for iter := 0; iter < cfg.NumBatches; iter++ {
+		b := gen.Batch(iter, cfg.BatchSize)
+		ids := b.UniqueIDs()
+		fetched := tr.Fetch(ids)
+		rows := make(map[uint64][]float32, len(ids))
+		for i, id := range ids {
+			rows[id] = fetched[i]
+		}
+
+		assign := part.Assign(b, cfg.NumTrainers)
+		loss, grads := rk.step(b, assign, rows)
+
+		// Apply sparse updates in sorted-ID order (the same order the
+		// pipelined engine uses) and write everything straight back.
+		for i, id := range ids {
+			rowOpt.UpdateRow(id, fetched[i], grads[id])
+		}
+		tr.Write(ids, fetched)
+
+		if iter == 0 {
+			res.FirstLoss = loss
+		}
+		res.LastLoss = loss
+		lossSum += float64(loss)
+		res.UniqueIDs += int64(len(ids))
+		res.Prefetched += int64(len(ids))
+	}
+	res.Iters = cfg.NumBatches
+	res.Examples = int64(cfg.NumBatches) * int64(cfg.BatchSize)
+	res.Elapsed = time.Since(start)
+	res.AvgLoss = lossSum / float64(cfg.NumBatches)
+	res.Transport = tr.Stats()
+	return res, nil
+}

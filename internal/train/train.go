@@ -1,0 +1,345 @@
+// Package train is Bagpipe's execution engine: it wires the Oracle Cacher,
+// the trainer-side cache, the sharded embedding servers (behind a
+// transport), the recommendation models, and the collective layer into a
+// staged, concurrent training pipeline (§4 of the paper), plus a baseline
+// fetch-per-batch trainer the pipeline is differentially tested against.
+//
+// The pipelined engine runs four kinds of goroutines:
+//
+//	oracle ──► prefetch pool ──► trainer ranks ──► maintenance
+//	(look-    (fetch misses     (forward/back-    (dirty-eviction
+//	ahead ℒ)   from servers)     ward + dense      write-backs)
+//	                             all-reduce)
+//
+// The oracle walks the batch stream ℒ iterations ahead of training and its
+// decisions drive everything: what the prefetch workers fetch, how long the
+// cache keeps each row (TTL), and what the maintenance goroutine writes
+// back after eviction. A token scheme bounds the pipeline so a prefetch for
+// iteration x is issued only after the write-backs of iteration x−ℒ have
+// completed — exactly the window for which the oracle's consistency
+// argument (§3.2) guarantees the servers cannot serve a stale row.
+//
+// Both engines drive the same deterministic rank machinery (data-parallel
+// model replicas whose dense gradients are combined with
+// collective.AllReduceSum, which sums in rank order), so a pipelined run
+// and a baseline run over the same Config produce bit-identical embedding
+// state — the end-to-end consistency property the tests enforce.
+package train
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"bagpipe/internal/collective"
+	"bagpipe/internal/core"
+	"bagpipe/internal/data"
+	"bagpipe/internal/model"
+	"bagpipe/internal/nn"
+	"bagpipe/internal/optim"
+	"bagpipe/internal/tensor"
+	"bagpipe/internal/transport"
+)
+
+// Config describes one training run.
+type Config struct {
+	Spec *data.Spec
+	Seed uint64
+
+	Model     string // "dlrm", "wd", "dc", "deepfm"
+	Optimizer string // "sgd", "momentum", "adagrad", "adam"
+	LR        float32
+
+	BatchSize  int
+	NumBatches int
+
+	// LookAhead is ℒ, the oracle window in batches (pipelined engine only).
+	LookAhead int
+	// NumTrainers is the data-parallel rank count.
+	NumTrainers int
+	// PrefetchWorkers sizes the prefetch pool; 0 means 2.
+	PrefetchWorkers int
+	// Partitioner assigns examples to ranks; nil means core.Contiguous.
+	Partitioner core.Partitioner
+}
+
+func (c *Config) validate() error {
+	if c.Spec == nil {
+		return fmt.Errorf("train: nil spec")
+	}
+	if c.BatchSize <= 0 || c.NumBatches <= 0 {
+		return fmt.Errorf("train: need positive batch size and count, got %d/%d", c.BatchSize, c.NumBatches)
+	}
+	if c.NumTrainers <= 0 {
+		return fmt.Errorf("train: need at least one trainer, got %d", c.NumTrainers)
+	}
+	return nil
+}
+
+func (c *Config) partitioner() core.Partitioner {
+	if c.Partitioner != nil {
+		return c.Partitioner
+	}
+	return core.Contiguous{}
+}
+
+func (c *Config) prefetchWorkers() int {
+	if c.PrefetchWorkers > 0 {
+		return c.PrefetchWorkers
+	}
+	return 2
+}
+
+// newOptimizers builds the dense optimizer for one rank and the shared
+// row-wise optimizer for embedding updates. Every optim type implements
+// both interfaces, so name resolution is shared.
+func newOptimizer(name string, lr float32) (interface {
+	optim.Optimizer
+	optim.RowOptimizer
+}, error) {
+	switch name {
+	case "", "sgd":
+		return optim.NewSGD(lr), nil
+	case "momentum":
+		return optim.NewMomentum(lr, 0.9), nil
+	case "adagrad":
+		return optim.NewAdagrad(lr), nil
+	case "adam":
+		return optim.NewAdam(lr), nil
+	}
+	return nil, fmt.Errorf("train: unknown optimizer %q", name)
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Engine   string
+	Iters    int
+	Examples int64
+	Elapsed  time.Duration
+
+	FirstLoss, LastLoss float32
+	AvgLoss             float64
+
+	// Oracle-derived cache statistics (zero for the baseline engine).
+	UniqueIDs  int64 // unique embedding IDs across iterations
+	CachedHits int64 // served from the trainer cache
+	Prefetched int64 // fetched from the embedding servers
+	Evicted    int64 // rows written back on eviction
+	PeakCache  int   // peak cached rows
+
+	// Overlap counters: how many times one stage was observed running
+	// while the trainer computed (evidence the stages actually pipeline).
+	OverlapPrefetchTrain int64
+	OverlapMaintTrain    int64
+
+	Transport transport.Stats
+}
+
+// HitRate returns the fraction of unique-ID accesses served by the cache.
+func (r *Result) HitRate() float64 {
+	if r.UniqueIDs == 0 {
+		return 0
+	}
+	return float64(r.CachedHits) / float64(r.UniqueIDs)
+}
+
+// Throughput returns examples per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Examples) / r.Elapsed.Seconds()
+}
+
+// ranks is the deterministic data-parallel compute core shared by both
+// engines: NumTrainers model replicas, each stepped by its own dense
+// optimizer, synchronized with a rank-ordered all-reduce so every replica
+// stays bit-identical regardless of goroutine scheduling.
+type ranks struct {
+	n      int
+	dim    int
+	numCat int
+	models []model.Model
+	opts   []optim.Optimizer
+	group  *collective.Group
+	in     []chan rankWork
+	out    []chan rankResult
+	wg     sync.WaitGroup
+}
+
+type rankWork struct {
+	batch  *data.Batch
+	assign []int
+	rows   map[uint64][]float32 // id → current row (read-only for ranks)
+}
+
+type rankResult struct {
+	loss float64        // partial loss, already scaled by 1/B
+	dEmb *tensor.Matrix // gradient w.r.t. this rank's gathered rows
+	mine []int          // example indices (batch order) this rank computed
+}
+
+// newRanks builds the replicas. All replicas share the model seed, so they
+// start bit-identical; rank-ordered all-reduce keeps them that way.
+func newRanks(cfg *Config) (*ranks, error) {
+	mcfg := model.Config{
+		NumCategorical: cfg.Spec.NumCategorical,
+		NumNumeric:     cfg.Spec.NumNumeric,
+		TotalRows:      cfg.Spec.TotalRows(),
+		EmbDim:         cfg.Spec.EmbDim,
+		Seed:           cfg.Seed,
+	}
+	r := &ranks{
+		n:      cfg.NumTrainers,
+		dim:    cfg.Spec.EmbDim,
+		numCat: cfg.Spec.NumCategorical,
+		group:  collective.NewGroup(cfg.NumTrainers),
+	}
+	for i := 0; i < r.n; i++ {
+		m, err := model.New(cfg.Model, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		r.models = append(r.models, m)
+		r.opts = append(r.opts, opt)
+		r.in = append(r.in, make(chan rankWork))
+		r.out = append(r.out, make(chan rankResult))
+	}
+	for i := 0; i < r.n; i++ {
+		r.wg.Add(1)
+		go r.run(i)
+	}
+	return r, nil
+}
+
+// run is one rank goroutine: it extracts its partition of each batch,
+// runs forward/backward, all-reduces the dense gradients across ranks in a
+// fixed order, and steps its replica.
+func (r *ranks) run(rank int) {
+	defer r.wg.Done()
+	m := r.models[rank]
+	opt := r.opts[rank]
+	for w := range r.in[rank] {
+		var mine []int
+		for i, t := range w.assign {
+			if t == rank {
+				mine = append(mine, i)
+			}
+		}
+		nLocal := len(mine)
+		dense := tensor.NewMatrix(nLocal, len(w.batch.Examples[0].Dense))
+		emb := tensor.NewMatrix(nLocal, r.numCat*r.dim)
+		cats := make([][]uint64, nLocal)
+		labels := make([]float32, nLocal)
+		for k, i := range mine {
+			ex := w.batch.Examples[i]
+			copy(dense.Data[k*dense.Cols:(k+1)*dense.Cols], ex.Dense)
+			for c, id := range ex.Cat {
+				copy(emb.Data[k*emb.Cols+c*r.dim:k*emb.Cols+(c+1)*r.dim], w.rows[id])
+			}
+			cats[k] = ex.Cat
+			labels[k] = ex.Label
+		}
+
+		var dEmb *tensor.Matrix
+		var loss float64
+		nn.ZeroGrads(m.Params())
+		if nLocal > 0 { // a partitioner may leave a rank idle for a batch
+			logits := m.Forward(dense, emb, cats)
+			// Loss and dlogits are scaled by the FULL batch size, so the
+			// sum of per-rank dense gradients equals the full-batch mean
+			// gradient the baseline math defines.
+			invB := float32(1) / float32(len(w.batch.Examples))
+			dlogits := make([]float32, nLocal)
+			for j, z := range logits {
+				loss += float64(stableBCE(z, labels[j])) * float64(invB)
+				dlogits[j] = (nn.SigmoidScalar(z) - labels[j]) * invB
+			}
+			dEmb = m.Backward(dlogits)
+		}
+		// Every rank joins every collective (idle ranks contribute zeros)
+		// and steps the summed gradient, keeping all replicas bit-identical.
+		for _, p := range m.Params() {
+			r.group.AllReduceSum(rank, p.Grad)
+		}
+		opt.Step(m.Params())
+		r.out[rank] <- rankResult{loss: loss, dEmb: dEmb, mine: mine}
+	}
+}
+
+// stableBCE is the numerically stable per-example binary cross-entropy
+// term max(z,0) − z·y + log1p(exp(−|z|)) (unscaled).
+func stableBCE(z, y float32) float32 {
+	t := z
+	if t < 0 {
+		t = 0
+	}
+	abs := z
+	if abs < 0 {
+		abs = -abs
+	}
+	return t - z*y + float32(math.Log1p(math.Exp(float64(-abs))))
+}
+
+// step runs one synchronized iteration across all ranks and returns the
+// full-batch loss plus the per-ID embedding gradients, accumulated in
+// batch-example order so the result is independent of rank scheduling.
+func (r *ranks) step(b *data.Batch, assign []int, rows map[uint64][]float32) (float32, map[uint64][]float32) {
+	for i := 0; i < r.n; i++ {
+		r.in[i] <- rankWork{batch: b, assign: assign, rows: rows}
+	}
+	results := make([]rankResult, r.n)
+	var loss float64
+	for i := 0; i < r.n; i++ {
+		results[i] = <-r.out[i]
+		loss += results[i].loss
+	}
+	// pos[i] = position of example i inside its rank's sub-batch.
+	pos := make([]int, len(b.Examples))
+	counts := make([]int, r.n)
+	for i, t := range assign {
+		pos[i] = counts[t]
+		counts[t]++
+	}
+	grads := make(map[uint64][]float32, len(rows))
+	for i, ex := range b.Examples {
+		res := results[assign[i]]
+		row := res.dEmb.Data[pos[i]*res.dEmb.Cols : (pos[i]+1)*res.dEmb.Cols]
+		for c, id := range ex.Cat {
+			g, ok := grads[id]
+			if !ok {
+				g = make([]float32, r.dim)
+				grads[id] = g
+			}
+			src := row[c*r.dim : (c+1)*r.dim]
+			for k := range g {
+				g[k] += src[k]
+			}
+		}
+	}
+	return float32(loss), grads
+}
+
+// close shuts the rank goroutines down.
+func (r *ranks) close() {
+	for i := 0; i < r.n; i++ {
+		close(r.in[i])
+	}
+	r.wg.Wait()
+}
+
+// sortedIDs returns the keys of m in ascending order.
+func sortedIDs(m map[uint64][]float32) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

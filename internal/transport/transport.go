@@ -1,0 +1,185 @@
+// Package transport is the wire between trainers and the embedding-server
+// tier — the layer that decides whether a prefetch or write-back crosses a
+// real network. The functional reproduction runs everything in one process,
+// so the default transport is a direct call into embed.Server; the
+// simulated-network transport charges each call a configurable latency and
+// bandwidth cost and accounts the bytes moved, so experiments can report
+// the cross-machine traffic a disaggregated deployment would pay (the
+// paper's EC2 topology: trainers on p3 GPU nodes, embedding servers on
+// separate c5 nodes).
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bagpipe/internal/embed"
+)
+
+// idBytes is the wire size of one embedding ID (uint64).
+const idBytes = 8
+
+// Stats accounts the traffic a transport has carried.
+type Stats struct {
+	Fetches     int64 // fetch calls
+	Writes      int64 // write calls
+	RowsFetched int64
+	RowsWritten int64
+	// BytesFetched / BytesWritten count payload bytes: 8 per id plus
+	// 4·dim per row, the accounting the paper's byte plots use.
+	BytesFetched int64
+	BytesWritten int64
+	// SimulatedDelay is the total wall-clock time injected by a simulated
+	// network (zero for in-process transports).
+	SimulatedDelay time.Duration
+}
+
+// Transport carries embedding fetches and write-backs between a trainer and
+// the embedding-server tier.
+type Transport interface {
+	// Fetch returns freshly allocated rows for ids, in order.
+	Fetch(ids []uint64) [][]float32
+	// Write writes rows back to the servers.
+	Write(ids []uint64, rows [][]float32)
+	// Dim returns the embedding row width served.
+	Dim() int
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// Name identifies the transport in experiment output.
+	Name() string
+}
+
+// InProcess is the zero-cost transport: trainers and embedding servers
+// share an address space and calls go straight to the server (which is
+// itself shard-parallel).
+type InProcess struct {
+	Server *embed.Server
+
+	fetches, writes            atomic.Int64
+	rowsFetched, rowsWritten   atomic.Int64
+	bytesFetched, bytesWritten atomic.Int64
+}
+
+// NewInProcess returns a direct-call transport to srv.
+func NewInProcess(srv *embed.Server) *InProcess {
+	return &InProcess{Server: srv}
+}
+
+// Name implements Transport.
+func (t *InProcess) Name() string { return "inproc" }
+
+// Dim implements Transport.
+func (t *InProcess) Dim() int { return t.Server.Dim }
+
+// Fetch implements Transport.
+func (t *InProcess) Fetch(ids []uint64) [][]float32 {
+	rows := t.Server.Fetch(ids)
+	t.fetches.Add(1)
+	t.rowsFetched.Add(int64(len(ids)))
+	t.bytesFetched.Add(payloadBytes(len(ids), t.Server.Dim))
+	return rows
+}
+
+// Write implements Transport.
+func (t *InProcess) Write(ids []uint64, rows [][]float32) {
+	t.Server.Write(ids, rows)
+	t.writes.Add(1)
+	t.rowsWritten.Add(int64(len(ids)))
+	t.bytesWritten.Add(payloadBytes(len(ids), t.Server.Dim))
+}
+
+// Stats implements Transport.
+func (t *InProcess) Stats() Stats {
+	return Stats{
+		Fetches:      t.fetches.Load(),
+		Writes:       t.writes.Load(),
+		RowsFetched:  t.rowsFetched.Load(),
+		RowsWritten:  t.rowsWritten.Load(),
+		BytesFetched: t.bytesFetched.Load(),
+		BytesWritten: t.bytesWritten.Load(),
+	}
+}
+
+// payloadBytes is the wire size of a fetch or write touching n rows.
+func payloadBytes(n, dim int) int64 {
+	return int64(n) * (idBytes + int64(dim)*4)
+}
+
+// SimNet wraps a server behind a simulated network link: every call pays a
+// fixed per-call latency (one round trip) plus payload-bytes/bandwidth of
+// serialization delay. It makes the overlap the pipeline buys visible in
+// wall-clock terms and lets experiments sweep link speeds without a
+// cluster.
+type SimNet struct {
+	Server *embed.Server
+	// Latency is the per-call round-trip time.
+	Latency time.Duration
+	// Bandwidth is the link speed in bytes/second; 0 means infinite.
+	Bandwidth float64
+
+	fetches, writes            atomic.Int64
+	rowsFetched, rowsWritten   atomic.Int64
+	bytesFetched, bytesWritten atomic.Int64
+	delayNs                    atomic.Int64
+}
+
+// NewSimNet returns a transport to srv over a simulated link.
+func NewSimNet(srv *embed.Server, latency time.Duration, bandwidth float64) *SimNet {
+	if latency < 0 || bandwidth < 0 {
+		panic(fmt.Sprintf("transport: negative latency %v or bandwidth %v", latency, bandwidth))
+	}
+	return &SimNet{Server: srv, Latency: latency, Bandwidth: bandwidth}
+}
+
+// Name implements Transport.
+func (t *SimNet) Name() string { return "simnet" }
+
+// Dim implements Transport.
+func (t *SimNet) Dim() int { return t.Server.Dim }
+
+// delay sleeps for the cost of moving bytes over the link and records it.
+func (t *SimNet) delay(bytes int64) {
+	d := t.Latency
+	if t.Bandwidth > 0 {
+		d += time.Duration(float64(bytes) / t.Bandwidth * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	t.delayNs.Add(int64(d))
+}
+
+// Fetch implements Transport.
+func (t *SimNet) Fetch(ids []uint64) [][]float32 {
+	bytes := payloadBytes(len(ids), t.Server.Dim)
+	t.delay(bytes)
+	rows := t.Server.Fetch(ids)
+	t.fetches.Add(1)
+	t.rowsFetched.Add(int64(len(ids)))
+	t.bytesFetched.Add(bytes)
+	return rows
+}
+
+// Write implements Transport.
+func (t *SimNet) Write(ids []uint64, rows [][]float32) {
+	bytes := payloadBytes(len(ids), t.Server.Dim)
+	t.delay(bytes)
+	t.Server.Write(ids, rows)
+	t.writes.Add(1)
+	t.rowsWritten.Add(int64(len(ids)))
+	t.bytesWritten.Add(bytes)
+}
+
+// Stats implements Transport.
+func (t *SimNet) Stats() Stats {
+	return Stats{
+		Fetches:        t.fetches.Load(),
+		Writes:         t.writes.Load(),
+		RowsFetched:    t.rowsFetched.Load(),
+		RowsWritten:    t.rowsWritten.Load(),
+		BytesFetched:   t.bytesFetched.Load(),
+		BytesWritten:   t.bytesWritten.Load(),
+		SimulatedDelay: time.Duration(t.delayNs.Load()),
+	}
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+)
+
+func TestInProcessRoundTrip(t *testing.T) {
+	srv := embed.NewServer(2, 4, 3, 0.1)
+	tr := NewInProcess(srv)
+	ids := []uint64{1, 2, 3}
+	rows := tr.Fetch(ids)
+	if len(rows) != 3 || len(rows[0]) != 4 {
+		t.Fatalf("fetch shape %dx%d", len(rows), len(rows[0]))
+	}
+	rows[0][0] = 42
+	tr.Write(ids[:1], rows[:1])
+	if got := srv.Get(1); got[0] != 42 {
+		t.Fatalf("write not visible on server: %v", got)
+	}
+	st := tr.Stats()
+	wantBytes := int64(3 * (8 + 4*4))
+	if st.Fetches != 1 || st.RowsFetched != 3 || st.BytesFetched != wantBytes {
+		t.Fatalf("fetch stats %+v", st)
+	}
+	if st.Writes != 1 || st.RowsWritten != 1 || st.BytesWritten != int64(8+4*4) {
+		t.Fatalf("write stats %+v", st)
+	}
+	if st.SimulatedDelay != 0 {
+		t.Fatalf("inproc transport reported delay %v", st.SimulatedDelay)
+	}
+	if tr.Dim() != 4 || tr.Name() != "inproc" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSimNetDelaysAndCounts(t *testing.T) {
+	srv := embed.NewServer(1, 4, 3, 0.1)
+	// 24-byte rows over a 24 KB/s link: 1ms of serialization per row,
+	// plus 5ms latency per call.
+	tr := NewSimNet(srv, 5*time.Millisecond, 24*1000)
+	start := time.Now()
+	tr.Fetch([]uint64{1, 2})
+	elapsed := time.Since(start)
+	wantMin := 5*time.Millisecond + 2*time.Millisecond
+	if elapsed < wantMin {
+		t.Fatalf("fetch took %v, want >= %v", elapsed, wantMin)
+	}
+	st := tr.Stats()
+	if st.SimulatedDelay < wantMin {
+		t.Fatalf("recorded delay %v, want >= %v", st.SimulatedDelay, wantMin)
+	}
+	if st.BytesFetched != 2*(8+16) {
+		t.Fatalf("bytes fetched %d", st.BytesFetched)
+	}
+}
+
+func TestSimNetStateMatchesInProcess(t *testing.T) {
+	// The simulated link must be purely a timing model: state changes are
+	// identical to the direct path.
+	a := embed.NewServer(2, 4, 9, 0.1)
+	b := embed.NewServer(2, 4, 9, 0.1)
+	fast := NewInProcess(a)
+	slow := NewSimNet(b, 100*time.Microsecond, 0)
+	ids := []uint64{5, 6}
+	ra := fast.Fetch(ids)
+	rb := slow.Fetch(ids)
+	for i := range ra {
+		ra[i][0] += 1
+		rb[i][0] += 1
+	}
+	fast.Write(ids, ra)
+	slow.Write(ids, rb)
+	if d := embed.Diff(a, b); len(d) != 0 {
+		t.Fatalf("states diverged at ids %v", d)
+	}
+}
