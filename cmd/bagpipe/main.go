@@ -1,14 +1,15 @@
 // Command bagpipe runs an end-to-end Bagpipe training experiment: the
-// Oracle Cacher, prefetch pool, TTL cache, data-parallel trainer ranks,
-// and background write-back maintenance, all against a sharded embedding
-// server reached through a (optionally simulated-network) transport.
+// Oracle Cacher, per-trainer prefetch, LRPP partitioned caches with
+// delayed cross-trainer sync (or the PR-1 shared-cache pipeline), and
+// background write-back maintenance, all against a sharded embedding
+// server reached through (optionally simulated-network) transports.
 //
 // Examples:
 //
 //	bagpipe -dataset criteo-kaggle -scale 10000 -model wd -batches 50
-//	bagpipe -dataset avazu -scale 5000 -model dlrm -lookahead 64 -trainers 4
-//	bagpipe -transport simnet -net-latency 2ms -net-bw 1e9 -batches 40
-//	bagpipe -verify -batches 30   # differentially test against the baseline
+//	bagpipe -trainers 4 -partitioner comm-aware -lookahead 64
+//	bagpipe -engine pipelined -transport simnet -net-latency 2ms -net-bw 1e9
+//	bagpipe -trainers 4 -verify -batches 30   # certify LRPP vs baseline
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"bagpipe/internal/core"
 	"bagpipe/internal/data"
 	"bagpipe/internal/embed"
 	"bagpipe/internal/train"
@@ -33,19 +35,27 @@ func main() {
 		batchSz  = flag.Int("batch-size", 256, "examples per batch")
 		batches  = flag.Int("batches", 50, "number of iterations to train")
 		lookahd  = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
-		trainers = flag.Int("trainers", 2, "data-parallel trainer ranks")
-		workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size")
+		trainers = flag.Int("trainers", 2, "trainer processes (LRPP cache partitions / data-parallel ranks)")
+		engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
+		partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
+		eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
+		workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
 		shards   = flag.Int("shards", 4, "embedding server shard count")
 		embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
 		seed     = flag.Uint64("seed", 42, "experiment seed")
 		transpFl = flag.String("transport", "inproc", "transport to embedding servers: inproc, simnet")
 		netLat   = flag.Duration("net-latency", time.Millisecond, "simnet: per-call round-trip latency")
 		netBW    = flag.Float64("net-bw", 1e9, "simnet: link bandwidth in bytes/sec (0 = infinite)")
+		meshLat  = flag.Duration("mesh-latency", 500*time.Microsecond, "lrpp + simnet: trainer-to-trainer link latency")
+		meshBW   = flag.Float64("mesh-bw", 1e9, "lrpp + simnet: trainer-to-trainer link bandwidth in bytes/sec (0 = infinite)")
 		verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
-		baseline = flag.Bool("baseline", false, "run only the no-cache baseline engine")
+		baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
 	)
 	flag.Parse()
 
+	if *baseline {
+		*engineFl = "baseline"
+	}
 	spec, err := specByName(*dataset)
 	if err != nil {
 		fatal(err)
@@ -55,6 +65,10 @@ func main() {
 	}
 	if *embDim > 0 {
 		spec = spec.WithEmbDim(*embDim)
+	}
+	part, err := partitionerByName(*partFl)
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := train.Config{
@@ -68,15 +82,17 @@ func main() {
 		LookAhead:       *lookahd,
 		NumTrainers:     *trainers,
 		PrefetchWorkers: *workers,
+		Partitioner:     part,
+		SyncEager:       *eager,
 	}
 
 	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
 		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
-	fmt.Printf("model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  shards %d  transport %s\n\n",
-		*modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *shards, *transpFl)
+	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  shards %d  transport %s\n\n",
+		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *shards, *transpFl)
 
-	if *netLat < 0 || *netBW < 0 {
-		fatal(fmt.Errorf("negative -net-latency %v or -net-bw %g", *netLat, *netBW))
+	if *netLat < 0 || *netBW < 0 || *meshLat < 0 || *meshBW < 0 {
+		fatal(fmt.Errorf("negative -net-latency/-net-bw/-mesh-latency/-mesh-bw"))
 	}
 	newTransport := func(srv *embed.Server) transport.Transport {
 		switch *transpFl {
@@ -88,41 +104,57 @@ func main() {
 		fatal(fmt.Errorf("unknown transport %q", *transpFl))
 		return nil
 	}
-
-	if *baseline {
-		srv := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
-		res, err := train.RunBaseline(cfg, newTransport(srv))
-		if err != nil {
-			fatal(err)
-		}
-		report(res)
-		return
+	newServer := func() *embed.Server {
+		return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
 	}
 
-	srvPipe := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
-	res, err := train.RunPipelined(cfg, newTransport(srvPipe))
+	runEngine := func(srv *embed.Server) (*train.Result, error) {
+		switch *engineFl {
+		case "baseline":
+			return train.RunBaseline(cfg, newTransport(srv))
+		case "pipelined":
+			return train.RunPipelined(cfg, newTransport(srv))
+		case "lrpp":
+			trs := make([]transport.Transport, *trainers)
+			for i := range trs {
+				trs[i] = newTransport(srv)
+			}
+			var mesh transport.Mesh
+			if *transpFl == "simnet" {
+				mesh = transport.NewSimMesh(*trainers, *meshLat, *meshBW)
+			}
+			return train.RunLRPP(cfg, trs, mesh)
+		}
+		return nil, fmt.Errorf("unknown engine %q", *engineFl)
+	}
+
+	srv := newServer()
+	res, err := runEngine(srv)
 	if err != nil {
 		fatal(err)
 	}
 	report(res)
 
 	if *verify {
+		if *engineFl == "baseline" {
+			fatal(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
+		}
 		fmt.Println("\n--- verify: rerunning with the no-cache fetch-per-batch baseline ---")
-		srvBase := embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+		srvBase := newServer()
 		baseRes, err := train.RunBaseline(cfg, newTransport(srvBase))
 		if err != nil {
 			fatal(err)
 		}
 		report(baseRes)
-		diff := embed.Diff(srvBase, srvPipe)
+		diff := embed.Diff(srvBase, srv)
 		if len(diff) != 0 {
 			fatal(fmt.Errorf("FAIL: embedding state differs at %d ids (first %v)", len(diff), diff[0]))
 		}
-		fmt.Printf("\nPASS: pipelined and baseline embedding state bit-identical across %d materialized rows\n",
-			len(srvPipe.MaterializedIDs()))
+		fmt.Printf("\nPASS: %s and baseline embedding state bit-identical across %d materialized rows\n",
+			*engineFl, len(srv.MaterializedIDs()))
 		if res.Elapsed < baseRes.Elapsed {
-			fmt.Printf("pipelined speedup over baseline: %.2fx\n",
-				baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
+			fmt.Printf("%s speedup over baseline: %.2fx\n",
+				*engineFl, baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
 		}
 	}
 }
@@ -142,16 +174,42 @@ func specByName(name string) (*data.Spec, error) {
 	return nil, fmt.Errorf("unknown dataset %q", name)
 }
 
+// partitionerByName resolves the partitioner flag. "hash" is the LRPP
+// default: contiguous example split, rows hash-partitioned across trainer
+// caches (ownership is always by hash; the flag picks example placement).
+func partitionerByName(name string) (core.Partitioner, error) {
+	switch name {
+	case "hash", "contiguous", "":
+		return nil, nil // engine default: core.Contiguous
+	case "roundrobin":
+		return core.RoundRobin{}, nil
+	case "comm-aware":
+		// Empty seen-set: ownership resolves through the hash fallback,
+		// matching where the LRPP cache actually places every row.
+		return &core.CommAware{Own: core.Ownership{}}, nil
+	}
+	return nil, fmt.Errorf("unknown partitioner %q", name)
+}
+
 // report prints one engine's result block.
 func report(r *train.Result) {
 	fmt.Printf("[%s] %d iters, %d examples in %v  (%.0f ex/s)\n",
 		r.Engine, r.Iters, r.Examples, r.Elapsed.Round(time.Millisecond), r.Throughput())
 	fmt.Printf("  loss: first %.4f  last %.4f  avg %.4f\n", r.FirstLoss, r.LastLoss, r.AvgLoss)
-	if r.Engine == "pipelined" {
+	if r.Engine != "baseline" {
 		fmt.Printf("  cache: hit-rate %.1f%%  (%d hits / %d unique ids), peak %d rows, %d evictions\n",
 			100*r.HitRate(), r.CachedHits, r.UniqueIDs, r.PeakCache, r.Evicted)
 		fmt.Printf("  overlap: prefetch||train observed %d times, writeback||train %d times\n",
 			r.OverlapPrefetchTrain, r.OverlapMaintTrain)
+	}
+	if r.Engine == "lrpp" {
+		fmt.Printf("  lrpp: %d replica rows pushed, %d sync contributions merged, flushes %d urgent / %d delayed\n",
+			r.ReplicaRows, r.SyncEntries, r.UrgentFlushes, r.DelayedFlushes)
+		fmt.Printf("  mesh: %d msgs, %.2f MB", r.Mesh.Msgs, float64(r.Mesh.Bytes)/1e6)
+		if r.Mesh.SimulatedDelay > 0 {
+			fmt.Printf(", simulated delay %v", r.Mesh.SimulatedDelay.Round(time.Millisecond))
+		}
+		fmt.Println()
 	}
 	st := r.Transport
 	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",

@@ -23,7 +23,7 @@ type Group struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	slots    [][]float32
+	slots    []any
 	joined   int
 	departed int
 	complete bool
@@ -36,7 +36,7 @@ func NewGroup(n int) *Group {
 	if n <= 0 {
 		panic(fmt.Sprintf("collective: group size %d", n))
 	}
-	g := &Group{n: n, slots: make([][]float32, n)}
+	g := &Group{n: n, slots: make([]any, n)}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
@@ -46,8 +46,11 @@ func (g *Group) Size() int { return g.n }
 
 // arrive deposits data into rank's slot and blocks until all ranks of this
 // generation have arrived. Returns a stable snapshot of all slots. Every
-// arrive must be paired with a depart.
-func (g *Group) arrive(rank int, data []float32) [][]float32 {
+// arrive must be paired with a depart. Slots are untyped so collectives
+// over different element types (float32 gradients, float64 loss terms)
+// share one synchronization core; all ranks of a phase must contribute the
+// same type.
+func (g *Group) arrive(rank int, data any) []any {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if rank < 0 || rank >= g.n {
@@ -84,7 +87,7 @@ func (g *Group) depart() {
 	if g.departed == g.n {
 		g.joined, g.departed = 0, 0
 		g.complete = false
-		g.slots = make([][]float32, g.n)
+		g.slots = make([]any, g.n)
 		g.gen++
 		g.cond.Broadcast()
 		return
@@ -95,24 +98,34 @@ func (g *Group) depart() {
 	}
 }
 
-// AllReduceSum sums the equal-length vectors contributed by every rank and
-// writes the total into each rank's x in place. Summation is in rank order,
-// so every rank computes bit-identical results.
-func (g *Group) AllReduceSum(rank int, x []float32) {
+// allReduceSum sums the equal-length vectors contributed by every rank and
+// writes the total into each rank's x in place. Summation is in rank order
+// starting from zero, so every rank computes bit-identical results.
+func allReduceSum[T float32 | float64](g *Group, rank int, x []T) {
 	if g.n == 1 {
 		return
 	}
-	contrib := append([]float32(nil), x...)
+	contrib := append([]T(nil), x...)
 	slots := g.arrive(rank, contrib)
 	for i := range x {
-		var s float32
+		var s T
 		for r := 0; r < g.n; r++ {
-			s += slots[r][i]
+			s += slots[r].([]T)[i]
 		}
 		x[i] = s
 	}
 	g.depart()
 }
+
+// AllReduceSum is the float32 all-reduce used for dense gradients.
+func (g *Group) AllReduceSum(rank int, x []float32) { allReduceSum(g, rank, x) }
+
+// AllReduceSum64 is the float64 all-reduce. The LRPP trainers use it for
+// the full-batch loss: per-rank partial losses are float64, and summing
+// them in rank order from zero reproduces bit-for-bit the fold the
+// single-process engines compute, so every trainer reports the identical
+// loss the baseline would.
+func (g *Group) AllReduceSum64(rank int, x []float64) { allReduceSum(g, rank, x) }
 
 // Barrier blocks until all ranks reach it.
 func (g *Group) Barrier(rank int) {
@@ -131,7 +144,9 @@ func (g *Group) AllGather(rank int, x []float32) [][]float32 {
 	}
 	slots := g.arrive(rank, x)
 	out := make([][]float32, g.n)
-	copy(out, slots)
+	for r := range slots {
+		out[r] = slots[r].([]float32)
+	}
 	g.depart()
 	return out
 }

@@ -48,6 +48,52 @@ func TestAllReduceSumRepeated(t *testing.T) {
 	})
 }
 
+func TestAllReduceSum64RankOrderedFold(t *testing.T) {
+	// The float64 reduction must equal the left fold in rank order starting
+	// from zero — the exact sum a single-process loop over ranks computes.
+	// Values are chosen so different fold orders give different float64
+	// bit patterns.
+	vals := []float64{1e-17, 1.0, -1.0, 3e-17}
+	var want float64
+	for _, v := range vals {
+		want += v
+	}
+	g := NewGroup(4)
+	results := make([]float64, 4)
+	run(4, func(rank int) {
+		x := []float64{vals[rank]}
+		g.AllReduceSum64(rank, x)
+		results[rank] = x[0]
+	})
+	for rank, got := range results {
+		if got != want {
+			t.Fatalf("rank %d got %v want %v (fold-order dependent)", rank, got, want)
+		}
+	}
+}
+
+func TestAllReduceMixedPhases(t *testing.T) {
+	// Alternating float32 and float64 collectives on one group must not
+	// bleed between phases.
+	g := NewGroup(2)
+	run(2, func(rank int) {
+		for i := 0; i < 20; i++ {
+			x := []float32{1}
+			g.AllReduceSum(rank, x)
+			if x[0] != 2 {
+				t.Errorf("f32 phase %d rank %d got %v", i, rank, x[0])
+				return
+			}
+			y := []float64{0.5}
+			g.AllReduceSum64(rank, y)
+			if y[0] != 1 {
+				t.Errorf("f64 phase %d rank %d got %v", i, rank, y[0])
+				return
+			}
+		}
+	})
+}
+
 func TestAllReduceSingleRankNoop(t *testing.T) {
 	g := NewGroup(1)
 	x := []float32{5}

@@ -97,6 +97,22 @@ func (c *Cache) EvictExpired(iter int) []Eviction {
 	return out
 }
 
+// Remove evicts one row immediately, returning its write-back if dirty.
+// LRPP partitions evict per id as each row's last synchronization merge
+// completes, rather than sweeping by TTL.
+func (c *Cache) Remove(id uint64) (Eviction, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return Eviction{}, false
+	}
+	delete(c.entries, id)
+	c.evicted++
+	if !e.Dirty {
+		return Eviction{}, false
+	}
+	return Eviction{ID: id, Row: e.Row}, true
+}
+
 // Len returns the current number of cached rows.
 func (c *Cache) Len() int { return len(c.entries) }
 

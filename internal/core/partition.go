@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"bagpipe/internal/data"
@@ -56,12 +57,37 @@ func (RoundRobin) Assign(b *data.Batch, p int) []int {
 // them, the state the communication-aware partitioner minimizes against.
 type Ownership map[uint64]int
 
+// OwnerOf is the canonical hash ownership of the LRPP cache: id belongs to
+// trainer id % p. It is total — every id has an owner — which is what the
+// partitioned cache requires: rows that first appear beyond the lookahead
+// window still land in exactly one partition.
+func OwnerOf(id uint64, p int) int {
+	if p <= 0 {
+		panic(fmt.Sprintf("core: OwnerOf with %d trainers", p))
+	}
+	return int(id % uint64(p))
+}
+
+// Owner resolves id's owning trainer. IDs absent from the map — ids never
+// seen in the lookahead window the map was built from — fall back to the
+// hash ownership OwnerOf, so ownership is always defined and agrees with
+// where the LRPP cache will actually place the row. (Before this fallback
+// existed, an unseen id's ownership fell through undefined: CommAware
+// charged it as a transfer against every trainer and the cost model
+// disagreed with the cache's real placement.)
+func (o Ownership) Owner(id uint64, p int) int {
+	if t, ok := o[id]; ok {
+		return t
+	}
+	return OwnerOf(id, p)
+}
+
 // OwnershipByHash assigns each id to hash(id) % p, the way a partitioned
 // cache shards its contents.
 func OwnershipByHash(ids []uint64, p int) Ownership {
 	o := make(Ownership, len(ids))
 	for _, id := range ids {
-		o[id] = int(id % uint64(p))
+		o[id] = OwnerOf(id, p)
 	}
 	return o
 }
@@ -96,9 +122,9 @@ func (c *CommAware) Assign(b *data.Batch, p int) []int {
 	for i, ex := range b.Examples {
 		costs := make([]int, p)
 		for _, id := range ex.Cat {
-			owner, ok := c.Own[id]
+			owner := c.Own.Owner(id, p)
 			for j := 0; j < p; j++ {
-				if !ok || owner != j {
+				if owner != j {
 					costs[j]++
 				}
 			}
@@ -137,10 +163,12 @@ func (c *CommAware) Assign(b *data.Batch, p int) []int {
 }
 
 // AssignmentCommCost returns the number of embedding-row transfers the
-// assignment incurs against the ownership map: for each example, rows not
-// owned by its trainer must be fetched (and written back), counted once per
-// (id, trainer) pair as a partitioned cache would batch them.
-func AssignmentCommCost(b *data.Batch, assign []int, own Ownership) int {
+// assignment of a batch across p trainers incurs against the ownership map:
+// for each example, rows not owned by its trainer must be fetched (and
+// written back), counted once per (id, trainer) pair as a partitioned cache
+// would batch them. Ownership of ids absent from the map resolves through
+// the same hash fallback the LRPP cache uses.
+func AssignmentCommCost(b *data.Batch, assign []int, p int, own Ownership) int {
 	type key struct {
 		id uint64
 		t  int
@@ -149,7 +177,7 @@ func AssignmentCommCost(b *data.Batch, assign []int, own Ownership) int {
 	for i, ex := range b.Examples {
 		t := assign[i]
 		for _, id := range ex.Cat {
-			if owner, ok := own[id]; !ok || owner != t {
+			if own.Owner(id, p) != t {
 				need[key{id, t}] = struct{}{}
 			}
 		}
@@ -170,7 +198,7 @@ func ExactAssign(b *data.Batch, p int, own Ownership) ([]int, int) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n {
-			c := AssignmentCommCost(b, cur, own)
+			c := AssignmentCommCost(b, cur, p, own)
 			if bestCost == -1 || c < bestCost {
 				bestCost = c
 				copy(best, cur)

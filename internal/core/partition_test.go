@@ -96,8 +96,8 @@ func TestCommAwareBeatsRoundRobinOnClusteredBatch(t *testing.T) {
 	aCA := ca.Assign(b, 2)
 	checkBalanced(t, aCA, 2)
 	aRR := RoundRobin{}.Assign(b, 2)
-	costCA := AssignmentCommCost(b, aCA, own)
-	costRR := AssignmentCommCost(b, aRR, own)
+	costCA := AssignmentCommCost(b, aCA, 2, own)
+	costRR := AssignmentCommCost(b, aRR, 2, own)
 	if costCA != 0 {
 		t.Fatalf("comm-aware cost %d want 0", costCA)
 	}
@@ -114,7 +114,7 @@ func TestCommAwareNearOptimalOnTinyInstances(t *testing.T) {
 		ca := &CommAware{Own: own}
 		greedy := ca.Assign(b, 2)
 		checkBalanced(t, greedy, 2)
-		gCost := AssignmentCommCost(b, greedy, own)
+		gCost := AssignmentCommCost(b, greedy, 2, own)
 		_, optCost := ExactAssign(b, 2, own)
 		if gCost < optCost {
 			t.Fatalf("greedy %d beat the exact optimum %d — cost accounting broken", gCost, optCost)
@@ -132,14 +132,51 @@ func TestAssignmentCommCostCountsPerTrainerOnce(t *testing.T) {
 		{Cat: []uint64{1}}, {Cat: []uint64{1}},
 	}}
 	own := Ownership{1: 1}
-	cost := AssignmentCommCost(b, []int{0, 0}, own)
+	cost := AssignmentCommCost(b, []int{0, 0}, 2, own)
 	if cost != 1 {
 		t.Fatalf("cost=%d want 1 (dedup per trainer)", cost)
 	}
 	// split across both trainers: trainer 0 fetches, trainer 1 owns it
-	cost = AssignmentCommCost(b, []int{0, 1}, own)
+	cost = AssignmentCommCost(b, []int{0, 1}, 2, own)
 	if cost != 1 {
 		t.Fatalf("cost=%d want 1", cost)
+	}
+}
+
+func TestOwnershipHashFallback(t *testing.T) {
+	// IDs never seen in the lookahead window are absent from the map; their
+	// ownership must resolve to the hash partition, not fall through
+	// undefined.
+	own := Ownership{10: 1} // id 10 pinned to trainer 1, everything else unseen
+	if got := own.Owner(10, 4); got != 1 {
+		t.Fatalf("mapped id owner %d want 1", got)
+	}
+	for _, id := range []uint64{0, 3, 7, 999} {
+		if got, want := own.Owner(id, 4), OwnerOf(id, 4); got != want {
+			t.Fatalf("unseen id %d owner %d want hash owner %d", id, got, want)
+		}
+	}
+	if OwnerOf(7, 4) != 3 {
+		t.Fatalf("OwnerOf(7,4)=%d want 3", OwnerOf(7, 4))
+	}
+}
+
+func TestCommAwareUnseenIDsUseHashOwnership(t *testing.T) {
+	// A batch whose ids are entirely absent from the ownership map (they
+	// first appear beyond the lookahead window): comm-aware must place each
+	// example with the hash owner of its ids, exactly where the LRPP cache
+	// will put the rows. Examples are built so ids of example i all hash to
+	// trainer i%2.
+	b := &data.Batch{}
+	for i := 0; i < 8; i++ {
+		par := uint64(i % 2)
+		b.Examples = append(b.Examples, data.Example{Cat: []uint64{100 + par, 102 + par, 104 + par}})
+	}
+	ca := &CommAware{Own: Ownership{}} // nothing seen in the window
+	assign := ca.Assign(b, 2)
+	checkBalanced(t, assign, 2)
+	if cost := AssignmentCommCost(b, assign, 2, ca.Own); cost != 0 {
+		t.Fatalf("comm-aware cost %d want 0 under hash fallback (assign %v)", cost, assign)
 	}
 }
 

@@ -1,0 +1,105 @@
+package core
+
+import "sort"
+
+// TrainerPlan is one trainer's slice of a Decision under the LRPP
+// (logically replicated, physically partitioned) cache: ownership of every
+// id is OwnerOf(id, p), the owner's partition holds the only cached copy,
+// and non-owners that touch a row are served a replica for the iteration.
+// The Oracle Cacher emits one plan per trainer per iteration; together the
+// plans partition the decision's prefetch set, TTL map, and eviction set
+// disjointly across trainers (§3.3 of the paper).
+type TrainerPlan struct {
+	Trainer int
+	Dec     *Decision
+
+	// Prefetch is the owned subset of Dec.Prefetch: rows this trainer must
+	// fetch from the embedding servers into its partition, sorted.
+	Prefetch []uint64
+
+	// OwnedTTL maps every owned id the batch touches to its TTL. The owner
+	// refreshes cached rows' TTLs from it each iteration (the
+	// TTLUpdateRequests of Algorithm 1, restricted to the partition).
+	OwnedTTL map[uint64]int
+
+	// Expiring lists owned ids whose TTL equals this iteration, sorted:
+	// after their gradient merge for this iteration completes they are
+	// evicted and written back by this trainer, and by no one else.
+	Expiring []uint64
+
+	// Users maps each owned id used this iteration to the sorted trainers
+	// whose examples touch it — the contributors the owner must collect
+	// gradient contributions from before updating the row.
+	Users map[uint64][]int
+
+	// ReplicaOut maps each other trainer to the sorted owned ids it needs
+	// this iteration; the owner pushes it a snapshot of those rows.
+	ReplicaOut map[int][]uint64
+
+	// Remote maps each remote-owned id this trainer's examples touch to its
+	// owner; gradient updates for these ids are queued to the delayed-sync
+	// flusher rather than applied locally.
+	Remote map[uint64]int
+
+	// ReplicaFrom lists the owners this trainer expects replica pushes
+	// from this iteration, sorted.
+	ReplicaFrom []int
+}
+
+// SplitPlans slices the decision into p per-trainer LRPP plans. Ownership
+// is the total hash partition OwnerOf, so the plans partition Prefetch,
+// TTL, and the eviction set disjointly — the invariant the fuzz harness
+// asserts.
+func (d *Decision) SplitPlans(p int) []*TrainerPlan {
+	plans := make([]*TrainerPlan, p)
+	for t := range plans {
+		plans[t] = &TrainerPlan{
+			Trainer:    t,
+			Dec:        d,
+			OwnedTTL:   make(map[uint64]int),
+			Users:      make(map[uint64][]int),
+			ReplicaOut: make(map[int][]uint64),
+			Remote:     make(map[uint64]int),
+		}
+	}
+	for _, id := range d.Prefetch { // stays sorted: d.Prefetch is sorted
+		o := OwnerOf(id, p)
+		plans[o].Prefetch = append(plans[o].Prefetch, id)
+	}
+	for id, ttl := range d.TTL {
+		o := OwnerOf(id, p)
+		plans[o].OwnedTTL[id] = ttl
+		if ttl == d.Iter {
+			plans[o].Expiring = append(plans[o].Expiring, id)
+		}
+	}
+	for id, users := range d.UsedBy {
+		o := OwnerOf(id, p)
+		plans[o].Users[id] = users
+		for _, u := range users {
+			if u != o {
+				plans[o].ReplicaOut[u] = append(plans[o].ReplicaOut[u], id)
+				plans[u].Remote[id] = o
+			}
+		}
+	}
+	for _, pl := range plans {
+		sortU64(pl.Expiring)
+		for _, ids := range pl.ReplicaOut {
+			sortU64(ids)
+		}
+		seen := make(map[int]bool)
+		for _, o := range pl.Remote {
+			if !seen[o] {
+				seen[o] = true
+				pl.ReplicaFrom = append(pl.ReplicaFrom, o)
+			}
+		}
+		sort.Ints(pl.ReplicaFrom)
+	}
+	return plans
+}
+
+func sortU64(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

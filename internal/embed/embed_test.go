@@ -326,3 +326,30 @@ func TestServerDiff(t *testing.T) {
 		t.Fatalf("Diff materialized rows in its input: %d rows, want 1", got)
 	}
 }
+
+func TestServerFingerprint(t *testing.T) {
+	a := NewServer(2, 4, 55, 0.1)
+	b := NewServer(3, 4, 55, 0.1) // sharding-independent like Diff
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fresh equal servers fingerprint differently")
+	}
+	a.Write([]uint64{10}, [][]float32{{1, 2, 3, 4}})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged servers share a fingerprint")
+	}
+	b.Write([]uint64{10}, [][]float32{{1, 2, 3, 4}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("re-converged servers fingerprint differently")
+	}
+	// A single flipped bit must change the hash.
+	b.Write([]uint64{10}, [][]float32{{1, 2, 3, 4.0000005}})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("bit flip not detected")
+	}
+	// Fingerprint must be read-only, like Diff.
+	before := a.NumMaterialized()
+	a.Fingerprint()
+	if a.NumMaterialized() != before {
+		t.Fatal("Fingerprint materialized rows")
+	}
+}

@@ -3,6 +3,7 @@ package embed
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -251,6 +252,34 @@ func (s *Server) MaterializedIDs() []uint64 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// Fingerprint hashes the server's logical state — every materialized id
+// with its row bits, in id order — with FNV-1a. Two servers with equal
+// fingerprints are bit-identical with overwhelming probability; the fuzz
+// harness uses it as a cheap differential check before falling back to
+// Diff for diagnostics. Like Diff, it is sharding-independent.
+func (s *Server) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	row := make([]float32, s.Dim)
+	for _, id := range s.MaterializedIDs() {
+		mix(id)
+		s.shards[s.ShardOf(id)].peek(id, row)
+		for _, x := range row {
+			mix(uint64(math.Float32bits(x)))
+		}
+	}
+	return h
 }
 
 // Diff compares the logical state of two servers and returns the ids whose

@@ -1,0 +1,114 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/embed"
+	"bagpipe/internal/transport"
+)
+
+// benchSpec is large enough that per-iteration transfers are tens of KB,
+// so a bandwidth-limited link makes serialization (not just latency) the
+// bottleneck the engines must hide.
+func benchSpec() *data.Spec {
+	return &data.Spec{
+		Name:           "bench",
+		NumExamples:    8192,
+		NumCategorical: 8,
+		NumNumeric:     4,
+		TableSizes:     []int64{512, 384, 256, 256, 192, 128, 96, 64},
+		EmbDim:         16,
+		Dist:           data.NewHotTail(0.05, 0.7, 1.05),
+	}
+}
+
+func benchConfig(trainers int) Config {
+	return Config{
+		Spec:            benchSpec(),
+		Seed:            42,
+		Model:           "wd",
+		Optimizer:       "sgd",
+		LR:              0.05,
+		BatchSize:       128,
+		NumBatches:      16,
+		LookAhead:       8,
+		NumTrainers:     trainers,
+		PrefetchWorkers: 2,
+	}
+}
+
+// The reference fabric: 5ms per server call plus 256 KB/s of per-link
+// serialization bandwidth — a congested disaggregated deployment where
+// embedding traffic, not compute, is the bottleneck (the regime Bagpipe's
+// cache-maintenance offloading targets). The single-cache pipelined engine
+// pushes all write-backs through one maintenance stream on one link; the
+// LRPP engine splits the same traffic across one link per trainer.
+const (
+	benchLatency   = 5 * time.Millisecond
+	benchBandwidth = 256e3
+)
+
+func reportRun(b *testing.B, res *Result, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput(), "ex/s")
+	b.ReportMetric(float64(res.Elapsed.Milliseconds()), "ms/run")
+}
+
+// BenchmarkEnginesSimnet5ms compares the three engines over the identical
+// workload and simulated 5ms link; the LRPP rows are the multi-trainer
+// partitioned caches this PR adds (one simnet transport per trainer — its
+// own NIC in the disaggregated deployment — plus a simulated trainer mesh).
+func BenchmarkEnginesSimnet5ms(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		cfg := benchConfig(4)
+		for i := 0; i < b.N; i++ {
+			srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+			res, err := RunBaseline(cfg, transport.NewSimNet(srv, benchLatency, benchBandwidth))
+			reportRun(b, res, err)
+		}
+	})
+	b.Run("pipelined-shared-cache", func(b *testing.B) {
+		cfg := benchConfig(4)
+		for i := 0; i < b.N; i++ {
+			srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+			res, err := RunPipelined(cfg, transport.NewSimNet(srv, benchLatency, benchBandwidth))
+			reportRun(b, res, err)
+		}
+	})
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("lrpp-%dtrainers", p), func(b *testing.B) {
+			cfg := benchConfig(p)
+			for i := 0; i < b.N; i++ {
+				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+				trs := make([]transport.Transport, p)
+				for j := range trs {
+					trs[j] = transport.NewSimNet(srv, benchLatency, benchBandwidth)
+				}
+				mesh := transport.NewSimMesh(p, time.Millisecond, 100e6)
+				res, err := RunLRPP(cfg, trs, mesh)
+				reportRun(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkLRPPInproc measures the engine's own overhead with free
+// transports: the cost of plans, merges, and mesh bookkeeping.
+func BenchmarkLRPPInproc(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dtrainers", p), func(b *testing.B) {
+			cfg := benchConfig(p)
+			for i := 0; i < b.N; i++ {
+				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+				res, err := RunLRPP(cfg, newTransports(srv, p), nil)
+				reportRun(b, res, err)
+			}
+		})
+	}
+}

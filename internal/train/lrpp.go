@@ -1,0 +1,816 @@
+package train
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bagpipe/internal/collective"
+	"bagpipe/internal/core"
+	"bagpipe/internal/data"
+	"bagpipe/internal/model"
+	"bagpipe/internal/optim"
+	"bagpipe/internal/transport"
+)
+
+// LRPPHooks receives engine events for invariant auditing by the
+// differential and fuzz harness. Callbacks run synchronously on engine
+// goroutines (several concurrently — implementations must synchronize
+// themselves) and must not call back into the engine. All hooks are
+// optional; a nil LRPPHooks (the production default) costs nothing.
+type LRPPHooks struct {
+	// OnPrefetch fires on trainer's dispatcher immediately before the ids
+	// are fetched from the embedding servers.
+	OnPrefetch func(trainer, iter int, ids []uint64)
+	// OnInsert fires as a fetched row enters the owner's cache partition.
+	OnInsert func(trainer, iter int, id uint64)
+	// OnSyncApply fires as iteration iter's merged gradient lands on the
+	// owner's cached row.
+	OnSyncApply func(owner, iter int, id uint64)
+	// OnEvict fires as the row leaves the owner's partition (TTL expiry).
+	OnEvict func(owner, iter int, id uint64)
+	// OnWriteBack fires after the owner wrote iteration iter's dirty
+	// evictions to the embedding servers.
+	OnWriteBack func(owner, iter int, ids []uint64)
+	// OnRetire fires when iteration iter is fully retired on the owner
+	// (write-backs done, lookahead token released). Strictly in iteration
+	// order per trainer.
+	OnRetire func(owner, iter int)
+}
+
+// contribEntry is one example's gradient for one embedding row — the unit
+// the owners merge. Example is the example's index in the full batch, so
+// owners can re-fold contributions in exact batch order no matter which
+// trainer computed them or in which order the mesh delivered them.
+type contribEntry struct {
+	Example int
+	Grad    []float32
+}
+
+// lrppSyncMsg is a batched delayed-sync flush: one sender's gradient
+// contributions for one iteration, grouped per owned id.
+type lrppSyncMsg struct {
+	Iter    int
+	Entries map[uint64][]contribEntry
+}
+
+// lrppReplicaMsg carries an owner's row snapshots to a non-owner that
+// reads them this iteration (the logical replication of LRPP).
+type lrppReplicaMsg struct {
+	Iter int
+	Rows map[uint64][]float32
+}
+
+func syncMsgBytes(entries map[uint64][]contribEntry, dim int) int64 {
+	b := int64(8) // iteration header
+	for _, es := range entries {
+		b += 8 + int64(len(es))*int64(4+4*dim)
+	}
+	return b
+}
+
+func replicaMsgBytes(rows map[uint64][]float32, dim int) int64 {
+	return 8 + int64(len(rows))*int64(8+4*dim)
+}
+
+// lrppEngine is the state shared by all trainer processes of one run.
+type lrppEngine struct {
+	cfg   *Config
+	dim   int
+	P, L  int
+	lag   int // delayed-sync flush lag in iterations (0 or 1)
+	mesh  transport.Mesh
+	group *collective.Group
+	hooks *LRPPHooks
+
+	losses []float64 // full-batch loss per iteration (written by trainer 0)
+
+	replicaRows    atomic.Int64
+	syncEntries    atomic.Int64
+	urgentFlushes  atomic.Int64
+	delayedFlushes atomic.Int64
+	activeTrain    atomic.Int64
+	activePrefetch atomic.Int64
+	activeMaint    atomic.Int64
+	overlapPT      atomic.Int64
+	overlapMT      atomic.Int64
+}
+
+// idMergeQueue sequences one owned id's pending per-iteration merges.
+// Iterations are appended in order by the owner's registration and applied
+// strictly in that order, so the row replays the exact update sequence the
+// single-process engines produce.
+type idMergeQueue struct {
+	iters  []int
+	byIter map[int]*iterMerge
+}
+
+// iterMerge accumulates one (id, iteration)'s contributions until every
+// expected trainer has reported.
+type iterMerge struct {
+	expect  map[int]struct{}
+	entries []contribEntry
+}
+
+// flushItem hands one iteration's remote contributions to the delayed-sync
+// flusher, split by criticality.
+type flushItem struct {
+	iter   int
+	urgent map[int]map[uint64][]contribEntry // owner → id → entries; needed next iter
+	lazy   map[int]map[uint64][]contribEntry // deferrable off the critical path
+}
+
+// lrppWork is one iteration moving through a trainer's private pipeline.
+type lrppWork struct {
+	plan *core.TrainerPlan
+	rows chan [][]float32 // buffered(1); the prefetch goroutine delivers once
+}
+
+// lrppTrainer is one trainer process: a model replica, the owned LRPP
+// cache partition, and the goroutines serving it.
+type lrppTrainer struct {
+	p   int
+	eng *lrppEngine
+
+	model  model.Model
+	opt    optim.Optimizer
+	rowOpt interface {
+		optim.Optimizer
+		optim.RowOptimizer
+	}
+	tr transport.Transport
+	ep transport.Endpoint
+
+	// mu guards everything below: the cache partition is touched by the
+	// trainer loop (insert/read) and the sync receiver (update/evict).
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	cache       *core.Cache
+	merges      map[uint64]*idMergeQueue
+	expiring    map[int]int                  // iter → owned rows still to evict
+	evbatch     map[int][]core.Eviction      // iter → collected write-backs
+	computeDone map[int]bool                 // iter → trainer loop finished it
+	emitted     map[int]bool                 // iter → eviction batch sent to maintenance
+	repRows     map[int]map[uint64][]float32 // iter → replica rows received
+	repFrom     map[int]map[int]struct{}     // iter → owners heard from
+
+	evictedRows int64
+
+	flushQ  chan flushItem
+	maintCh chan maintJob
+	tokens  chan struct{}
+	recvWG  sync.WaitGroup
+	flushWG sync.WaitGroup
+	maintWG sync.WaitGroup
+}
+
+// RunLRPP trains with the multi-trainer LRPP engine (§3.3 of the paper):
+// cfg.NumTrainers independent trainer processes, each owning the cache
+// partition of the ids hashing to it (core.OwnerOf) and reaching the
+// embedding servers over its own transport trs[p]. Rows a non-owner reads
+// are pushed to it as per-iteration replicas over the mesh; gradient
+// updates to remote-owned rows are queued and flushed by a background
+// delayed-sync goroutine — batched per owner, contributions the next
+// iteration depends on flushed first, the rest one iteration later — so no
+// cross-trainer synchronization sits on the forward/backward critical
+// path. Each owner merges contributions in exact batch-example order and
+// applies one update per (row, iteration), which keeps the run
+// bit-identical to RunBaseline over the same Config: the differential
+// property the tests certify for every trainer count and partitioner.
+//
+// Consistency keeps the paper's ℒ-window shape, enforced per partition: a
+// trainer's prefetch for iteration x is issued only once its own iteration
+// x−ℒ fully retired (all write-backs landed). Ownership is disjoint, so
+// per-trainer windows compose into the global guarantee.
+//
+// mesh may be nil, which wires the trainers over an in-process mesh.
+func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LookAhead < 1 {
+		return nil, fmt.Errorf("train: LRPP engine needs LookAhead >= 1, got %d", cfg.LookAhead)
+	}
+	P := cfg.NumTrainers
+	if len(trs) != P {
+		return nil, fmt.Errorf("train: %d trainers need %d transports, got %d", P, P, len(trs))
+	}
+	if mesh == nil {
+		mesh = transport.NewInprocMesh(P)
+	}
+	if mesh.Size() != P {
+		return nil, fmt.Errorf("train: mesh has %d endpoints for %d trainers", mesh.Size(), P)
+	}
+
+	eng := &lrppEngine{
+		cfg:    &cfg,
+		dim:    cfg.Spec.EmbDim,
+		P:      P,
+		L:      cfg.LookAhead,
+		mesh:   mesh,
+		group:  collective.NewGroup(P),
+		hooks:  cfg.Hooks,
+		losses: make([]float64, cfg.NumBatches),
+	}
+	if !cfg.SyncEager && cfg.LookAhead > 1 {
+		eng.lag = 1
+	}
+
+	mcfg := model.Config{
+		NumCategorical: cfg.Spec.NumCategorical,
+		NumNumeric:     cfg.Spec.NumNumeric,
+		TotalRows:      cfg.Spec.TotalRows(),
+		EmbDim:         cfg.Spec.EmbDim,
+		Seed:           cfg.Seed,
+	}
+	trainers := make([]*lrppTrainer, P)
+	for p := 0; p < P; p++ {
+		m, err := model.New(cfg.Model, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		rowOpt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		t := &lrppTrainer{
+			p: p, eng: eng, model: m, opt: opt, rowOpt: rowOpt,
+			tr: trs[p], ep: mesh.Endpoint(p),
+			cache:       core.NewCache(cfg.Spec.EmbDim),
+			merges:      make(map[uint64]*idMergeQueue),
+			expiring:    make(map[int]int),
+			evbatch:     make(map[int][]core.Eviction),
+			computeDone: make(map[int]bool),
+			emitted:     make(map[int]bool),
+			repRows:     make(map[int]map[uint64][]float32),
+			repFrom:     make(map[int]map[int]struct{}),
+			flushQ:      make(chan flushItem, cfg.NumBatches+1),
+			maintCh:     make(chan maintJob, cfg.NumBatches+1),
+			tokens:      make(chan struct{}, cfg.LookAhead),
+		}
+		t.cond = sync.NewCond(&t.mu)
+		for i := 0; i < cfg.LookAhead; i++ {
+			t.tokens <- struct{}{}
+		}
+		trainers[p] = t
+	}
+
+	// Oracle: one lookahead walker emits per-trainer plans in iteration
+	// order.
+	gen := data.NewGenerator(cfg.Spec, cfg.Seed)
+	oracle := core.NewOracle(core.NewGeneratorSource(gen, cfg.BatchSize, cfg.NumBatches), cfg.LookAhead, P)
+	oracle.Partitioner = cfg.Partitioner
+	stats := make([]core.IterStats, 0, cfg.NumBatches)
+	planChs := make([]chan *core.TrainerPlan, P)
+	for p := range planChs {
+		planChs[p] = make(chan *core.TrainerPlan, cfg.LookAhead)
+	}
+	go func() {
+		defer func() {
+			for _, ch := range planChs {
+				close(ch)
+			}
+		}()
+		for {
+			d, ok := oracle.Next()
+			if !ok {
+				return
+			}
+			stats = append(stats, d.Stats(oracle.CacheOccupancy()))
+			for p, pl := range d.SplitPlans(P) {
+				planChs[p] <- pl
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(t *lrppTrainer) {
+			defer wg.Done()
+			t.run(planChs[t.p])
+		}(trainers[p])
+	}
+	wg.Wait()
+	mesh.Quiesce()
+
+	res := &Result{Engine: "lrpp", Iters: cfg.NumBatches}
+	var lossSum float64
+	for i, l := range eng.losses {
+		if i == 0 {
+			res.FirstLoss = float32(l)
+		}
+		res.LastLoss = float32(l)
+		lossSum += l
+	}
+	res.AvgLoss = lossSum / float64(cfg.NumBatches)
+	for _, st := range stats {
+		res.UniqueIDs += int64(st.UniqueIDs)
+		res.CachedHits += int64(st.CachedHits)
+		res.Prefetched += int64(st.Prefetched)
+	}
+	for _, t := range trainers {
+		if n := t.cache.Len(); n != 0 {
+			return nil, fmt.Errorf("train: trainer %d still caches %d rows after the final iteration", t.p, n)
+		}
+		res.Evicted += t.evictedRows
+		res.PeakCache += t.cache.PeakRows()
+		st := t.tr.Stats()
+		res.Transport.Fetches += st.Fetches
+		res.Transport.Writes += st.Writes
+		res.Transport.RowsFetched += st.RowsFetched
+		res.Transport.RowsWritten += st.RowsWritten
+		res.Transport.BytesFetched += st.BytesFetched
+		res.Transport.BytesWritten += st.BytesWritten
+		res.Transport.SimulatedDelay += st.SimulatedDelay
+	}
+	res.Examples = int64(cfg.NumBatches) * int64(cfg.BatchSize)
+	res.Elapsed = time.Since(start)
+	res.ReplicaRows = eng.replicaRows.Load()
+	res.SyncEntries = eng.syncEntries.Load()
+	res.UrgentFlushes = eng.urgentFlushes.Load()
+	res.DelayedFlushes = eng.delayedFlushes.Load()
+	res.OverlapPrefetchTrain = eng.overlapPT.Load()
+	res.OverlapMaintTrain = eng.overlapMT.Load()
+	res.Mesh = mesh.Stats()
+	return res, nil
+}
+
+// run is one trainer process end to end: start the service goroutines,
+// drive the iteration loop, then drain and tear everything down.
+func (t *lrppTrainer) run(planCh <-chan *core.TrainerPlan) {
+	workCh := t.startDispatcher(planCh)
+	t.startReceiver()
+	t.startFlusher()
+	t.startMaintenance()
+
+	for w := range workCh {
+		t.iterate(w)
+	}
+
+	// Teardown: flush the delayed-sync backlog, wait for every merge and
+	// eviction this partition owes (fed by the other trainers' final
+	// flushes), retire the remaining iterations, then close the endpoint.
+	close(t.flushQ)
+	t.flushWG.Wait()
+	t.mu.Lock()
+	for len(t.merges) > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+	close(t.maintCh)
+	t.maintWG.Wait()
+	t.ep.Close()
+	t.recvWG.Wait()
+}
+
+// startDispatcher runs the per-trainer prefetch front end: it admits one
+// iteration per lookahead token (the ℒ-deep consistency window over this
+// partition) and fetches its owned misses concurrently with earlier
+// iterations' compute, delivering rows through a future.
+func (t *lrppTrainer) startDispatcher(planCh <-chan *core.TrainerPlan) <-chan *lrppWork {
+	eng := t.eng
+	workCh := make(chan *lrppWork, eng.L)
+	go func() {
+		defer close(workCh)
+		for pl := range planCh {
+			<-t.tokens
+			w := &lrppWork{plan: pl, rows: make(chan [][]float32, 1)}
+			workCh <- w
+			go func(pl *core.TrainerPlan, w *lrppWork) {
+				var rows [][]float32
+				if len(pl.Prefetch) > 0 {
+					if eng.hooks != nil && eng.hooks.OnPrefetch != nil {
+						eng.hooks.OnPrefetch(t.p, pl.Dec.Iter, pl.Prefetch)
+					}
+					eng.activePrefetch.Add(1)
+					if eng.activeTrain.Load() > 0 {
+						eng.overlapPT.Add(1)
+					}
+					rows = t.tr.Fetch(pl.Prefetch)
+					eng.activePrefetch.Add(-1)
+				}
+				w.rows <- rows
+			}(pl, w)
+		}
+	}()
+	return workCh
+}
+
+// startReceiver drains the mesh endpoint: replica pushes feed the per-
+// iteration replica box, sync flushes feed the gradient merges. Both are
+// keyed by (id, iteration), so arbitrary mesh reordering is harmless.
+func (t *lrppTrainer) startReceiver() {
+	t.recvWG.Add(1)
+	go func() {
+		defer t.recvWG.Done()
+		for {
+			msg, ok := t.ep.Recv()
+			if !ok {
+				return
+			}
+			switch pl := msg.Payload.(type) {
+			case lrppReplicaMsg:
+				t.mu.Lock()
+				if t.repRows[pl.Iter] == nil {
+					t.repRows[pl.Iter] = make(map[uint64][]float32, len(pl.Rows))
+					t.repFrom[pl.Iter] = make(map[int]struct{}, 2)
+				}
+				for id, row := range pl.Rows {
+					t.repRows[pl.Iter][id] = row
+				}
+				t.repFrom[pl.Iter][msg.From] = struct{}{}
+				t.mu.Unlock()
+				t.cond.Broadcast()
+			case lrppSyncMsg:
+				t.mu.Lock()
+				for id, es := range pl.Entries {
+					t.depositLocked(id, pl.Iter, msg.From, es)
+				}
+				t.mu.Unlock()
+				t.cond.Broadcast()
+			default:
+				panic(fmt.Sprintf("train: trainer %d received unknown mesh payload %T", t.p, msg.Payload))
+			}
+		}
+	}()
+}
+
+// startFlusher runs the delayed-sync sender: per iteration it flushes
+// critical contributions (rows the next iteration reads) immediately and
+// holds the rest back lag iterations, batching everything per owner so the
+// trainer loop never blocks on cross-trainer traffic.
+func (t *lrppTrainer) startFlusher() {
+	eng := t.eng
+	t.flushWG.Add(1)
+	go func() {
+		defer t.flushWG.Done()
+		send := func(buckets map[int]map[uint64][]contribEntry, iter int, urgent bool) {
+			owners := make([]int, 0, len(buckets))
+			for o := range buckets {
+				owners = append(owners, o)
+			}
+			sort.Ints(owners)
+			for _, o := range owners {
+				entries := buckets[o]
+				if len(entries) == 0 {
+					continue
+				}
+				t.ep.Send(o, syncMsgBytes(entries, eng.dim), lrppSyncMsg{Iter: iter, Entries: entries})
+				if urgent {
+					eng.urgentFlushes.Add(1)
+				} else {
+					eng.delayedFlushes.Add(1)
+				}
+			}
+		}
+		var backlog []flushItem
+		for it := range t.flushQ {
+			send(it.urgent, it.iter, true)
+			backlog = append(backlog, it)
+			for len(backlog) > 0 && backlog[0].iter <= it.iter-eng.lag {
+				send(backlog[0].lazy, backlog[0].iter, false)
+				backlog = backlog[1:]
+			}
+		}
+		for _, it := range backlog {
+			send(it.lazy, it.iter, false)
+		}
+	}()
+}
+
+// startMaintenance runs the background write-back stage. Eviction batches
+// may complete out of iteration order (a delayed contribution can finish a
+// newer iteration's last merge first); retirement is re-sequenced so
+// lookahead tokens release strictly in order — the ℒ-window bookkeeping
+// stays exact.
+func (t *lrppTrainer) startMaintenance() {
+	eng := t.eng
+	t.maintWG.Add(1)
+	go func() {
+		defer t.maintWG.Done()
+		parked := make(map[int][]core.Eviction)
+		done := make(map[int]bool)
+		next := 0
+		for job := range t.maintCh {
+			parked[job.iter] = job.evictions
+			done[job.iter] = true
+			for done[next] {
+				if evs := parked[next]; len(evs) > 0 {
+					eng.activeMaint.Add(1)
+					if eng.activeTrain.Load() > 0 {
+						eng.overlapMT.Add(1)
+					}
+					ids := make([]uint64, len(evs))
+					rows := make([][]float32, len(evs))
+					for i, ev := range evs {
+						ids[i] = ev.ID
+						rows[i] = ev.Row
+					}
+					t.tr.Write(ids, rows)
+					eng.activeMaint.Add(-1)
+					if eng.hooks != nil && eng.hooks.OnWriteBack != nil {
+						eng.hooks.OnWriteBack(t.p, next, ids)
+					}
+				}
+				if eng.hooks != nil && eng.hooks.OnRetire != nil {
+					eng.hooks.OnRetire(t.p, next)
+				}
+				t.tokens <- struct{}{}
+				delete(parked, next)
+				delete(done, next)
+				next++
+			}
+		}
+	}()
+}
+
+// iterate is one iteration of the trainer loop.
+func (t *lrppTrainer) iterate(w *lrppWork) {
+	eng := t.eng
+	pl := w.plan
+	d := pl.Dec
+	x := d.Iter
+
+	// 1. Register this iteration's merge obligations and eviction counts
+	// before joining any collective: contributions for iteration x can only
+	// be computed after the iteration-x all-reduce, so registration always
+	// precedes the first deposit.
+	t.mu.Lock()
+	for id, users := range pl.Users {
+		q := t.merges[id]
+		if q == nil {
+			q = &idMergeQueue{byIter: make(map[int]*iterMerge, 2)}
+			t.merges[id] = q
+		}
+		q.iters = append(q.iters, x)
+		im := &iterMerge{expect: make(map[int]struct{}, len(users))}
+		for _, u := range users {
+			im.expect[u] = struct{}{}
+		}
+		q.byIter[x] = im
+	}
+	t.expiring[x] = len(pl.Expiring)
+	t.mu.Unlock()
+
+	// 2. Insert the prefetched owned rows and refresh TTLs.
+	rows := <-w.rows
+	t.mu.Lock()
+	for i, id := range pl.Prefetch {
+		if eng.hooks != nil && eng.hooks.OnInsert != nil {
+			eng.hooks.OnInsert(t.p, x, id)
+		}
+		t.cache.Insert(id, rows[i], pl.OwnedTTL[id])
+	}
+	for id, ttl := range pl.OwnedTTL {
+		t.cache.UpdateTTL(id, ttl)
+	}
+
+	// 3. Wait until every owned row used this iteration has absorbed all
+	// merges from earlier iterations (the per-row sync horizon).
+	for {
+		ready := true
+		for id := range pl.Users {
+			if q := t.merges[id]; len(q.iters) > 0 && q.iters[0] < x {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		t.cond.Wait()
+	}
+
+	// 4. Snapshot and push replicas to the non-owners reading our rows.
+	type out struct {
+		to    int
+		bytes int64
+		msg   lrppReplicaMsg
+	}
+	var outs []out
+	for q, ids := range pl.ReplicaOut {
+		snap := make(map[uint64][]float32, len(ids))
+		for _, id := range ids {
+			e, ok := t.cache.Peek(id)
+			if !ok {
+				panic(fmt.Sprintf("train: trainer %d iter %d: replica id %d missing from partition", t.p, x, id))
+			}
+			snap[id] = append([]float32(nil), e.Row...)
+		}
+		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim), msg: lrppReplicaMsg{Iter: x, Rows: snap}})
+	}
+	t.mu.Unlock()
+	for _, o := range outs {
+		t.ep.Send(o.to, o.bytes, o.msg)
+		eng.replicaRows.Add(int64(len(o.msg.Rows)))
+	}
+
+	// 5. Wait for the replicas we need, then gather this trainer's rows:
+	// owned ids from the partition, remote ids from the replica box.
+	t.mu.Lock()
+	for {
+		got := t.repFrom[x]
+		ready := true
+		for _, o := range pl.ReplicaFrom {
+			if _, ok := got[o]; !ok {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		t.cond.Wait()
+	}
+	replicas := t.repRows[x]
+	delete(t.repRows, x)
+	delete(t.repFrom, x)
+	gathered := make(map[uint64][]float32)
+	for i, ex := range d.Batch.Examples {
+		if d.Assign[i] != t.p {
+			continue
+		}
+		for _, id := range ex.Cat {
+			if _, ok := gathered[id]; ok {
+				continue
+			}
+			if _, remote := pl.Remote[id]; remote {
+				row, ok := replicas[id]
+				if !ok {
+					panic(fmt.Sprintf("train: trainer %d iter %d: replica of id %d never arrived", t.p, x, id))
+				}
+				gathered[id] = row
+			} else {
+				e, ok := t.cache.Get(id)
+				if !ok {
+					panic(fmt.Sprintf("train: trainer %d iter %d: owned id %d missing from partition (oracle consistency violated)", t.p, x, id))
+				}
+				gathered[id] = e.Row
+			}
+		}
+	}
+	t.mu.Unlock()
+
+	// 6. Forward/backward on this trainer's examples, dense all-reduce
+	// across the trainer group, dense step, loss reduction — the identical
+	// collective sequence on every trainer.
+	ls := extractLocal(d.Batch, d.Assign, t.p, eng.cfg.Spec.NumCategorical, eng.dim, gathered)
+	eng.activeTrain.Add(1)
+	loss, dEmb := computeLocal(t.model, ls)
+	for _, p := range t.model.Params() {
+		eng.group.AllReduceSum(t.p, p.Grad)
+	}
+	t.opt.Step(t.model.Params())
+	eng.activeTrain.Add(-1)
+	lossVec := []float64{loss}
+	eng.group.AllReduceSum64(t.p, lossVec)
+	if t.p == 0 {
+		eng.losses[x] = lossVec[0]
+	}
+
+	// 7. Route per-example gradient contributions: owned rows merge
+	// locally (ids used only here are the LRPP fast path — no mesh traffic
+	// at all); remote-owned rows queue for the delayed-sync flusher.
+	owned := make(map[uint64][]contribEntry)
+	urgent := make(map[int]map[uint64][]contribEntry)
+	lazy := make(map[int]map[uint64][]contribEntry)
+	nEntries := 0
+	for k, i := range ls.mine {
+		var row []float32
+		if dEmb != nil {
+			row = dEmb.Data[k*dEmb.Cols : (k+1)*dEmb.Cols]
+		}
+		// Entries must own their gradient memory: models reuse the dEmb
+		// buffer across iterations, and a deferred merge (or delayed flush)
+		// outlives this backward pass.
+		grads := append([]float32(nil), row...)
+		for c, id := range d.Batch.Examples[i].Cat {
+			e := contribEntry{Example: i, Grad: grads[c*eng.dim : (c+1)*eng.dim]}
+			nEntries++
+			if owner, remote := pl.Remote[id]; remote {
+				bucket := lazy
+				if d.NeededNext[id] {
+					bucket = urgent
+				}
+				if bucket[owner] == nil {
+					bucket[owner] = make(map[uint64][]contribEntry)
+				}
+				bucket[owner][id] = append(bucket[owner][id], e)
+			} else {
+				owned[id] = append(owned[id], e)
+			}
+		}
+	}
+	eng.syncEntries.Add(int64(nEntries))
+	t.mu.Lock()
+	for id, es := range owned {
+		t.depositLocked(id, x, t.p, es)
+	}
+	t.computeDone[x] = true
+	t.maybeEmitLocked(x)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+	t.flushQ <- flushItem{iter: x, urgent: urgent, lazy: lazy}
+}
+
+// depositLocked adds one contributor's entries for (id, iter) and applies
+// every merge that became ready. Caller holds t.mu.
+func (t *lrppTrainer) depositLocked(id uint64, iter, from int, entries []contribEntry) {
+	q := t.merges[id]
+	if q == nil {
+		panic(fmt.Sprintf("train: trainer %d: contribution for unregistered id %d iter %d", t.p, id, iter))
+	}
+	im := q.byIter[iter]
+	if im == nil {
+		panic(fmt.Sprintf("train: trainer %d: contribution for unregistered iter %d of id %d", t.p, iter, id))
+	}
+	im.entries = append(im.entries, entries...)
+	delete(im.expect, from)
+	t.applyReadyLocked(id)
+}
+
+// applyReadyLocked applies id's head-of-queue merges while they are
+// complete: fold the contributions in batch-example order, update the row
+// once, and evict + queue the write-back when the iteration was the row's
+// last use. Caller holds t.mu.
+func (t *lrppTrainer) applyReadyLocked(id uint64) {
+	eng := t.eng
+	q := t.merges[id]
+	applied := false
+	defer func() {
+		if len(q.iters) == 0 {
+			delete(t.merges, id)
+			applied = true
+		}
+		if applied {
+			// The merge head moved (or the id fully drained): wake the
+			// trainer loop's merge wait and the teardown drain.
+			t.cond.Broadcast()
+		}
+	}()
+	for len(q.iters) > 0 {
+		iter := q.iters[0]
+		im := q.byIter[iter]
+		if im == nil || len(im.expect) > 0 {
+			return
+		}
+		applied = true
+		sort.SliceStable(im.entries, func(a, b int) bool { return im.entries[a].Example < im.entries[b].Example })
+		g := make([]float32, eng.dim)
+		for _, e := range im.entries {
+			for k := range g {
+				g[k] += e.Grad[k]
+			}
+		}
+		e, ok := t.cache.Peek(id)
+		if !ok {
+			panic(fmt.Sprintf("train: trainer %d iter %d: sync for id %d landed after eviction", t.p, iter, id))
+		}
+		t.rowOpt.UpdateRow(id, e.Row, g)
+		e.Dirty = true
+		if eng.hooks != nil && eng.hooks.OnSyncApply != nil {
+			eng.hooks.OnSyncApply(t.p, iter, id)
+		}
+		q.iters = q.iters[1:]
+		delete(q.byIter, iter)
+		if e.TTL == iter {
+			ev, dirty := t.cache.Remove(id)
+			if !dirty {
+				panic(fmt.Sprintf("train: trainer %d iter %d: expiring id %d not dirty after update", t.p, iter, id))
+			}
+			if eng.hooks != nil && eng.hooks.OnEvict != nil {
+				eng.hooks.OnEvict(t.p, iter, id)
+			}
+			t.evbatch[iter] = append(t.evbatch[iter], ev)
+			t.evictedRows++
+			t.expiring[iter]--
+			t.maybeEmitLocked(iter)
+		}
+	}
+}
+
+// maybeEmitLocked hands iteration iter's eviction batch to maintenance
+// once the trainer loop has passed it and its last merge has evicted.
+// Caller holds t.mu; maintCh is sized for the whole run so the send never
+// blocks.
+func (t *lrppTrainer) maybeEmitLocked(iter int) {
+	if !t.computeDone[iter] || t.expiring[iter] != 0 || t.emitted[iter] {
+		return
+	}
+	t.emitted[iter] = true
+	evs := t.evbatch[iter]
+	delete(t.evbatch, iter)
+	delete(t.expiring, iter)
+	delete(t.computeDone, iter)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].ID < evs[j].ID })
+	t.maintCh <- maintJob{iter: iter, evictions: evs}
+}

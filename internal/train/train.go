@@ -63,6 +63,15 @@ type Config struct {
 	PrefetchWorkers int
 	// Partitioner assigns examples to ranks; nil means core.Contiguous.
 	Partitioner core.Partitioner
+
+	// SyncEager, when true, makes the LRPP engine flush every cross-trainer
+	// gradient contribution as soon as its iteration's backward pass ends,
+	// instead of delaying non-critical contributions one iteration off the
+	// critical path (the §3.3 "Delayed Synchronization" default).
+	SyncEager bool
+	// Hooks, when non-nil, receives LRPP engine events for invariant
+	// auditing (differential + fuzz harness). Nil in production runs.
+	Hooks *LRPPHooks
 }
 
 func (c *Config) validate() error {
@@ -127,12 +136,19 @@ type Result struct {
 	CachedHits int64 // served from the trainer cache
 	Prefetched int64 // fetched from the embedding servers
 	Evicted    int64 // rows written back on eviction
-	PeakCache  int   // peak cached rows
+	PeakCache  int   // peak cached rows (LRPP: sum of per-partition peaks, an upper bound on the simultaneous total)
 
 	// Overlap counters: how many times one stage was observed running
 	// while the trainer computed (evidence the stages actually pipeline).
 	OverlapPrefetchTrain int64
 	OverlapMaintTrain    int64
+
+	// LRPP engine only: cross-trainer traffic over the mesh.
+	ReplicaRows    int64 // owner→user row snapshots for remote reads
+	SyncEntries    int64 // per-example gradient contributions routed to owners
+	UrgentFlushes  int64 // sync batches flushed on the critical path (needed next iter)
+	DelayedFlushes int64 // sync batches flushed off the critical path
+	Mesh           transport.MeshStats
 
 	Transport transport.Stats
 }
@@ -226,51 +242,79 @@ func (r *ranks) run(rank int) {
 	m := r.models[rank]
 	opt := r.opts[rank]
 	for w := range r.in[rank] {
-		var mine []int
-		for i, t := range w.assign {
-			if t == rank {
-				mine = append(mine, i)
-			}
-		}
-		nLocal := len(mine)
-		dense := tensor.NewMatrix(nLocal, len(w.batch.Examples[0].Dense))
-		emb := tensor.NewMatrix(nLocal, r.numCat*r.dim)
-		cats := make([][]uint64, nLocal)
-		labels := make([]float32, nLocal)
-		for k, i := range mine {
-			ex := w.batch.Examples[i]
-			copy(dense.Data[k*dense.Cols:(k+1)*dense.Cols], ex.Dense)
-			for c, id := range ex.Cat {
-				copy(emb.Data[k*emb.Cols+c*r.dim:k*emb.Cols+(c+1)*r.dim], w.rows[id])
-			}
-			cats[k] = ex.Cat
-			labels[k] = ex.Label
-		}
-
-		var dEmb *tensor.Matrix
-		var loss float64
-		nn.ZeroGrads(m.Params())
-		if nLocal > 0 { // a partitioner may leave a rank idle for a batch
-			logits := m.Forward(dense, emb, cats)
-			// Loss and dlogits are scaled by the FULL batch size, so the
-			// sum of per-rank dense gradients equals the full-batch mean
-			// gradient the baseline math defines.
-			invB := float32(1) / float32(len(w.batch.Examples))
-			dlogits := make([]float32, nLocal)
-			for j, z := range logits {
-				loss += float64(stableBCE(z, labels[j])) * float64(invB)
-				dlogits[j] = (nn.SigmoidScalar(z) - labels[j]) * invB
-			}
-			dEmb = m.Backward(dlogits)
-		}
+		ls := extractLocal(w.batch, w.assign, rank, r.numCat, r.dim, w.rows)
+		loss, dEmb := computeLocal(m, ls)
 		// Every rank joins every collective (idle ranks contribute zeros)
 		// and steps the summed gradient, keeping all replicas bit-identical.
 		for _, p := range m.Params() {
 			r.group.AllReduceSum(rank, p.Grad)
 		}
 		opt.Step(m.Params())
-		r.out[rank] <- rankResult{loss: loss, dEmb: dEmb, mine: mine}
+		r.out[rank] <- rankResult{loss: loss, dEmb: dEmb, mine: ls.mine}
 	}
+}
+
+// localSlice is one rank's partition of a batch, extracted in batch order.
+// It is the unit of compute shared by the shared-cache ranks and the LRPP
+// trainer processes, so both engines run bit-identical math.
+type localSlice struct {
+	mine   []int // example indices (batch order) this rank computes
+	dense  *tensor.Matrix
+	emb    *tensor.Matrix
+	cats   [][]uint64
+	labels []float32
+	full   int // full batch size (loss/gradient scaling)
+}
+
+// extractLocal gathers rank's examples of b and their embedding rows.
+func extractLocal(b *data.Batch, assign []int, rank, numCat, dim int, rows map[uint64][]float32) *localSlice {
+	var mine []int
+	for i, t := range assign {
+		if t == rank {
+			mine = append(mine, i)
+		}
+	}
+	nLocal := len(mine)
+	ls := &localSlice{
+		mine:   mine,
+		dense:  tensor.NewMatrix(nLocal, len(b.Examples[0].Dense)),
+		emb:    tensor.NewMatrix(nLocal, numCat*dim),
+		cats:   make([][]uint64, nLocal),
+		labels: make([]float32, nLocal),
+		full:   len(b.Examples),
+	}
+	for k, i := range mine {
+		ex := b.Examples[i]
+		copy(ls.dense.Data[k*ls.dense.Cols:(k+1)*ls.dense.Cols], ex.Dense)
+		for c, id := range ex.Cat {
+			copy(ls.emb.Data[k*ls.emb.Cols+c*dim:k*ls.emb.Cols+(c+1)*dim], rows[id])
+		}
+		ls.cats[k] = ex.Cat
+		ls.labels[k] = ex.Label
+	}
+	return ls
+}
+
+// computeLocal runs forward/backward for one rank's slice, accumulating
+// dense gradients into the model and returning the partial loss plus the
+// gradient w.r.t. the gathered embedding rows (nil for an idle rank).
+func computeLocal(m model.Model, ls *localSlice) (float64, *tensor.Matrix) {
+	nn.ZeroGrads(m.Params())
+	if len(ls.mine) == 0 { // a partitioner may leave a rank idle for a batch
+		return 0, nil
+	}
+	logits := m.Forward(ls.dense, ls.emb, ls.cats)
+	// Loss and dlogits are scaled by the FULL batch size, so the
+	// sum of per-rank dense gradients equals the full-batch mean
+	// gradient the baseline math defines.
+	invB := float32(1) / float32(ls.full)
+	dlogits := make([]float32, len(ls.mine))
+	var loss float64
+	for j, z := range logits {
+		loss += float64(stableBCE(z, ls.labels[j])) * float64(invB)
+		dlogits[j] = (nn.SigmoidScalar(z) - ls.labels[j]) * invB
+	}
+	return loss, m.Backward(dlogits)
 }
 
 // stableBCE is the numerically stable per-example binary cross-entropy
