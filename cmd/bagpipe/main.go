@@ -2,20 +2,38 @@
 // Oracle Cacher, per-trainer prefetch, LRPP partitioned caches with
 // delayed cross-trainer sync (or the PR-1 shared-cache pipeline), and
 // background write-back maintenance, all against a sharded embedding
-// server reached through (optionally simulated-network) transports.
+// server reached through in-process, simulated-network, or real TCP
+// transports.
+//
+// One binary plays every role. With -net inproc|sim everything runs in
+// this process (the PR-2 behavior). With -net tcp the system becomes
+// genuinely distributed: an embedding-server process (-serve) and P
+// trainer processes (-rank, meshed over -peers) speak the length-prefixed
+// little-endian protocol of internal/transport; the default driver mode
+// forks all of them locally over loopback (-spawn) so one command line
+// still runs — and verifies — the whole system.
 //
 // Examples:
 //
-//	bagpipe -dataset criteo-kaggle -scale 10000 -model wd -batches 50
-//	bagpipe -trainers 4 -partitioner comm-aware -lookahead 64
-//	bagpipe -engine pipelined -transport simnet -net-latency 2ms -net-bw 1e9
-//	bagpipe -trainers 4 -verify -batches 30   # certify LRPP vs baseline
+//	bagpipe -trainers 4 -verify -batches 30           # single process, certify LRPP vs baseline
+//	bagpipe -net sim -net-latency 5ms -net-bw 256e3   # simulated-network benchmark
+//	bagpipe -trainers 4 -net tcp -verify              # 4 trainer processes + 1 server process over loopback TCP
+//	bagpipe -serve -listen :7000 ...                  # manual deployment: the embedding-server process
+//	bagpipe -rank 0 -peers host0:7001,host1:7001 -server-addr host9:7000 ...  # one trainer process
+//
+// See README.md for the full flag surface and copy-pasteable recipes, and
+// ARCHITECTURE.md for how the processes fit together.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"bagpipe/internal/core"
@@ -25,34 +43,44 @@ import (
 	"bagpipe/internal/transport"
 )
 
-func main() {
-	var (
-		dataset  = flag.String("dataset", "criteo-kaggle", "dataset shape: criteo-kaggle, avazu, criteo-terabyte, alibaba")
-		scale    = flag.Int64("scale", 10_000, "divide dataset example count and table sizes by this factor")
-		modelFl  = flag.String("model", "wd", "model: dlrm, wd, dc, deepfm")
-		optFl    = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
-		lr       = flag.Float64("lr", 0.05, "learning rate")
-		batchSz  = flag.Int("batch-size", 256, "examples per batch")
-		batches  = flag.Int("batches", 50, "number of iterations to train")
-		lookahd  = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
-		trainers = flag.Int("trainers", 2, "trainer processes (LRPP cache partitions / data-parallel ranks)")
-		engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
-		partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
-		eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
-		workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
-		shards   = flag.Int("shards", 4, "embedding server shard count")
-		embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
-		seed     = flag.Uint64("seed", 42, "experiment seed")
-		transpFl = flag.String("transport", "inproc", "transport to embedding servers: inproc, simnet")
-		netLat   = flag.Duration("net-latency", time.Millisecond, "simnet: per-call round-trip latency")
-		netBW    = flag.Float64("net-bw", 1e9, "simnet: link bandwidth in bytes/sec (0 = infinite)")
-		meshLat  = flag.Duration("mesh-latency", 500*time.Microsecond, "lrpp + simnet: trainer-to-trainer link latency")
-		meshBW   = flag.Float64("mesh-bw", 1e9, "lrpp + simnet: trainer-to-trainer link bandwidth in bytes/sec (0 = infinite)")
-		verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
-		baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
-	)
-	flag.Parse()
+var (
+	dataset  = flag.String("dataset", "criteo-kaggle", "dataset shape: criteo-kaggle, avazu, criteo-terabyte, alibaba")
+	scale    = flag.Int64("scale", 10_000, "divide dataset example count and table sizes by this factor")
+	modelFl  = flag.String("model", "wd", "model: dlrm, wd, dc, deepfm")
+	optFl    = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+	lr       = flag.Float64("lr", 0.05, "learning rate")
+	batchSz  = flag.Int("batch-size", 256, "examples per batch")
+	batches  = flag.Int("batches", 50, "number of iterations to train")
+	lookahd  = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
+	trainers = flag.Int("trainers", 2, "trainer processes (LRPP cache partitions / data-parallel ranks)")
+	engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
+	partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
+	eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
+	workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
+	shards   = flag.Int("shards", 4, "embedding server shard count")
+	embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
+	seed     = flag.Uint64("seed", 42, "experiment seed")
 
+	netFl    = flag.String("net", "", "fabric: inproc, sim, tcp (default: the -transport value)")
+	transpFl = flag.String("transport", "inproc", "deprecated alias of -net (values: inproc, simnet)")
+	netLat   = flag.Duration("net-latency", time.Millisecond, "sim: per-call round-trip latency to the embedding servers")
+	netBW    = flag.Float64("net-bw", 1e9, "sim: embedding-server link bandwidth in bytes/sec (0 = infinite)")
+	meshLat  = flag.Duration("mesh-latency", 500*time.Microsecond, "lrpp + sim: trainer-to-trainer link latency")
+	meshBW   = flag.Float64("mesh-bw", 1e9, "lrpp + sim: trainer-to-trainer link bandwidth in bytes/sec (0 = infinite)")
+
+	serve      = flag.Bool("serve", false, "run as the embedding-server process (tcp); requires -listen")
+	listen     = flag.String("listen", "", "listen address for -serve, or bind override for a -rank worker")
+	rank       = flag.Int("rank", -1, "run as trainer process `rank` (tcp); requires -peers and -server-addr")
+	peersFl    = flag.String("peers", "", "comma-separated, rank-ordered trainer mesh addresses (tcp workers)")
+	serverAddr = flag.String("server-addr", "", "embedding-server address (tcp workers)")
+	spawn      = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
+
+	verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
+	baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
+)
+
+func main() {
+	flag.Parse()
 	if *baseline {
 		*engineFl = "baseline"
 	}
@@ -70,6 +98,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	netName, err := resolveNet()
+	if err != nil {
+		fatal(err)
+	}
+	if *netLat < 0 || *netBW < 0 || *meshLat < 0 || *meshBW < 0 {
+		fatal(fmt.Errorf("negative -net-latency/-net-bw/-mesh-latency/-mesh-bw"))
+	}
 
 	cfg := train.Config{
 		Spec:            spec,
@@ -86,28 +121,55 @@ func main() {
 		SyncEager:       *eager,
 	}
 
-	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
-		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
-	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  shards %d  transport %s\n\n",
-		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *shards, *transpFl)
-
-	if *netLat < 0 || *netBW < 0 || *meshLat < 0 || *meshBW < 0 {
-		fatal(fmt.Errorf("negative -net-latency/-net-bw/-mesh-latency/-mesh-bw"))
+	switch {
+	case *serve:
+		runServer(spec)
+	case *rank >= 0:
+		runWorker(cfg)
+	case netName == "tcp":
+		if !*spawn {
+			fatal(fmt.Errorf("-net tcp driver mode forks worker processes (-spawn); " +
+				"for a manual deployment start one process with -serve -listen and one per trainer with -rank/-peers/-server-addr (recipes in README.md)"))
+		}
+		runTCPDriver(cfg, spec)
+	default:
+		runLocal(cfg, spec, netName)
 	}
+}
+
+// resolveNet folds the deprecated -transport alias into -net.
+func resolveNet() (string, error) {
+	name := *netFl
+	if name == "" {
+		name = *transpFl
+	}
+	switch name {
+	case "", "inproc":
+		return "inproc", nil
+	case "sim", "simnet":
+		return "sim", nil
+	case "tcp":
+		return "tcp", nil
+	}
+	return "", fmt.Errorf("unknown -net %q (inproc, sim, tcp)", name)
+}
+
+// newServer builds the embedding-server tier; every role derives the
+// identical initial state from the shared flags.
+func newServer(spec *data.Spec) *embed.Server {
+	return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+}
+
+// runLocal is the single-process driver: every engine and the inproc/sim
+// fabrics, plus in-process -verify.
+func runLocal(cfg train.Config, spec *data.Spec, netName string) {
+	banner(spec, netName)
 	newTransport := func(srv *embed.Server) transport.Transport {
-		switch *transpFl {
-		case "inproc":
-			return transport.NewInProcess(srv)
-		case "simnet":
+		if netName == "sim" {
 			return transport.NewSimNet(srv, *netLat, *netBW)
 		}
-		fatal(fmt.Errorf("unknown transport %q", *transpFl))
-		return nil
+		return transport.NewInProcess(srv)
 	}
-	newServer := func() *embed.Server {
-		return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
-	}
-
 	runEngine := func(srv *embed.Server) (*train.Result, error) {
 		switch *engineFl {
 		case "baseline":
@@ -120,7 +182,7 @@ func main() {
 				trs[i] = newTransport(srv)
 			}
 			var mesh transport.Mesh
-			if *transpFl == "simnet" {
+			if netName == "sim" {
 				mesh = transport.NewSimMesh(*trainers, *meshLat, *meshBW)
 			}
 			return train.RunLRPP(cfg, trs, mesh)
@@ -128,7 +190,7 @@ func main() {
 		return nil, fmt.Errorf("unknown engine %q", *engineFl)
 	}
 
-	srv := newServer()
+	srv := newServer(spec)
 	res, err := runEngine(srv)
 	if err != nil {
 		fatal(err)
@@ -140,7 +202,7 @@ func main() {
 			fatal(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
 		}
 		fmt.Println("\n--- verify: rerunning with the no-cache fetch-per-batch baseline ---")
-		srvBase := newServer()
+		srvBase := newServer(spec)
 		baseRes, err := train.RunBaseline(cfg, newTransport(srvBase))
 		if err != nil {
 			fatal(err)
@@ -157,6 +219,263 @@ func main() {
 				*engineFl, baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
 		}
 	}
+}
+
+// runServer is the embedding-server process: serve until a client sends the
+// shutdown op.
+func runServer(spec *data.Spec) {
+	if *listen == "" {
+		fatal(fmt.Errorf("-serve requires -listen"))
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("embedding server: %d shards, dim %d, listening on %s\n",
+		*shards, spec.EmbDim, lis.Addr())
+	if err := transport.ServeEmbed(lis, newServer(spec)); err != nil {
+		fatal(err)
+	}
+	fmt.Println("embedding server: shutdown")
+}
+
+// runWorker is one trainer process of a distributed LRPP run.
+func runWorker(cfg train.Config) {
+	if *engineFl != "lrpp" {
+		fatal(fmt.Errorf("-rank runs the lrpp engine; -engine %s has no multi-trainer-process form (drop -rank, or use the tcp driver which runs it against a remote server)", *engineFl))
+	}
+	if *peersFl == "" || *serverAddr == "" {
+		fatal(fmt.Errorf("-rank requires -peers and -server-addr"))
+	}
+	addrs := strings.Split(*peersFl, ",")
+	if len(addrs) != cfg.NumTrainers {
+		fatal(fmt.Errorf("-peers lists %d addresses for %d trainers", len(addrs), cfg.NumTrainers))
+	}
+	var lis net.Listener
+	if *listen != "" {
+		var err error
+		if lis, err = net.Listen("tcp", *listen); err != nil {
+			fatal(err)
+		}
+	}
+	mesh, err := transport.NewTCPMesh(*rank, addrs, lis)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := transport.DialTCPLink(*serverAddr, 30*time.Second)
+	if err != nil {
+		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
+		fatal(err)
+	}
+	res, err := train.RunLRPPWorker(cfg, *rank, tr, mesh)
+	if err != nil {
+		mesh.Shutdown()
+		fatal(err)
+	}
+	report(res)
+	mesh.Shutdown()
+	tr.Close()
+}
+
+// runTCPDriver forks the whole distributed system locally: one embedding-
+// server process plus (for the lrpp engine) one process per trainer, all on
+// loopback TCP — then optionally certifies the remote server state against
+// a local baseline run, exactly as the in-process -verify does, via the
+// checkpoint protocol.
+func runTCPDriver(cfg train.Config, spec *data.Spec) {
+	banner(spec, "tcp")
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	ports, err := freeLoopbackAddrs(1 + *trainers)
+	if err != nil {
+		fatal(err)
+	}
+	srvAddr, meshAddrs := ports[0], ports[1:]
+
+	common := []string{
+		"-net", "tcp",
+		"-dataset", *dataset,
+		"-scale", fmt.Sprint(*scale),
+		"-model", *modelFl,
+		"-opt", *optFl,
+		"-lr", fmt.Sprint(*lr),
+		"-batch-size", fmt.Sprint(*batchSz),
+		"-batches", fmt.Sprint(*batches),
+		"-lookahead", fmt.Sprint(*lookahd),
+		"-trainers", fmt.Sprint(*trainers),
+		"-partitioner", *partFl,
+		fmt.Sprintf("-eager-sync=%v", *eager),
+		"-shards", fmt.Sprint(*shards),
+		"-emb-dim", fmt.Sprint(*embDim),
+		"-seed", fmt.Sprint(*seed),
+	}
+	startProc := func(tag string, extra ...string) *exec.Cmd {
+		cmd := exec.Command(exe, append(append([]string{}, common...), extra...)...)
+		cmd.Stdout = newPrefixWriter(os.Stdout, "["+tag+"] ")
+		cmd.Stderr = newPrefixWriter(os.Stderr, "["+tag+"] ")
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("spawn %s: %w", tag, err))
+		}
+		return cmd
+	}
+
+	serverProc := startProc("server", "-serve", "-listen", srvAddr)
+	defer serverProc.Process.Kill() // no-op after a clean Wait; covers panics
+	var procs []*exec.Cmd
+	// fatal would bypass deferred cleanup (os.Exit); every failure past
+	// this point must go through die so no spawned process is orphaned.
+	die := func(err error) {
+		for _, proc := range procs {
+			if proc.Process != nil {
+				proc.Process.Kill()
+			}
+		}
+		if serverProc.Process != nil {
+			serverProc.Process.Kill()
+		}
+		fatal(err)
+	}
+
+	if *engineFl == "lrpp" {
+		fmt.Printf("spawned embedding server at %s; spawning %d trainer processes\n\n", srvAddr, *trainers)
+		for p := 0; p < *trainers; p++ {
+			procs = append(procs, startProc(fmt.Sprintf("trainer %d", p),
+				"-rank", fmt.Sprint(p),
+				"-peers", strings.Join(meshAddrs, ","),
+				"-server-addr", srvAddr))
+		}
+		failed := false
+		for p, proc := range procs {
+			if err := proc.Wait(); err != nil {
+				fmt.Fprintf(os.Stderr, "bagpipe: trainer %d: %v\n", p, err)
+				failed = true
+			}
+		}
+		if failed {
+			die(fmt.Errorf("trainer process failed"))
+		}
+	} else {
+		// baseline/pipelined are single-trainer-process engines: run the
+		// engine here, against the remote embedding server.
+		tr, err := transport.DialTCPLink(srvAddr, 30*time.Second)
+		if err != nil {
+			die(err)
+		}
+		var res *train.Result
+		switch *engineFl {
+		case "baseline":
+			res, err = train.RunBaseline(cfg, tr)
+		case "pipelined":
+			res, err = train.RunPipelined(cfg, tr)
+		default:
+			err = fmt.Errorf("unknown engine %q", *engineFl)
+		}
+		if err != nil {
+			die(err)
+		}
+		report(res)
+		tr.Close()
+	}
+
+	ctl, err := transport.DialTCPLink(srvAddr, 10*time.Second)
+	if err != nil {
+		die(err)
+	}
+	if *verify {
+		if *engineFl == "baseline" {
+			die(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
+		}
+		fmt.Println("\n--- verify: fetching remote checkpoint, rerunning the no-cache baseline locally ---")
+		remote, err := embed.RestoreServer(bytes.NewReader(ctl.Checkpoint()), *shards)
+		if err != nil {
+			die(fmt.Errorf("restore remote checkpoint: %w", err))
+		}
+		srvBase := newServer(spec)
+		baseRes, err := train.RunBaseline(cfg, transport.NewInProcess(srvBase))
+		if err != nil {
+			die(err)
+		}
+		report(baseRes)
+		diff := embed.Diff(srvBase, remote)
+		if len(diff) != 0 {
+			die(fmt.Errorf("FAIL: remote embedding state differs at %d ids (first %v)", len(diff), diff[0]))
+		}
+		fmt.Printf("\nPASS: distributed %s over loopback TCP left the embedding servers bit-identical to the baseline across %d materialized rows\n",
+			*engineFl, len(remote.MaterializedIDs()))
+	}
+	ctl.ShutdownServer()
+	ctl.Close()
+	if err := serverProc.Wait(); err != nil {
+		fatal(fmt.Errorf("embedding server: %w", err))
+	}
+}
+
+// freeLoopbackAddrs reserves n distinct loopback TCP addresses by binding
+// ephemeral ports and releasing them. The tiny bind race with other
+// processes is acceptable for a local spawn harness; the children's dial
+// retries cover slow starters, and a genuinely stolen port fails loudly.
+func freeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for _, lis := range listeners {
+		lis.Close()
+	}
+	return addrs, nil
+}
+
+// prefixWriter prefixes every output line with its process tag so the
+// interleaved child output stays attributable.
+type prefixWriter struct {
+	w      io.Writer
+	prefix []byte
+	atBOL  bool
+}
+
+func newPrefixWriter(w io.Writer, prefix string) *prefixWriter {
+	return &prefixWriter{w: w, prefix: []byte(prefix), atBOL: true}
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	written := 0
+	for len(b) > 0 {
+		if p.atBOL {
+			if _, err := p.w.Write(p.prefix); err != nil {
+				return written, err
+			}
+			p.atBOL = false
+		}
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			n, err := p.w.Write(b)
+			return written + n, err
+		}
+		n, err := p.w.Write(b[:i+1])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p.atBOL = true
+		b = b[i+1:]
+	}
+	return written, nil
+}
+
+// banner prints the experiment header.
+func banner(spec *data.Spec, netName string) {
+	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
+		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
+	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  shards %d  net %s\n\n",
+		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *shards, netName)
 }
 
 // specByName resolves the dataset flag to a Table 1 shape.
@@ -196,9 +515,11 @@ func report(r *train.Result) {
 	fmt.Printf("[%s] %d iters, %d examples in %v  (%.0f ex/s)\n",
 		r.Engine, r.Iters, r.Examples, r.Elapsed.Round(time.Millisecond), r.Throughput())
 	fmt.Printf("  loss: first %.4f  last %.4f  avg %.4f\n", r.FirstLoss, r.LastLoss, r.AvgLoss)
-	if r.Engine != "baseline" {
+	if r.Engine != "baseline" && r.UniqueIDs > 0 {
 		fmt.Printf("  cache: hit-rate %.1f%%  (%d hits / %d unique ids), peak %d rows, %d evictions\n",
 			100*r.HitRate(), r.CachedHits, r.UniqueIDs, r.PeakCache, r.Evicted)
+	}
+	if r.Engine != "baseline" {
 		fmt.Printf("  overlap: prefetch||train observed %d times, writeback||train %d times\n",
 			r.OverlapPrefetchTrain, r.OverlapMaintTrain)
 	}

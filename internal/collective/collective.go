@@ -5,9 +5,12 @@
 // The functional implementation synchronizes in-process trainer goroutines
 // deterministically: each rank deposits its contribution into a per-rank
 // slot and every rank folds the slots in rank order, so results are
-// bit-identical run to run regardless of goroutine scheduling. Cost
-// modelling of the same collectives on real networks (ring all-reduce
-// steps, per-call latency) lives in internal/perfmodel.
+// bit-identical run to run regardless of goroutine scheduling. That
+// rank-ordered fold is the package's contract, not an implementation
+// detail: the mesh-based reducer that multi-process worker runs use
+// (internal/train's meshColl, a rank-0-rooted reduce+broadcast over
+// transport.Mesh) reproduces the identical summation order, which is what
+// keeps distributed runs bit-identical to single-process ones.
 package collective
 
 import (

@@ -9,7 +9,17 @@
 // materializing the full table — the property that lets this reproduction
 // "store" Criteo-Terabyte's 882M-row tables while only ever allocating the
 // rows a run touches, and that lets the sync-equivalence tests compare a
-// distributed run against a single-process reference.
+// distributed run against a single-process reference. Checkpoints preserve
+// the (seed, init-scale) identity alongside the materialized rows, so a
+// server restored from a remote process's checkpoint (transport.TCPLink's
+// Checkpoint op, served by transport.ServeEmbed) peeks identically to the
+// original and can be Diff'ed bit-for-bit against a local baseline — the
+// mechanism behind `bagpipe -net tcp -verify`.
+//
+// The package never touches the network itself: it exposes batched,
+// shard-parallel Fetch/Write plus state-comparison primitives
+// (Diff, Fingerprint, Checkpoint/Restore), and internal/transport decides
+// whether those calls cross a socket.
 package embed
 
 import (

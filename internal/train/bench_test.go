@@ -2,6 +2,8 @@ package train
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -93,6 +95,64 @@ func BenchmarkEnginesSimnet5ms(b *testing.B) {
 				mesh := transport.NewSimMesh(p, time.Millisecond, 100e6)
 				res, err := RunLRPP(cfg, trs, mesh)
 				reportRun(b, res, err)
+			}
+		})
+	}
+}
+
+// BenchmarkLRPPTCP is the measured counterpart to the simnet rows: the
+// same workload run as P worker engines over real loopback sockets — one
+// TCPLink per trainer to a ServeEmbed server, plans/collectives/replicas/
+// sync over a loopback TCP mesh, every message through the little-endian
+// codec. Loopback has microsecond latency and GB/s bandwidth, so this
+// measures the protocol's own cost (framing, codec, syscalls, acked
+// write-backs) rather than a congested network; see README's
+// measured-vs-modeled note.
+func BenchmarkLRPPTCP(b *testing.B) {
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("%dtrainers", p), func(b *testing.B) {
+			cfg := benchConfig(p)
+			for i := 0; i < b.N; i++ {
+				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				serveDone := make(chan error, 1)
+				go func() { serveDone <- transport.ServeEmbed(lis, srv) }()
+				mesh, err := transport.NewLoopbackTCPMesh(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				links := make([]*transport.TCPLink, p)
+				results := make([]*Result, p)
+				errs := make([]error, p)
+				var wg sync.WaitGroup
+				for j := 0; j < p; j++ {
+					if links[j], err = transport.DialTCPLink(lis.Addr().String(), 5*time.Second); err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						results[j], errs[j] = RunLRPPWorker(cfg, j, links[j], mesh)
+					}(j)
+				}
+				wg.Wait()
+				mesh.Shutdown()
+				links[0].ShutdownServer()
+				for _, l := range links {
+					l.Close()
+				}
+				if err := <-serveDone; err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+				reportRun(b, results[0], nil)
 			}
 		})
 	}

@@ -41,27 +41,15 @@ type LRPPHooks struct {
 }
 
 // contribEntry is one example's gradient for one embedding row — the unit
-// the owners merge. Example is the example's index in the full batch, so
-// owners can re-fold contributions in exact batch order no matter which
-// trainer computed them or in which order the mesh delivered them.
-type contribEntry struct {
-	Example int
-	Grad    []float32
-}
-
-// lrppSyncMsg is a batched delayed-sync flush: one sender's gradient
-// contributions for one iteration, grouped per owned id.
-type lrppSyncMsg struct {
-	Iter    int
-	Entries map[uint64][]contribEntry
-}
-
-// lrppReplicaMsg carries an owner's row snapshots to a non-owner that
-// reads them this iteration (the logical replication of LRPP).
-type lrppReplicaMsg struct {
-	Iter int
-	Rows map[uint64][]float32
-}
+// the owners merge. The Example field is the example's index in the full
+// batch, so owners can re-fold contributions in exact batch order no matter
+// which trainer computed them or in which order the mesh delivered them.
+// It is the transport wire type directly: the engine's mesh payloads
+// (transport.ReplicaMsg, transport.SyncMsg, and in worker mode
+// transport.PlanMsg / transport.CollMsg) are identical over in-process,
+// simulated, and TCP fabrics — only the TCP mesh additionally runs them
+// through the little-endian codec.
+type contribEntry = transport.Contrib
 
 func syncMsgBytes(entries map[uint64][]contribEntry, dim int) int64 {
 	b := int64(8) // iteration header
@@ -75,15 +63,28 @@ func replicaMsgBytes(rows map[uint64][]float32, dim int) int64 {
 	return 8 + int64(len(rows))*int64(8+4*dim)
 }
 
-// lrppEngine is the state shared by all trainer processes of one run.
+// lrppColl is the collective layer a trainer steps its dense gradients
+// through: the in-process collective.Group when all trainers share an
+// address space, or the mesh-based reducer (meshColl, worker.go) when each
+// trainer is its own process. Both sum in rank order from zero, so the
+// result bits are identical.
+type lrppColl interface {
+	AllReduceSum(rank int, x []float32)
+	AllReduceSum64(rank int, x []float64)
+}
+
+// lrppEngine is the per-process engine state: shared by all trainers of
+// the run in single-process mode, owned by the one local trainer in worker
+// mode.
 type lrppEngine struct {
-	cfg   *Config
-	dim   int
-	P, L  int
-	lag   int // delayed-sync flush lag in iterations (0 or 1)
-	mesh  transport.Mesh
-	group *collective.Group
-	hooks *LRPPHooks
+	cfg    *Config
+	dim    int
+	P, L   int
+	lag    int // delayed-sync flush lag in iterations (0 or 1)
+	mesh   transport.Mesh
+	coll   lrppColl
+	hooks  *LRPPHooks
+	worker bool // each trainer is its own process; record losses locally
 
 	losses []float64 // full-batch loss per iteration (written by trainer 0)
 
@@ -142,6 +143,11 @@ type lrppTrainer struct {
 	}
 	tr transport.Transport
 	ep transport.Endpoint
+
+	// Worker mode only (nil otherwise): the mesh-based collective reducer
+	// and the plan resequencer fed by the receiver goroutine.
+	mcoll   *meshColl
+	planBox *planSeq
 
 	// mu guards everything below: the cache partition is touched by the
 	// trainer loop (insert/read) and the sync receiver (update/evict).
@@ -205,59 +211,12 @@ func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Resul
 		return nil, fmt.Errorf("train: mesh has %d endpoints for %d trainers", mesh.Size(), P)
 	}
 
-	eng := &lrppEngine{
-		cfg:    &cfg,
-		dim:    cfg.Spec.EmbDim,
-		P:      P,
-		L:      cfg.LookAhead,
-		mesh:   mesh,
-		group:  collective.NewGroup(P),
-		hooks:  cfg.Hooks,
-		losses: make([]float64, cfg.NumBatches),
-	}
-	if !cfg.SyncEager && cfg.LookAhead > 1 {
-		eng.lag = 1
-	}
-
-	mcfg := model.Config{
-		NumCategorical: cfg.Spec.NumCategorical,
-		NumNumeric:     cfg.Spec.NumNumeric,
-		TotalRows:      cfg.Spec.TotalRows(),
-		EmbDim:         cfg.Spec.EmbDim,
-		Seed:           cfg.Seed,
-	}
+	eng := newLRPPEngine(&cfg, mesh, collective.NewGroup(P))
 	trainers := make([]*lrppTrainer, P)
 	for p := 0; p < P; p++ {
-		m, err := model.New(cfg.Model, mcfg)
+		t, err := newLRPPTrainer(eng, p, trs[p], mesh.Endpoint(p))
 		if err != nil {
 			return nil, err
-		}
-		opt, err := newOptimizer(cfg.Optimizer, cfg.LR)
-		if err != nil {
-			return nil, err
-		}
-		rowOpt, err := newOptimizer(cfg.Optimizer, cfg.LR)
-		if err != nil {
-			return nil, err
-		}
-		t := &lrppTrainer{
-			p: p, eng: eng, model: m, opt: opt, rowOpt: rowOpt,
-			tr: trs[p], ep: mesh.Endpoint(p),
-			cache:       core.NewCache(cfg.Spec.EmbDim),
-			merges:      make(map[uint64]*idMergeQueue),
-			expiring:    make(map[int]int),
-			evbatch:     make(map[int][]core.Eviction),
-			computeDone: make(map[int]bool),
-			emitted:     make(map[int]bool),
-			repRows:     make(map[int]map[uint64][]float32),
-			repFrom:     make(map[int]map[int]struct{}),
-			flushQ:      make(chan flushItem, cfg.NumBatches+1),
-			maintCh:     make(chan maintJob, cfg.NumBatches+1),
-			tokens:      make(chan struct{}, cfg.LookAhead),
-		}
-		t.cond = sync.NewCond(&t.mu)
-		for i := 0; i < cfg.LookAhead; i++ {
-			t.tokens <- struct{}{}
 		}
 		trainers[p] = t
 	}
@@ -301,7 +260,77 @@ func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Resul
 	}
 	wg.Wait()
 	mesh.Quiesce()
+	return eng.collectResult(trainers, stats, start)
+}
 
+// newLRPPEngine builds the per-process engine state.
+func newLRPPEngine(cfg *Config, mesh transport.Mesh, coll lrppColl) *lrppEngine {
+	eng := &lrppEngine{
+		cfg:    cfg,
+		dim:    cfg.Spec.EmbDim,
+		P:      cfg.NumTrainers,
+		L:      cfg.LookAhead,
+		mesh:   mesh,
+		coll:   coll,
+		hooks:  cfg.Hooks,
+		losses: make([]float64, cfg.NumBatches),
+	}
+	if !cfg.SyncEager && cfg.LookAhead > 1 {
+		eng.lag = 1
+	}
+	return eng
+}
+
+// newLRPPTrainer builds trainer p: its model replica, optimizers, cache
+// partition, and pipeline plumbing.
+func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Transport, ep transport.Endpoint) (*lrppTrainer, error) {
+	cfg := eng.cfg
+	mcfg := model.Config{
+		NumCategorical: cfg.Spec.NumCategorical,
+		NumNumeric:     cfg.Spec.NumNumeric,
+		TotalRows:      cfg.Spec.TotalRows(),
+		EmbDim:         cfg.Spec.EmbDim,
+		Seed:           cfg.Seed,
+	}
+	m, err := model.New(cfg.Model, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	rowOpt, err := newOptimizer(cfg.Optimizer, cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	t := &lrppTrainer{
+		p: p, eng: eng, model: m, opt: opt, rowOpt: rowOpt,
+		tr: tr, ep: ep,
+		cache:       core.NewCache(cfg.Spec.EmbDim),
+		merges:      make(map[uint64]*idMergeQueue),
+		expiring:    make(map[int]int),
+		evbatch:     make(map[int][]core.Eviction),
+		computeDone: make(map[int]bool),
+		emitted:     make(map[int]bool),
+		repRows:     make(map[int]map[uint64][]float32),
+		repFrom:     make(map[int]map[int]struct{}),
+		flushQ:      make(chan flushItem, cfg.NumBatches+1),
+		maintCh:     make(chan maintJob, cfg.NumBatches+1),
+		tokens:      make(chan struct{}, cfg.LookAhead),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	for i := 0; i < cfg.LookAhead; i++ {
+		t.tokens <- struct{}{}
+	}
+	return t, nil
+}
+
+// collectResult assembles the run summary from the trainers this process
+// hosted (all of them in single-process mode, exactly one in worker mode)
+// plus the oracle stats if the oracle ran here.
+func (eng *lrppEngine) collectResult(trainers []*lrppTrainer, stats []core.IterStats, start time.Time) (*Result, error) {
+	cfg := eng.cfg
 	res := &Result{Engine: "lrpp", Iters: cfg.NumBatches}
 	var lossSum float64
 	for i, l := range eng.losses {
@@ -340,7 +369,7 @@ func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Resul
 	res.DelayedFlushes = eng.delayedFlushes.Load()
 	res.OverlapPrefetchTrain = eng.overlapPT.Load()
 	res.OverlapMaintTrain = eng.overlapMT.Load()
-	res.Mesh = mesh.Stats()
+	res.Mesh = eng.mesh.Stats()
 	return res, nil
 }
 
@@ -418,7 +447,7 @@ func (t *lrppTrainer) startReceiver() {
 				return
 			}
 			switch pl := msg.Payload.(type) {
-			case lrppReplicaMsg:
+			case transport.ReplicaMsg:
 				t.mu.Lock()
 				if t.repRows[pl.Iter] == nil {
 					t.repRows[pl.Iter] = make(map[uint64][]float32, len(pl.Rows))
@@ -430,13 +459,25 @@ func (t *lrppTrainer) startReceiver() {
 				t.repFrom[pl.Iter][msg.From] = struct{}{}
 				t.mu.Unlock()
 				t.cond.Broadcast()
-			case lrppSyncMsg:
+			case transport.SyncMsg:
 				t.mu.Lock()
 				for id, es := range pl.Entries {
 					t.depositLocked(id, pl.Iter, msg.From, es)
 				}
 				t.mu.Unlock()
 				t.cond.Broadcast()
+			case transport.PlanMsg:
+				// Worker mode only: the rank-0 process streams oracle plans.
+				if t.planBox == nil {
+					panic(fmt.Sprintf("train: trainer %d received a plan outside worker mode", t.p))
+				}
+				t.planBox.put(pl.Plan)
+			case transport.CollMsg:
+				// Worker mode only: collective contributions and results.
+				if t.mcoll == nil {
+					panic(fmt.Sprintf("train: trainer %d received a collective message outside worker mode", t.p))
+				}
+				t.mcoll.deliver(msg.From, pl)
 			default:
 				panic(fmt.Sprintf("train: trainer %d received unknown mesh payload %T", t.p, msg.Payload))
 			}
@@ -464,7 +505,7 @@ func (t *lrppTrainer) startFlusher() {
 				if len(entries) == 0 {
 					continue
 				}
-				t.ep.Send(o, syncMsgBytes(entries, eng.dim), lrppSyncMsg{Iter: iter, Entries: entries})
+				t.ep.Send(o, syncMsgBytes(entries, eng.dim), transport.SyncMsg{Iter: iter, Entries: entries})
 				if urgent {
 					eng.urgentFlushes.Add(1)
 				} else {
@@ -594,7 +635,7 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	type out struct {
 		to    int
 		bytes int64
-		msg   lrppReplicaMsg
+		msg   transport.ReplicaMsg
 	}
 	var outs []out
 	for q, ids := range pl.ReplicaOut {
@@ -606,7 +647,7 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 			}
 			snap[id] = append([]float32(nil), e.Row...)
 		}
-		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim), msg: lrppReplicaMsg{Iter: x, Rows: snap}})
+		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim), msg: transport.ReplicaMsg{Iter: x, Rows: snap}})
 	}
 	t.mu.Unlock()
 	for _, o := range outs {
@@ -663,17 +704,20 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	// 6. Forward/backward on this trainer's examples, dense all-reduce
 	// across the trainer group, dense step, loss reduction — the identical
 	// collective sequence on every trainer.
-	ls := extractLocal(d.Batch, d.Assign, t.p, eng.cfg.Spec.NumCategorical, eng.dim, gathered)
+	ls := extractLocal(d.Batch, d.Assign, t.p, eng.cfg.Spec.NumCategorical, eng.cfg.Spec.NumNumeric, eng.dim, gathered)
 	eng.activeTrain.Add(1)
 	loss, dEmb := computeLocal(t.model, ls)
 	for _, p := range t.model.Params() {
-		eng.group.AllReduceSum(t.p, p.Grad)
+		eng.coll.AllReduceSum(t.p, p.Grad)
 	}
 	t.opt.Step(t.model.Params())
 	eng.activeTrain.Add(-1)
 	lossVec := []float64{loss}
-	eng.group.AllReduceSum64(t.p, lossVec)
-	if t.p == 0 {
+	eng.coll.AllReduceSum64(t.p, lossVec)
+	// All ranks hold the identical reduced loss; in single-process mode the
+	// losses slice is shared so only trainer 0 writes it, in worker mode
+	// every process records its own copy.
+	if t.p == 0 || eng.worker {
 		eng.losses[x] = lossVec[0]
 	}
 

@@ -169,9 +169,9 @@ func fuzzSpec() *data.Spec {
 // test` mode, so CI exercises the harness even without -fuzz.
 func FuzzLRPPDifferential(f *testing.F) {
 	f.Add(uint64(42), uint8(1), uint8(4), uint8(6), uint8(8), uint8(0), false)
-	f.Add(uint64(7), uint8(2), uint8(0), uint8(3), uint8(6), uint8(1), false)  // L=1: lag collapses to 0
-	f.Add(uint64(9), uint8(3), uint8(2), uint8(7), uint8(10), uint8(2), true)  // comm-aware, eager
-	f.Add(uint64(1), uint8(0), uint8(5), uint8(2), uint8(4), uint8(2), false)  // P=1 degenerate
+	f.Add(uint64(7), uint8(2), uint8(0), uint8(3), uint8(6), uint8(1), false) // L=1: lag collapses to 0
+	f.Add(uint64(9), uint8(3), uint8(2), uint8(7), uint8(10), uint8(2), true) // comm-aware, eager
+	f.Add(uint64(1), uint8(0), uint8(5), uint8(2), uint8(4), uint8(2), false) // P=1 degenerate
 	f.Add(uint64(1234), uint8(3), uint8(1), uint8(5), uint8(9), uint8(1), false)
 	f.Fuzz(func(t *testing.T, seed uint64, pSel, lSel, bSel, nSel, partSel uint8, eager bool) {
 		p := 1 + int(pSel)%4

@@ -1,29 +1,40 @@
 // Package train is Bagpipe's execution engine: it wires the Oracle Cacher,
-// the trainer-side cache, the sharded embedding servers (behind a
-// transport), the recommendation models, and the collective layer into a
-// staged, concurrent training pipeline (§4 of the paper), plus a baseline
-// fetch-per-batch trainer the pipeline is differentially tested against.
+// the trainer-side caches, the sharded embedding servers (behind a
+// transport), the recommendation models, and the collective layer into
+// concurrent training pipelines, plus a baseline fetch-per-batch trainer
+// every engine is differentially tested against. Four drivers share one
+// deterministic compute core:
 //
-// The pipelined engine runs four kinds of goroutines:
-//
-//	oracle ──► prefetch pool ──► trainer ranks ──► maintenance
-//	(look-    (fetch misses     (forward/back-    (dirty-eviction
-//	ahead ℒ)   from servers)     ward + dense      write-backs)
-//	                             all-reduce)
+//   - RunBaseline — no cache, no lookahead, no overlap (§2.3 of the
+//     paper); the differential ground truth.
+//   - RunPipelined — one shared cache, staged oracle → prefetch pool →
+//     trainer ranks → maintenance pipeline (§4).
+//   - RunLRPP — P trainers with partitioned LRPP caches, replica pushes
+//     and delayed gradient sync over a trainer mesh (§3.3), all in one
+//     process.
+//   - RunLRPPWorker — exactly one LRPP trainer per process: plans,
+//     collectives, replicas, and sync flushes all cross a transport.Mesh
+//     (TCP in production, in-process/simulated in tests); rank 0 hosts the
+//     oracle (worker.go).
 //
 // The oracle walks the batch stream ℒ iterations ahead of training and its
 // decisions drive everything: what the prefetch workers fetch, how long the
-// cache keeps each row (TTL), and what the maintenance goroutine writes
-// back after eviction. A token scheme bounds the pipeline so a prefetch for
+// cache keeps each row (TTL), and what maintenance writes back after
+// eviction. A token scheme bounds each pipeline so a prefetch for
 // iteration x is issued only after the write-backs of iteration x−ℒ have
 // completed — exactly the window for which the oracle's consistency
-// argument (§3.2) guarantees the servers cannot serve a stale row.
+// argument (§3.2) guarantees the servers cannot serve a stale row. The
+// LRPP engines enforce the window per partition; ownership disjointness
+// composes the per-trainer windows into the global guarantee.
 //
-// Both engines drive the same deterministic rank machinery (data-parallel
-// model replicas whose dense gradients are combined with
-// collective.AllReduceSum, which sums in rank order), so a pipelined run
-// and a baseline run over the same Config produce bit-identical embedding
-// state — the end-to-end consistency property the tests enforce.
+// Every engine drives the same deterministic rank machinery: data-parallel
+// model replicas whose dense gradients are combined in rank order from
+// zero (collective.Group in-process, meshColl across processes), and
+// per-row gradient contributions folded in batch-example order with one
+// optimizer update per (row, iteration). Over the same Config, every
+// engine × fabric combination therefore produces bit-identical
+// embedding-server state — the end-to-end property the differential tests
+// and the fuzz harness (lrpp_fuzz_test.go) enforce under -race.
 package train
 
 import (
@@ -174,15 +185,16 @@ func (r *Result) Throughput() float64 {
 // optimizer, synchronized with a rank-ordered all-reduce so every replica
 // stays bit-identical regardless of goroutine scheduling.
 type ranks struct {
-	n      int
-	dim    int
-	numCat int
-	models []model.Model
-	opts   []optim.Optimizer
-	group  *collective.Group
-	in     []chan rankWork
-	out    []chan rankResult
-	wg     sync.WaitGroup
+	n        int
+	dim      int
+	numCat   int
+	numDense int
+	models   []model.Model
+	opts     []optim.Optimizer
+	group    *collective.Group
+	in       []chan rankWork
+	out      []chan rankResult
+	wg       sync.WaitGroup
 }
 
 type rankWork struct {
@@ -208,10 +220,11 @@ func newRanks(cfg *Config) (*ranks, error) {
 		Seed:           cfg.Seed,
 	}
 	r := &ranks{
-		n:      cfg.NumTrainers,
-		dim:    cfg.Spec.EmbDim,
-		numCat: cfg.Spec.NumCategorical,
-		group:  collective.NewGroup(cfg.NumTrainers),
+		n:        cfg.NumTrainers,
+		dim:      cfg.Spec.EmbDim,
+		numCat:   cfg.Spec.NumCategorical,
+		numDense: cfg.Spec.NumNumeric,
+		group:    collective.NewGroup(cfg.NumTrainers),
 	}
 	for i := 0; i < r.n; i++ {
 		m, err := model.New(cfg.Model, mcfg)
@@ -242,7 +255,7 @@ func (r *ranks) run(rank int) {
 	m := r.models[rank]
 	opt := r.opts[rank]
 	for w := range r.in[rank] {
-		ls := extractLocal(w.batch, w.assign, rank, r.numCat, r.dim, w.rows)
+		ls := extractLocal(w.batch, w.assign, rank, r.numCat, r.numDense, r.dim, w.rows)
 		loss, dEmb := computeLocal(m, ls)
 		// Every rank joins every collective (idle ranks contribute zeros)
 		// and steps the summed gradient, keeping all replicas bit-identical.
@@ -266,8 +279,11 @@ type localSlice struct {
 	full   int // full batch size (loss/gradient scaling)
 }
 
-// extractLocal gathers rank's examples of b and their embedding rows.
-func extractLocal(b *data.Batch, assign []int, rank, numCat, dim int, rows map[uint64][]float32) *localSlice {
+// extractLocal gathers rank's examples of b and their embedding rows. The
+// dense width is a parameter rather than read off b.Examples[0]: a batch
+// that arrived in a worker's PlanMsg is sparse — only this rank's assigned
+// examples are populated — and example 0 may be an empty slot.
+func extractLocal(b *data.Batch, assign []int, rank, numCat, numDense, dim int, rows map[uint64][]float32) *localSlice {
 	var mine []int
 	for i, t := range assign {
 		if t == rank {
@@ -277,7 +293,7 @@ func extractLocal(b *data.Batch, assign []int, rank, numCat, dim int, rows map[u
 	nLocal := len(mine)
 	ls := &localSlice{
 		mine:   mine,
-		dense:  tensor.NewMatrix(nLocal, len(b.Examples[0].Dense)),
+		dense:  tensor.NewMatrix(nLocal, numDense),
 		emb:    tensor.NewMatrix(nLocal, numCat*dim),
 		cats:   make([][]uint64, nLocal),
 		labels: make([]float32, nLocal),

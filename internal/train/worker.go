@@ -1,0 +1,325 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bagpipe/internal/core"
+	"bagpipe/internal/data"
+	"bagpipe/internal/transport"
+)
+
+// This file is the multi-process LRPP mode: RunLRPPWorker runs exactly one
+// trainer of a P-trainer run in the calling process, connected to its peers
+// over any transport.Mesh (in production a TCPMesh, in tests also the
+// in-process and simulated fabrics) and to the embedding tier over any
+// Transport (a TCPLink against a remote embedding-server process).
+//
+// Three things that are free in the single-process engine must cross the
+// mesh here, each as a codec wire type:
+//
+//   - oracle plans (transport.PlanMsg): the rank-0 process hosts the Oracle
+//     Cacher and streams every peer its per-iteration TrainerPlan. Plans may
+//     arrive reordered (the mesh contract permits it), so a resequencer
+//     (planSeq) feeds the trainer in iteration order.
+//   - dense-gradient and loss collectives (transport.CollMsg): meshColl is
+//     a rank-0-rooted reduce+broadcast whose root folds contributions in
+//     rank order from zero — the exact summation order of
+//     collective.Group — so worker runs stay bit-identical to single-process
+//     and baseline runs.
+//   - everything LRPP already exchanged (replicas, delayed-sync flushes)
+//     rides the same mesh unchanged.
+
+// meshColl implements lrppColl over a mesh endpoint: contributions flow to
+// rank 0, which folds them in rank order and broadcasts the result. Every
+// call is tagged with a sequence number (all ranks make the same sequence
+// of collective calls, as with MPI communicators), so arbitrarily reordered
+// delivery cannot mismatch phases. The trainer's receiver goroutine feeds
+// inbound CollMsgs in through deliver.
+type meshColl struct {
+	rank, n int
+	ep      transport.Endpoint
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64
+	contrib map[uint64]map[int]transport.CollMsg // root: seq → sender → contribution
+	result  map[uint64]transport.CollMsg         // non-root: seq → root's result
+}
+
+func newMeshColl(rank, n int, ep transport.Endpoint) *meshColl {
+	c := &meshColl{
+		rank: rank, n: n, ep: ep,
+		contrib: make(map[uint64]map[int]transport.CollMsg),
+		result:  make(map[uint64]transport.CollMsg),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// deliver routes one inbound collective message (called from the trainer's
+// mesh receiver goroutine).
+func (c *meshColl) deliver(from int, m transport.CollMsg) {
+	c.mu.Lock()
+	if c.rank == 0 {
+		byFrom := c.contrib[m.Seq]
+		if byFrom == nil {
+			byFrom = make(map[int]transport.CollMsg, c.n-1)
+			c.contrib[m.Seq] = byFrom
+		}
+		byFrom[from] = m
+	} else {
+		c.result[m.Seq] = m
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// gather blocks until every peer's contribution for seq arrived (root
+// only) and removes them from the pending set.
+func (c *meshColl) gather(seq uint64) map[int]transport.CollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.contrib[seq]) < c.n-1 {
+		c.cond.Wait()
+	}
+	byFrom := c.contrib[seq]
+	delete(c.contrib, seq)
+	return byFrom
+}
+
+// await blocks until the root's result for seq arrived (non-root only).
+func (c *meshColl) await(seq uint64) transport.CollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.result[seq]; ok {
+			delete(c.result, seq)
+			return m
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *meshColl) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.seq
+	c.seq++
+	return s
+}
+
+// AllReduceSum implements lrppColl for float32 vectors (dense gradients).
+func (c *meshColl) AllReduceSum(rank int, x []float32) {
+	if c.n == 1 {
+		return
+	}
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		byFrom := c.gather(seq)
+		// Fold in rank order from zero: x already holds rank 0's term.
+		for r := 1; r < c.n; r++ {
+			m, ok := byFrom[r]
+			if !ok || len(m.F32) != len(x) {
+				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d floats, want %d",
+					seq, r, len(m.F32), len(x)))
+			}
+			for i := range x {
+				x[i] += m.F32[i]
+			}
+		}
+		// Broadcast a snapshot: x is the caller's live gradient buffer, and
+		// in-process meshes deliver payloads by reference.
+		out := append([]float32(nil), x...)
+		for r := 1; r < c.n; r++ {
+			c.ep.Send(r, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: out})
+		}
+		return
+	}
+	c.ep.Send(0, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: append([]float32(nil), x...)})
+	m := c.await(seq)
+	if len(m.F32) != len(x) {
+		panic(fmt.Sprintf("train: collective %d: result carried %d floats, want %d", seq, len(m.F32), len(x)))
+	}
+	copy(x, m.F32)
+}
+
+// AllReduceSum64 implements lrppColl for float64 vectors (loss terms).
+func (c *meshColl) AllReduceSum64(rank int, x []float64) {
+	if c.n == 1 {
+		return
+	}
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		byFrom := c.gather(seq)
+		for r := 1; r < c.n; r++ {
+			m, ok := byFrom[r]
+			if !ok || len(m.F64) != len(x) {
+				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d doubles, want %d",
+					seq, r, len(m.F64), len(x)))
+			}
+			for i := range x {
+				x[i] += m.F64[i]
+			}
+		}
+		out := append([]float64(nil), x...)
+		for r := 1; r < c.n; r++ {
+			c.ep.Send(r, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: out})
+		}
+		return
+	}
+	c.ep.Send(0, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: append([]float64(nil), x...)})
+	m := c.await(seq)
+	if len(m.F64) != len(x) {
+		panic(fmt.Sprintf("train: collective %d: result carried %d doubles, want %d", seq, len(m.F64), len(x)))
+	}
+	copy(x, m.F64)
+}
+
+// collBytes is the declared wire size of one collective message.
+func collBytes(n, elem int) int64 { return 9 + int64(n*elem) }
+
+// planSeq re-sequences oracle plans arriving over the mesh: the fabric may
+// reorder them, the trainer consumes them in iteration order.
+type planSeq struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	plans map[int]*core.TrainerPlan
+}
+
+func newPlanSeq() *planSeq {
+	b := &planSeq{plans: make(map[int]*core.TrainerPlan)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// put deposits one arrived plan (called from the mesh receiver goroutine).
+func (b *planSeq) put(pl *core.TrainerPlan) {
+	b.mu.Lock()
+	b.plans[pl.Dec.Iter] = pl
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// stream emits plans for iterations [0, n) in order to out, then closes it.
+func (b *planSeq) stream(n int, out chan<- *core.TrainerPlan) {
+	defer close(out)
+	for iter := 0; iter < n; iter++ {
+		b.mu.Lock()
+		for b.plans[iter] == nil {
+			b.cond.Wait()
+		}
+		pl := b.plans[iter]
+		delete(b.plans, iter)
+		b.mu.Unlock()
+		out <- pl
+	}
+}
+
+// planMsgBytes models the wire size of one plan: the Decision's batch
+// payload (dense features, categorical ids, label per example) plus the
+// per-trainer plan maps — the same role syncMsgBytes/replicaMsgBytes play
+// for the data-path messages.
+func planMsgBytes(pl *core.TrainerPlan) int64 {
+	b := int64(16)
+	b += 8 * int64(len(pl.Prefetch))
+	b += 16 * int64(len(pl.OwnedTTL))
+	b += 8 * int64(len(pl.Expiring))
+	for _, us := range pl.Users {
+		b += 12 + 4*int64(len(us))
+	}
+	for _, ids := range pl.ReplicaOut {
+		b += 12 + 8*int64(len(ids))
+	}
+	b += 16 * int64(len(pl.Remote))
+	b += 4 + 4*int64(len(pl.ReplicaFrom))
+	d := pl.Dec
+	b += 8 + 4*int64(len(d.Assign)) + 8*int64(len(d.NeededNext))
+	// Only the destination's assigned examples travel.
+	for i, ex := range d.Batch.Examples {
+		if d.Assign[i] != pl.Trainer {
+			continue
+		}
+		b += 8 + 4*int64(len(ex.Dense)) + 8*int64(len(ex.Cat)) + 4
+	}
+	return b
+}
+
+// RunLRPPWorker runs trainer `rank` of a cfg.NumTrainers-trainer LRPP run
+// in this process. The peers run the same Config (workloads are
+// deterministic functions of it, so no configuration crosses the wire) in
+// their own processes — or goroutines, in tests — sharing the mesh fabric;
+// rank 0 additionally hosts the Oracle Cacher and streams everyone their
+// plans. State equivalence is unchanged from RunLRPP: over the same Config,
+// P worker processes leave the embedding tier bit-identical to the
+// single-process engines and the no-cache baseline.
+//
+// The caller owns tr and mesh: quiesce/shutdown them after the result
+// returns (a TCPMesh still carries peers' teardown traffic when this
+// trainer finishes first).
+func RunLRPPWorker(cfg Config, rank int, tr transport.Transport, mesh transport.Mesh) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LookAhead < 1 {
+		return nil, fmt.Errorf("train: LRPP engine needs LookAhead >= 1, got %d", cfg.LookAhead)
+	}
+	P := cfg.NumTrainers
+	if rank < 0 || rank >= P {
+		return nil, fmt.Errorf("train: worker rank %d out of [0,%d)", rank, P)
+	}
+	if mesh == nil {
+		return nil, fmt.Errorf("train: worker mode needs a mesh (use RunLRPP for the single-process engine)")
+	}
+	if mesh.Size() != P {
+		return nil, fmt.Errorf("train: mesh has %d endpoints for %d trainers", mesh.Size(), P)
+	}
+
+	eng := newLRPPEngine(&cfg, mesh, nil)
+	eng.worker = true
+	ep := mesh.Endpoint(rank)
+	mcoll := newMeshColl(rank, P, ep)
+	eng.coll = mcoll
+	t, err := newLRPPTrainer(eng, rank, tr, ep)
+	if err != nil {
+		return nil, err
+	}
+	t.mcoll = mcoll
+
+	planCh := make(chan *core.TrainerPlan, cfg.LookAhead)
+	var stats []core.IterStats
+	if rank == 0 {
+		// Host the oracle: walk the stream, keep our plan, ship the rest.
+		// The local plan channel's capacity throttles the walk to the
+		// lookahead window ahead of rank 0's progress; peers can never
+		// outrun it by more than the collectives allow, so plans are always
+		// available where needed.
+		gen := data.NewGenerator(cfg.Spec, cfg.Seed)
+		oracle := core.NewOracle(core.NewGeneratorSource(gen, cfg.BatchSize, cfg.NumBatches), cfg.LookAhead, P)
+		oracle.Partitioner = cfg.Partitioner
+		go func() {
+			defer close(planCh)
+			for {
+				d, ok := oracle.Next()
+				if !ok {
+					return
+				}
+				stats = append(stats, d.Stats(oracle.CacheOccupancy()))
+				plans := d.SplitPlans(P)
+				for p := 1; p < P; p++ {
+					ep.Send(p, planMsgBytes(plans[p]), transport.PlanMsg{Plan: plans[p]})
+				}
+				planCh <- plans[0]
+			}
+		}()
+	} else {
+		t.planBox = newPlanSeq()
+		go t.planBox.stream(cfg.NumBatches, planCh)
+	}
+
+	start := time.Now()
+	t.run(planCh)
+	mesh.Quiesce()
+	return eng.collectResult([]*lrppTrainer{t}, stats, start)
+}

@@ -1,0 +1,489 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"bagpipe/internal/core"
+	"bagpipe/internal/data"
+)
+
+// This file is the wire codec for everything that crosses a real network:
+// the trainer-mesh payloads (replica pushes, delayed-sync flushes, oracle
+// plans, collective contributions) and the framing shared with the
+// trainer↔embedding-server link. Encoding is explicit little-endian — no
+// gob/json/reflection on the hot path — and deterministic: map-typed fields
+// are written in sorted key order, so the same payload always produces the
+// same bytes (the codec round-trip tests rely on it).
+//
+// Frame layout, shared by the mesh and the link:
+//
+//	u32  frame length (bytes after this field)
+//	...  frame body (first body byte is a payload-type or op tag)
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns.
+
+// Wire payload types. These are the messages the LRPP engine exchanges over
+// a Mesh; internal/train uses them as its payload structs for every mesh
+// implementation, so in-process, simulated, and TCP runs move the identical
+// values (TCP additionally through EncodePayload/DecodePayload).
+type (
+	// ReplicaMsg carries an owner's per-iteration row snapshots to a
+	// non-owner whose examples read them (LRPP logical replication).
+	ReplicaMsg struct {
+		Iter int
+		Rows map[uint64][]float32
+	}
+
+	// Contrib is one example's gradient for one embedding row, tagged with
+	// the example's index in the full batch so owners can re-fold
+	// contributions in exact batch order regardless of arrival order.
+	Contrib struct {
+		Example int
+		Grad    []float32
+	}
+
+	// SyncMsg is one batched delayed-sync flush: one sender's gradient
+	// contributions for one iteration, grouped per owned id.
+	SyncMsg struct {
+		Iter    int
+		Entries map[uint64][]Contrib
+	}
+
+	// PlanMsg distributes one trainer's oracle plan from the rank-0 process
+	// (which hosts the Oracle Cacher) to its peer. Only the Decision fields
+	// a remote trainer consumes travel (Iter, Assign, NeededNext, Batch),
+	// and of the batch only the destination's assigned examples, indexed —
+	// the decoded Batch keeps its full length with empty slots elsewhere,
+	// so batch-order semantics (loss scaling, contribution folding by
+	// absolute example index) are preserved at a fraction of the bytes.
+	PlanMsg struct {
+		Plan *core.TrainerPlan
+	}
+
+	// CollMsg is one collective-communication step: a rank's contribution
+	// to (or the root's result of) all-reduce call number Seq. Exactly one
+	// of F32/F64 is non-nil.
+	CollMsg struct {
+		Seq uint64
+		F32 []float32
+		F64 []float64
+	}
+
+	// RawMsg is an opaque byte payload (conformance tests, future control
+	// traffic).
+	RawMsg []byte
+)
+
+// Payload type tags (first byte of an encoded payload).
+const (
+	tagReplica byte = 1 + iota
+	tagSync
+	tagPlan
+	tagColl
+	tagRaw
+)
+
+// EncodePayload encodes one of the wire payload types, tag first.
+// Unknown payload types panic: only codec-known messages may be handed to a
+// networked mesh, and catching that at the first Send beats a silent drop.
+func EncodePayload(p any) []byte {
+	return appendPayload(make([]byte, 0, 64), p)
+}
+
+// appendPayload is EncodePayload into a caller-supplied buffer, so framing
+// code can encode directly after its header without a second copy.
+func appendPayload(b []byte, p any) []byte {
+	switch m := p.(type) {
+	case ReplicaMsg:
+		b = append(b, tagReplica)
+		b = putU64(b, uint64(m.Iter))
+		b = putU32(b, uint32(len(m.Rows)))
+		for _, id := range sortedIDKeys(m.Rows) {
+			b = putU64(b, id)
+			b = putF32s(b, m.Rows[id])
+		}
+	case SyncMsg:
+		b = append(b, tagSync)
+		b = putU64(b, uint64(m.Iter))
+		b = putU32(b, uint32(len(m.Entries)))
+		for _, id := range sortedIDKeys(m.Entries) {
+			b = putU64(b, id)
+			es := m.Entries[id]
+			b = putU32(b, uint32(len(es)))
+			for _, e := range es {
+				b = putU64(b, uint64(e.Example))
+				b = putF32s(b, e.Grad)
+			}
+		}
+	case PlanMsg:
+		b = append(b, tagPlan)
+		b = putPlan(b, m.Plan)
+	case CollMsg:
+		b = append(b, tagColl)
+		b = putU64(b, m.Seq)
+		if m.F64 != nil {
+			b = append(b, 1)
+			b = putF64s(b, m.F64)
+		} else {
+			b = append(b, 0)
+			b = putF32s(b, m.F32)
+		}
+	case RawMsg:
+		b = append(b, tagRaw)
+		b = append(b, m...)
+	default:
+		panic(fmt.Sprintf("transport: cannot encode payload type %T", p))
+	}
+	return b
+}
+
+// DecodePayload is the inverse of EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("transport: empty payload")
+	}
+	r := &wireReader{b: b[1:]}
+	var out any
+	switch b[0] {
+	case tagReplica:
+		m := ReplicaMsg{Iter: int(r.u64())}
+		n := r.count(8)
+		m.Rows = make(map[uint64][]float32, n)
+		for i := 0; i < n; i++ {
+			id := r.u64()
+			m.Rows[id] = r.f32s()
+		}
+		out = m
+	case tagSync:
+		m := SyncMsg{Iter: int(r.u64())}
+		n := r.count(8)
+		m.Entries = make(map[uint64][]Contrib, n)
+		for i := 0; i < n; i++ {
+			id := r.u64()
+			ne := r.count(8)
+			es := make([]Contrib, 0, ne)
+			for j := 0; j < ne; j++ {
+				es = append(es, Contrib{Example: int(r.u64()), Grad: r.f32s()})
+			}
+			m.Entries[id] = es
+		}
+		out = m
+	case tagPlan:
+		out = PlanMsg{Plan: r.plan()}
+	case tagColl:
+		m := CollMsg{Seq: r.u64()}
+		if r.u8() == 1 {
+			m.F64 = r.f64s()
+		} else {
+			m.F32 = r.f32s()
+		}
+		out = m
+	case tagRaw:
+		raw := make(RawMsg, len(b)-1)
+		copy(raw, b[1:])
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown payload tag %d", b[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after payload tag %d", len(r.b), b[0])
+	}
+	return out, nil
+}
+
+// putPlan writes a TrainerPlan plus the Decision subset remote trainers
+// consume (Iter, Batch, Assign, NeededNext).
+func putPlan(b []byte, pl *core.TrainerPlan) []byte {
+	b = putU64(b, uint64(pl.Trainer))
+	b = putU64s(b, pl.Prefetch)
+	b = putU32(b, uint32(len(pl.OwnedTTL)))
+	for _, id := range sortedIDKeys(pl.OwnedTTL) {
+		b = putU64(b, id)
+		b = putU64(b, uint64(pl.OwnedTTL[id]))
+	}
+	b = putU64s(b, pl.Expiring)
+	b = putU32(b, uint32(len(pl.Users)))
+	for _, id := range sortedIDKeys(pl.Users) {
+		b = putU64(b, id)
+		b = putInts(b, pl.Users[id])
+	}
+	b = putU32(b, uint32(len(pl.ReplicaOut)))
+	for _, t := range sortedIntKeys(pl.ReplicaOut) {
+		b = putU64(b, uint64(t))
+		b = putU64s(b, pl.ReplicaOut[t])
+	}
+	b = putU32(b, uint32(len(pl.Remote)))
+	for _, id := range sortedIDKeys(pl.Remote) {
+		b = putU64(b, id)
+		b = putU64(b, uint64(pl.Remote[id]))
+	}
+	b = putInts(b, pl.ReplicaFrom)
+
+	d := pl.Dec
+	b = putU64(b, uint64(d.Iter))
+	b = putInts(b, d.Assign)
+	needed := make([]uint64, 0, len(d.NeededNext))
+	for id, v := range d.NeededNext {
+		if v {
+			needed = append(needed, id)
+		}
+	}
+	sort.Slice(needed, func(i, j int) bool { return needed[i] < needed[j] })
+	b = putU64s(b, needed)
+	// Only the destination trainer's assigned examples travel (indexed, so
+	// batch-order semantics — loss scaling by the full size, contribution
+	// folding by absolute example index — are preserved); shipping the
+	// whole batch to every peer would make plans P× redundant.
+	b = putU64(b, uint64(d.Batch.Index))
+	b = putU32(b, uint32(len(d.Batch.Examples)))
+	mine := 0
+	for i := range d.Batch.Examples {
+		if d.Assign[i] == pl.Trainer {
+			mine++
+		}
+	}
+	b = putU32(b, uint32(mine))
+	for i, ex := range d.Batch.Examples {
+		if d.Assign[i] != pl.Trainer {
+			continue
+		}
+		b = putU32(b, uint32(i))
+		b = putF32s(b, ex.Dense)
+		b = putU64s(b, ex.Cat)
+		b = putF32(b, ex.Label)
+	}
+	return b
+}
+
+func (r *wireReader) plan() *core.TrainerPlan {
+	pl := &core.TrainerPlan{Trainer: int(r.u64())}
+	pl.Prefetch = r.u64s()
+	n := r.count(16)
+	pl.OwnedTTL = make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		id := r.u64()
+		pl.OwnedTTL[id] = int(r.u64())
+	}
+	pl.Expiring = r.u64s()
+	n = r.count(12)
+	pl.Users = make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
+		id := r.u64()
+		pl.Users[id] = r.ints()
+	}
+	n = r.count(12)
+	pl.ReplicaOut = make(map[int][]uint64, n)
+	for i := 0; i < n; i++ {
+		t := int(r.u64())
+		pl.ReplicaOut[t] = r.u64s()
+	}
+	n = r.count(16)
+	pl.Remote = make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		id := r.u64()
+		pl.Remote[id] = int(r.u64())
+	}
+	pl.ReplicaFrom = r.ints()
+
+	d := &core.Decision{Iter: int(r.u64())}
+	d.Assign = r.ints()
+	d.NeededNext = make(map[uint64]bool)
+	for _, id := range r.u64s() {
+		d.NeededNext[id] = true
+	}
+	d.Batch = &data.Batch{Index: int(r.u64())}
+	full := r.count(0)
+	if full > 1<<24 { // sparse slots carry no bytes; bound absurd sizes explicitly
+		r.fail()
+		return pl
+	}
+	d.Batch.Examples = make([]data.Example, full)
+	n = r.count(4)
+	for i := 0; i < n; i++ {
+		idx := int(r.u32())
+		if idx >= full {
+			r.fail()
+			return pl
+		}
+		ex := data.Example{Dense: r.f32s(), Cat: r.u64s()}
+		ex.Label = r.f32()
+		d.Batch.Examples[idx] = ex
+	}
+	pl.Dec = d
+	return pl
+}
+
+// --- primitive writers (append-style, little-endian) ---
+
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func putF32(b []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+}
+
+func putF32s(b []byte, xs []float32) []byte {
+	b = putU32(b, uint32(len(xs)))
+	for _, x := range xs {
+		b = putF32(b, x)
+	}
+	return b
+}
+
+func putF64s(b []byte, xs []float64) []byte {
+	b = putU32(b, uint32(len(xs)))
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func putU64s(b []byte, xs []uint64) []byte {
+	b = putU32(b, uint32(len(xs)))
+	for _, x := range xs {
+		b = putU64(b, x)
+	}
+	return b
+}
+
+// putInts writes a non-negative int slice (ranks, assignments) as u32s.
+func putInts(b []byte, xs []int) []byte {
+	b = putU32(b, uint32(len(xs)))
+	for _, x := range xs {
+		b = putU32(b, uint32(x))
+	}
+	return b
+}
+
+// --- primitive reader ---
+
+// wireReader consumes an encoded payload body. The first decode error
+// sticks; subsequent reads return zero values so decoders need no per-field
+// checks, and the caller inspects err once at the end.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("transport: truncated payload")
+	}
+}
+
+func (r *wireReader) u8() byte {
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+// count reads a u32 element count and sanity-checks it against the bytes
+// remaining (each element needs at least minElem bytes), so a corrupt frame
+// cannot drive a huge allocation.
+func (r *wireReader) count(minElem int) int {
+	n := int(r.u32())
+	if r.err == nil && minElem > 0 && n > len(r.b)/minElem {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func (r *wireReader) f32s() []float32 {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = r.f32()
+	}
+	return xs
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(r.u64())
+	}
+	return xs
+}
+
+func (r *wireReader) u64s() []uint64 {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = r.u64()
+	}
+	return xs
+}
+
+func (r *wireReader) ints() []int {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = int(r.u32())
+	}
+	return xs
+}
+
+// --- sorted-key helpers (deterministic map encoding) ---
+
+func sortedIDKeys[V any](m map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

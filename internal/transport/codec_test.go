@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"bagpipe/internal/core"
+	"bagpipe/internal/data"
+)
+
+// TestCodecRoundTrip pins the little-endian codec: every wire payload type
+// decodes back to a deep-equal value, including map fields and the nested
+// plan/decision/batch structure.
+func TestCodecRoundTrip(t *testing.T) {
+	plan := &core.TrainerPlan{
+		Trainer:  1,
+		Prefetch: []uint64{3, 9, 27},
+		OwnedTTL: map[uint64]int{3: 5, 9: 4, 27: 4},
+		Expiring: []uint64{9},
+		Users:    map[uint64][]int{3: {0, 1}, 9: {1}},
+		ReplicaOut: map[int][]uint64{
+			0: {3},
+			2: {3, 9},
+		},
+		Remote:      map[uint64]int{4: 0, 8: 2},
+		ReplicaFrom: []int{0, 2},
+		Dec: &core.Decision{
+			Iter:       4,
+			Assign:     []int{0, 1, 1, 2},
+			NeededNext: map[uint64]bool{3: true},
+			Batch: &data.Batch{
+				Index: 4,
+				Examples: []data.Example{
+					{Dense: []float32{0.5, -1}, Cat: []uint64{3, 4}, Label: 1},
+					{Dense: []float32{2, 3}, Cat: []uint64{9, 8}, Label: 0},
+					{Dense: []float32{-0.25, 0}, Cat: []uint64{3, 8}, Label: 1},
+					{Dense: []float32{1, 1}, Cat: []uint64{27, 4}, Label: 0},
+				},
+			},
+		},
+	}
+	cases := []any{
+		ReplicaMsg{Iter: 7, Rows: map[uint64][]float32{
+			12: {1, 2.5, -3},
+			99: {0, -0.125, 42},
+		}},
+		SyncMsg{Iter: 3, Entries: map[uint64][]Contrib{
+			5:  {{Example: 2, Grad: []float32{0.1, -0.2}}, {Example: 7, Grad: []float32{1, 2}}},
+			11: {{Example: 0, Grad: []float32{-5, 5}}},
+		}},
+		PlanMsg{Plan: plan},
+		CollMsg{Seq: 41, F32: []float32{1.5, -2.25}},
+		CollMsg{Seq: 42, F64: []float64{3.14159, -1e-9}},
+		RawMsg("hello mesh"),
+	}
+	for _, in := range cases {
+		enc := EncodePayload(in)
+		out, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", in, err)
+		}
+		if pm, ok := in.(PlanMsg); ok {
+			// Pointer equality can't hold; compare the pointed-to values.
+			// The batch arrives sparse: full length, but only the
+			// destination trainer's assigned examples populated.
+			got := out.(PlanMsg)
+			wantBatch := data.Batch{
+				Index:    pm.Plan.Dec.Batch.Index,
+				Examples: make([]data.Example, len(pm.Plan.Dec.Batch.Examples)),
+			}
+			for i, ex := range pm.Plan.Dec.Batch.Examples {
+				if pm.Plan.Dec.Assign[i] == pm.Plan.Trainer {
+					wantBatch.Examples[i] = ex
+				}
+			}
+			if !reflect.DeepEqual(wantBatch, *got.Plan.Dec.Batch) {
+				t.Fatalf("plan batch round trip:\n want %+v\n out  %+v", wantBatch, *got.Plan.Dec.Batch)
+			}
+			pmDec, gotDec := *pm.Plan.Dec, *got.Plan.Dec
+			pmDec.Batch, gotDec.Batch = nil, nil
+			if !reflect.DeepEqual(pmDec, gotDec) {
+				t.Fatalf("plan decision round trip:\n in  %+v\n out %+v", pmDec, gotDec)
+			}
+			pmPl, gotPl := *pm.Plan, *got.Plan
+			pmPl.Dec, gotPl.Dec = nil, nil
+			if !reflect.DeepEqual(pmPl, gotPl) {
+				t.Fatalf("plan round trip:\n in  %+v\n out %+v", pmPl, gotPl)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip:\n in  %+v (%T)\n out %+v (%T)", in, in, out, out)
+		}
+	}
+}
+
+// TestCodecDeterministic: map-typed fields encode in sorted key order, so
+// the same payload always produces identical bytes.
+func TestCodecDeterministic(t *testing.T) {
+	msg := ReplicaMsg{Iter: 1, Rows: map[uint64][]float32{}}
+	for id := uint64(0); id < 64; id++ {
+		msg.Rows[id*7919%257] = []float32{float32(id)}
+	}
+	ref := EncodePayload(msg)
+	for i := 0; i < 16; i++ {
+		if got := EncodePayload(msg); !reflect.DeepEqual(ref, got) {
+			t.Fatal("encoding of the same payload differed between calls")
+		}
+	}
+}
+
+// TestCodecRejectsCorrupt: truncated or trailing-garbage frames error
+// instead of panicking or over-allocating.
+func TestCodecRejectsCorrupt(t *testing.T) {
+	enc := EncodePayload(ReplicaMsg{Iter: 1, Rows: map[uint64][]float32{5: {1, 2, 3}}})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodePayload(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	if _, err := DecodePayload(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	if _, err := DecodePayload([]byte{0x7F, 1, 2}); err == nil {
+		t.Fatal("unknown tag decoded without error")
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Fatal("empty payload decoded without error")
+	}
+}

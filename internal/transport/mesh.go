@@ -57,6 +57,43 @@ type Mesh interface {
 	Quiesce()
 }
 
+// pendingCount tracks in-flight deliveries for Quiesce. Unlike a
+// sync.WaitGroup, add and wait may race freely: multiple trainers sharing
+// one mesh object (worker tests, the loopback TCP facade) can have one
+// endpoint quiescing while another still sends, which is defined behavior —
+// wait returns at any instant the count is zero.
+type pendingCount struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (p *pendingCount) add(d int) {
+	p.mu.Lock()
+	if p.cond == nil {
+		p.cond = sync.NewCond(&p.mu)
+	}
+	p.n += d
+	if p.n < 0 {
+		panic("transport: negative in-flight count")
+	}
+	if p.n == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pendingCount) wait() {
+	p.mu.Lock()
+	if p.cond == nil {
+		p.cond = sync.NewCond(&p.mu)
+	}
+	for p.n > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
 // inbox is one endpoint's delivery queue, shared by both mesh types.
 type inbox struct {
 	mu     sync.Mutex
@@ -187,7 +224,7 @@ type SimMesh struct {
 
 	boxes   []*inbox
 	links   []linkClock // n*n, indexed from*n+to
-	wg      sync.WaitGroup
+	pending pendingCount
 	msgs    atomic.Int64
 	bytes   atomic.Int64
 	dropped atomic.Int64
@@ -222,8 +259,10 @@ func (m *SimMesh) Name() string { return "sim-mesh" }
 func (m *SimMesh) Size() int { return len(m.boxes) }
 
 // Quiesce implements Mesh: blocks until every in-flight delivery has
-// landed (or been dropped against a closed endpoint).
-func (m *SimMesh) Quiesce() { m.wg.Wait() }
+// landed (or been dropped against a closed endpoint). Safe to call while
+// other endpoints keep sending; it returns at an instant the fabric is
+// momentarily empty.
+func (m *SimMesh) Quiesce() { m.pending.wait() }
 
 // Stats implements Mesh.
 func (m *SimMesh) Stats() MeshStats {
@@ -274,9 +313,9 @@ func (e *simEndpoint) Send(to int, bytes int64, payload any) bool {
 	m.bytes.Add(bytes)
 	m.delayNs.Add(int64(arrival.Sub(now)))
 	msg := MeshMsg{From: e.rank, To: to, Bytes: bytes, Payload: payload}
-	m.wg.Add(1)
+	m.pending.add(1)
 	go func() {
-		defer m.wg.Done()
+		defer m.pending.add(-1)
 		if d := time.Until(arrival); d > 0 {
 			time.Sleep(d)
 		}

@@ -1,0 +1,485 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bagpipe/internal/embed"
+)
+
+// This file is the trainer↔embedding-server wire: TCPLink, a pipelined RPC
+// client implementing Transport over one TCP connection, and ServeEmbed,
+// the accept loop that exposes an embed.Server to it. Framing and number
+// encoding come from codec.go; requests are tagged with a sequence number
+// so many calls can be in flight at once (the LRPP dispatcher overlaps up
+// to ℒ prefetches with write-backs on the same link), and a writer
+// goroutine coalesces queued requests into one buffered flush.
+
+// linkMagic opens every link connection: "BGL" + protocol version.
+const linkMagic uint32 = 'B'<<24 | 'G'<<16 | 'L'<<8 | 1
+
+// Link protocol ops (first body byte of a link frame).
+const (
+	opFetch byte = 0x10 + iota
+	opWrite
+	opFingerprint
+	opCheckpoint
+	opShutdown
+	opResp // server → client: u64 seq, then the op-specific result
+)
+
+// maxFrame bounds a single link or mesh frame; a length prefix beyond it is
+// treated as a corrupt stream rather than an allocation request.
+const maxFrame = 1 << 30
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// TCPLink is a Transport over one TCP connection to an embedding-server
+// process. Calls are pipelined: each request carries a sequence number, a
+// writer goroutine coalesces queued requests into single buffered flushes,
+// and a reader goroutine demultiplexes responses to their callers — so
+// concurrent Fetch (prefetch) and Write (write-back maintenance) calls
+// overlap on the wire exactly as they do on the in-process transport.
+//
+// The Transport interface is errorless (the in-process implementations
+// cannot fail); a lost connection therefore panics with the underlying
+// error. A worker process cannot make progress without its embedding tier,
+// so dying loudly is the correct degradation.
+type TCPLink struct {
+	conn net.Conn
+	dim  int
+
+	reqCh chan linkReq
+
+	mu      sync.Mutex
+	pending map[uint64]chan []byte // seq → response body (after the seq field)
+	seq     uint64
+	broken  error
+
+	wg sync.WaitGroup
+
+	fetches, writes            atomic.Int64
+	rowsFetched, rowsWritten   atomic.Int64
+	bytesFetched, bytesWritten atomic.Int64
+}
+
+type linkReq struct {
+	body []byte
+}
+
+// DialTCPLink connects to an embedding server at addr, retrying for up to
+// timeout (processes of one run start in arbitrary order).
+func DialTCPLink(addr string, timeout time.Duration) (*TCPLink, error) {
+	conn, err := dialRetry(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial embedding server %s: %w", addr, err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], linkMagic)
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: link handshake: %w", err)
+	}
+	var ack [8]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: link handshake: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(ack[:4]); m != linkMagic {
+		conn.Close()
+		return nil, fmt.Errorf("transport: link handshake: magic %#x from %s", m, addr)
+	}
+	t := &TCPLink{
+		conn:    conn,
+		dim:     int(binary.LittleEndian.Uint32(ack[4:])),
+		reqCh:   make(chan linkReq, 64),
+		pending: make(map[uint64]chan []byte),
+	}
+	t.wg.Add(2)
+	go t.writeLoop()
+	go t.readLoop()
+	return t, nil
+}
+
+// dialRetry dials addr until it succeeds or timeout elapses.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// writeLoop drains the request queue into the socket, flushing only when
+// the queue goes momentarily empty — back-to-back requests share one flush.
+// On a write error it fails the pending callers and keeps draining the
+// queue until Close, so a caller mid-enqueue can never block forever on a
+// dead link (its response channel is already closed, so it panics with the
+// link error as documented).
+func (t *TCPLink) writeLoop() {
+	defer t.wg.Done()
+	fail := func(err error) {
+		t.failPending(err)
+		for range t.reqCh {
+		}
+	}
+	bw := bufio.NewWriterSize(t.conn, 1<<16)
+	for req := range t.reqCh {
+		if err := writeFrame(bw, req.body); err != nil {
+			fail(err)
+			return
+		}
+		for {
+			select {
+			case req, ok := <-t.reqCh:
+				if !ok {
+					bw.Flush()
+					return
+				}
+				if err := writeFrame(bw, req.body); err != nil {
+					fail(err)
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	bw.Flush()
+}
+
+// readLoop demultiplexes responses to the callers waiting on them.
+func (t *TCPLink) readLoop() {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(t.conn, 1<<16)
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			t.failPending(err)
+			return
+		}
+		if len(body) < 9 || body[0] != opResp {
+			t.failPending(fmt.Errorf("transport: malformed link response (%d bytes)", len(body)))
+			return
+		}
+		seq := binary.LittleEndian.Uint64(body[1:9])
+		t.mu.Lock()
+		ch := t.pending[seq]
+		delete(t.pending, seq)
+		t.mu.Unlock()
+		if ch != nil {
+			ch <- body[9:]
+		}
+	}
+}
+
+// failPending marks the link broken and wakes every in-flight caller.
+func (t *TCPLink) failPending(err error) {
+	t.mu.Lock()
+	if t.broken == nil {
+		t.broken = err
+	}
+	for seq, ch := range t.pending {
+		close(ch)
+		delete(t.pending, seq)
+	}
+	t.mu.Unlock()
+}
+
+// call sends one request (op + body after the seq field) and blocks for the
+// response body.
+func (t *TCPLink) call(op byte, body func(b []byte) []byte) []byte {
+	t.mu.Lock()
+	if err := t.broken; err != nil {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("transport: tcp link to %s broken: %v", t.conn.RemoteAddr(), err))
+	}
+	seq := t.seq
+	t.seq++
+	ch := make(chan []byte, 1)
+	t.pending[seq] = ch
+	t.mu.Unlock()
+
+	b := make([]byte, 0, 64)
+	b = append(b, op)
+	b = putU64(b, seq)
+	if body != nil {
+		b = body(b)
+	}
+	t.reqCh <- linkReq{body: b}
+	resp, ok := <-ch
+	if !ok {
+		t.mu.Lock()
+		err := t.broken
+		t.mu.Unlock()
+		panic(fmt.Sprintf("transport: tcp link to %s broken: %v", t.conn.RemoteAddr(), err))
+	}
+	return resp
+}
+
+// Name implements Transport.
+func (t *TCPLink) Name() string { return "tcp" }
+
+// Dim implements Transport (the width the server declared at handshake).
+func (t *TCPLink) Dim() int { return t.dim }
+
+// Fetch implements Transport.
+func (t *TCPLink) Fetch(ids []uint64) [][]float32 {
+	resp := t.call(opFetch, func(b []byte) []byte { return putU64s(b, ids) })
+	r := &wireReader{b: resp}
+	flat := r.f32s()
+	if r.err != nil || len(flat) != len(ids)*t.dim {
+		panic(fmt.Sprintf("transport: fetch response for %d ids carried %d floats", len(ids), len(flat)))
+	}
+	rows := make([][]float32, len(ids))
+	for i := range rows {
+		rows[i] = flat[i*t.dim : (i+1)*t.dim]
+	}
+	t.fetches.Add(1)
+	t.rowsFetched.Add(int64(len(ids)))
+	t.bytesFetched.Add(payloadBytes(len(ids), t.dim))
+	return rows
+}
+
+// Write implements Transport. It returns only after the server applied the
+// rows: the LRPP consistency window needs iteration x−ℒ's write-backs
+// durably on the servers before iteration x's prefetch is issued, so the
+// ack round trip is part of the contract, not overhead.
+func (t *TCPLink) Write(ids []uint64, rows [][]float32) {
+	if len(ids) != len(rows) {
+		panic("transport: Write ids/rows length mismatch")
+	}
+	t.call(opWrite, func(b []byte) []byte {
+		b = putU64s(b, ids)
+		for _, row := range rows {
+			b = putF32s(b, row)
+		}
+		return b
+	})
+	t.writes.Add(1)
+	t.rowsWritten.Add(int64(len(ids)))
+	t.bytesWritten.Add(payloadBytes(len(ids), t.dim))
+}
+
+// Fingerprint asks the server for embed.Server.Fingerprint — the cheap
+// remote state certificate used by distributed verification.
+func (t *TCPLink) Fingerprint() uint64 {
+	resp := t.call(opFingerprint, nil)
+	r := &wireReader{b: resp}
+	return r.u64()
+}
+
+// Checkpoint streams the server's checkpoint (every shard, in order) and
+// returns its bytes; embed.RestoreServer rebuilds an identical local copy,
+// which is how the driver diffs a remote run against a local baseline.
+func (t *TCPLink) Checkpoint() []byte {
+	return t.call(opCheckpoint, nil)
+}
+
+// ShutdownServer asks the serving process to stop accepting and return
+// from ServeEmbed once the ack is on the wire.
+func (t *TCPLink) ShutdownServer() {
+	t.call(opShutdown, nil)
+}
+
+// Close tears the connection down. In-flight calls panic, so quiesce
+// callers first.
+func (t *TCPLink) Close() {
+	close(t.reqCh)
+	t.conn.Close()
+	t.wg.Wait()
+}
+
+// Stats implements Transport.
+func (t *TCPLink) Stats() Stats {
+	return Stats{
+		Fetches:      t.fetches.Load(),
+		Writes:       t.writes.Load(),
+		RowsFetched:  t.rowsFetched.Load(),
+		RowsWritten:  t.rowsWritten.Load(),
+		BytesFetched: t.bytesFetched.Load(),
+		BytesWritten: t.bytesWritten.Load(),
+	}
+}
+
+// ServeEmbed serves srv over lis: the embedding-server process's main loop.
+// Each accepted connection gets a handler goroutine that answers Fetch /
+// Write / Fingerprint / Checkpoint requests in order (per-connection FIFO
+// keeps the write-ack contract trivially true; cross-connection parallelism
+// comes from each trainer holding its own link, and shard parallelism from
+// embed.Server itself). ServeEmbed returns after a client sends the
+// shutdown op, or with the first accept error after lis is closed
+// externally.
+func ServeEmbed(lis net.Listener, srv *embed.Server) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+		done  = make(chan struct{})
+		once  sync.Once
+	)
+	shutdown := func() {
+		once.Do(func() {
+			close(done)
+			lis.Close()
+			mu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			wg.Wait()
+			select {
+			case <-done:
+				return nil // clean shutdown requested by a client
+			default:
+				return err
+			}
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			serveEmbedConn(conn, srv, shutdown)
+		}(conn)
+	}
+}
+
+// serveEmbedConn answers one client's requests until EOF or shutdown.
+func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hello[:]) != linkMagic {
+		return
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var ack [8]byte
+	binary.LittleEndian.PutUint32(ack[:4], linkMagic)
+	binary.LittleEndian.PutUint32(ack[4:], uint32(srv.Dim))
+	if _, err := bw.Write(ack[:]); err != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(body) < 9 {
+			return
+		}
+		op := body[0]
+		seq := binary.LittleEndian.Uint64(body[1:9])
+		r := &wireReader{b: body[9:]}
+
+		resp := make([]byte, 0, 64)
+		resp = append(resp, opResp)
+		resp = putU64(resp, seq)
+		switch op {
+		case opFetch:
+			ids := r.u64s()
+			if r.err != nil {
+				return
+			}
+			rows := srv.Fetch(ids)
+			flat := make([]float32, 0, len(ids)*srv.Dim)
+			for _, row := range rows {
+				flat = append(flat, row...)
+			}
+			resp = putF32s(resp, flat)
+		case opWrite:
+			ids := r.u64s()
+			rows := make([][]float32, len(ids))
+			for i := range rows {
+				rows[i] = r.f32s()
+			}
+			if r.err != nil {
+				return
+			}
+			srv.Write(ids, rows)
+		case opFingerprint:
+			resp = putU64(resp, srv.Fingerprint())
+		case opCheckpoint:
+			var buf bytes.Buffer
+			if err := srv.Checkpoint(&buf); err != nil {
+				return
+			}
+			resp = append(resp, buf.Bytes()...)
+		case opShutdown:
+			writeFrame(bw, resp)
+			bw.Flush()
+			shutdown()
+			return
+		default:
+			return
+		}
+		if writeFrame(bw, resp) != nil {
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+)
+
+// startEmbedServer serves srv on a loopback listener and returns its
+// address plus a join function for the serve loop.
+func startEmbedServer(t *testing.T, srv *embed.Server) (string, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeEmbed(lis, srv) }()
+	return lis.Addr().String(), func() {
+		if err := <-done; err != nil {
+			t.Errorf("ServeEmbed: %v", err)
+		}
+	}
+}
+
+// TestTCPLinkRoundTrip: fetch/write over a real socket mutate the server
+// exactly like the in-process transport, and the control ops (fingerprint,
+// checkpoint, shutdown) work.
+func TestTCPLinkRoundTrip(t *testing.T) {
+	srv := embed.NewServer(2, 4, 3, 0.1)
+	ref := embed.NewServer(2, 4, 3, 0.1)
+	addr, join := startEmbedServer(t, srv)
+
+	tr, err := DialTCPLink(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dim() != 4 || tr.Name() != "tcp" {
+		t.Fatalf("handshake metadata: dim %d name %q", tr.Dim(), tr.Name())
+	}
+
+	ids := []uint64{1, 2, 3}
+	rows := tr.Fetch(ids)
+	refRows := NewInProcess(ref).Fetch(ids)
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != refRows[i][j] {
+				t.Fatalf("fetched row %d differs from in-process fetch", i)
+			}
+		}
+		rows[i][0] = float32(i) + 42
+		refRows[i][0] = float32(i) + 42
+	}
+	tr.Write(ids, rows)
+	NewInProcess(ref).Write(ids, refRows)
+	if d := embed.Diff(ref, srv); len(d) != 0 {
+		t.Fatalf("tcp link diverged from in-process at ids %v", d)
+	}
+	if fp := tr.Fingerprint(); fp != ref.Fingerprint() {
+		t.Fatalf("remote fingerprint %x != local %x", fp, ref.Fingerprint())
+	}
+	restored, err := embed.RestoreServer(bytes.NewReader(tr.Checkpoint()), srv.NumShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, restored); len(d) != 0 {
+		t.Fatalf("restored checkpoint diverged at ids %v", d)
+	}
+
+	st := tr.Stats()
+	wantBytes := int64(3 * (8 + 4*4))
+	if st.Fetches != 1 || st.RowsFetched != 3 || st.BytesFetched != wantBytes {
+		t.Fatalf("fetch stats %+v", st)
+	}
+	if st.Writes != 1 || st.RowsWritten != 3 || st.BytesWritten != wantBytes {
+		t.Fatalf("write stats %+v", st)
+	}
+
+	tr.ShutdownServer()
+	tr.Close()
+	join()
+}
+
+// TestTCPMeshCleanDeparture: a peer that shuts its mesh down announces a
+// clean departure, so survivors keep running (and can still exchange
+// traffic among themselves) instead of dying on the closed connection —
+// the normal staggered-teardown path of a distributed run, where the
+// crashed-peer case panics instead.
+func TestTCPMeshCleanDeparture(t *testing.T) {
+	lb, err := NewLoopbackTCPMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := lb.Endpoint(0), lb.Endpoint(1)
+	if !a.Send(1, 10, RawMsg("pre")) {
+		t.Fatal("send refused")
+	}
+	if msg, ok := b.Recv(); !ok || string(msg.Payload.(RawMsg)) != "pre" {
+		t.Fatalf("recv %+v ok=%v", msg, ok)
+	}
+	// Rank 2 departs first, like a worker that finished early.
+	lb.meshes[2].Shutdown()
+	// Give the goodbyes time to land, then the survivors keep talking.
+	time.Sleep(50 * time.Millisecond)
+	if !a.Send(1, 10, RawMsg("post")) {
+		t.Fatal("survivor send refused after peer departure")
+	}
+	if msg, ok := b.Recv(); !ok || string(msg.Payload.(RawMsg)) != "post" {
+		t.Fatalf("survivors lost traffic after peer departure: %+v ok=%v", msg, ok)
+	}
+	// Sends to the departed rank are dropped, not fatal.
+	a.Send(2, 10, RawMsg("late"))
+	lb.meshes[0].Shutdown()
+	lb.meshes[1].Shutdown()
+}
+
+// TestTCPMeshToleratesStrayConnections: a non-peer connection hitting a
+// trainer's mesh port (port scanner, health probe, aborted dial) is
+// dropped and the accept retried — it must not abort mesh construction.
+func TestTCPMeshToleratesStrayConnections(t *testing.T) {
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{l0.Addr().String(), l1.Addr().String()}
+
+	type built struct {
+		m   *TCPMesh
+		err error
+	}
+	m0ch := make(chan built, 1)
+	go func() {
+		m, err := NewTCPMesh(0, addrs, l0)
+		m0ch <- built{m, err}
+	}()
+	// The stray connects (and sends garbage) before the real peer dials.
+	stray, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray.Write([]byte("GET / HTTP/1.0\r\n\r\n"))
+	stray.Close()
+
+	m1, err := NewTCPMesh(1, addrs, l1)
+	if err != nil {
+		t.Fatalf("mesh construction aborted by stray connection: %v", err)
+	}
+	b0 := <-m0ch
+	if b0.err != nil {
+		t.Fatalf("rank 0 aborted by stray connection: %v", b0.err)
+	}
+	if !m1.Endpoint(1).Send(0, 5, RawMsg("hi")) {
+		t.Fatal("send refused")
+	}
+	if msg, ok := b0.m.Endpoint(0).Recv(); !ok || string(msg.Payload.(RawMsg)) != "hi" {
+		t.Fatalf("recv %+v ok=%v", msg, ok)
+	}
+	b0.m.Shutdown()
+	m1.Shutdown()
+}
+
+// TestTCPLinkPipelined drives one link from many goroutines at once — the
+// LRPP dispatcher pattern of ℒ overlapped prefetches plus concurrent
+// write-backs — and checks the end state and accounting stay exact.
+func TestTCPLinkPipelined(t *testing.T) {
+	const workers = 8
+	srv := embed.NewServer(2, 4, 9, 0.1)
+	ref := embed.NewServer(2, 4, 9, 0.1)
+	addr, join := startEmbedServer(t, srv)
+	tr, err := DialTCPLink(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ids := []uint64{uint64(p), uint64(p + workers), uint64(p + 2*workers)}
+			rows := tr.Fetch(ids)
+			for _, r := range rows {
+				r[0] += float32(p + 1)
+			}
+			tr.Write(ids, rows)
+		}(p)
+	}
+	wg.Wait()
+
+	for p := 0; p < workers; p++ {
+		ids := []uint64{uint64(p), uint64(p + workers), uint64(p + 2*workers)}
+		rows := ref.Fetch(ids)
+		for _, r := range rows {
+			r[0] += float32(p + 1)
+		}
+		ref.Write(ids, rows)
+	}
+	if d := embed.Diff(ref, srv); len(d) != 0 {
+		t.Fatalf("pipelined tcp link diverged from serial reference at %v", d)
+	}
+	st := tr.Stats()
+	if want := int64(workers * 3); st.RowsFetched != want || st.RowsWritten != want {
+		t.Fatalf("row accounting lost under concurrency: %+v", st)
+	}
+	tr.ShutdownServer()
+	tr.Close()
+	join()
+}

@@ -1,12 +1,32 @@
-// Package transport is the wire between trainers and the embedding-server
-// tier — the layer that decides whether a prefetch or write-back crosses a
-// real network. The functional reproduction runs everything in one process,
-// so the default transport is a direct call into embed.Server; the
-// simulated-network transport charges each call a configurable latency and
-// bandwidth cost and accounts the bytes moved, so experiments can report
-// the cross-machine traffic a disaggregated deployment would pay (the
-// paper's EC2 topology: trainers on p3 GPU nodes, embedding servers on
-// separate c5 nodes).
+// Package transport is the system's wire layer: the trainer↔embedding-
+// server link (Transport) and the trainer↔trainer fabric (Mesh), each with
+// three interchangeable implementations —
+//
+//   - in-process (InProcess, InprocMesh): direct calls, zero cost; the
+//     fabric the functional tests run on;
+//   - simulated (SimNet, SimMesh): a timing model charging per-call latency
+//     and per-link serialization bandwidth, so experiments can sweep the
+//     paper's EC2 topology (trainers on p3 GPU nodes, embedding servers on
+//     separate c5 nodes) without a cluster;
+//   - TCP (TCPLink/ServeEmbed, TCPMesh): real sockets speaking the
+//     length-prefixed little-endian protocol in codec.go, for genuinely
+//     distributed multi-process runs.
+//
+// Two invariants hold across all implementations, and the conformance
+// suite (conformance_test.go) pins them:
+//
+//   - a transport or mesh is a carrier, never a semantic layer: state
+//     changes and message values are identical whichever implementation
+//     moves them, so any engine/fabric combination must produce
+//     bit-identical embedding-server state;
+//   - mesh delivery may reorder but never corrupts or invents: every
+//     accepted Send is eventually delivered exactly once or counted
+//     dropped (drops can occur only after the destination endpoint
+//     closed), and receivers must key — not sequence — their protocol
+//     state.
+//
+// Traffic is accounted in payload bytes (8 per id + 4 per float) on every
+// implementation, the accounting the paper's byte plots use.
 package transport
 
 import (
