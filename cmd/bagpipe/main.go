@@ -56,6 +56,11 @@ var (
 	engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
 	partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
 	eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
+	collFl   = flag.String("collective", "fused", "mesh all-reduce strategy (worker mode): rooted (one frame per dense param), fused (one frame per step), ring (fused frames around the ring); all bit-identical")
+	syncComp = flag.Bool("sync-compress", false, "lrpp: float16-quantize replica pushes on the mesh (lossy; incompatible with -verify)")
+	autoLook = flag.Bool("auto-lookahead", false, "pick ℒ at startup from measured iteration time, link RTT, and -cache-rows (overrides -lookahead)")
+	cacheRws = flag.Int("cache-rows", 0, "auto-lookahead: trainer cache budget in rows (0 = 1/4 of the scaled table rows)")
+	statsFl  = flag.Bool("stats", false, "print per-phase mesh traffic (frames + bytes split by replica/sync/collective/plan)")
 	workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
 	shards   = flag.Int("shards", 4, "embedding server shard count")
 	embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
@@ -119,12 +124,20 @@ func main() {
 		PrefetchWorkers: *workers,
 		Partitioner:     part,
 		SyncEager:       *eager,
+		Collective:      *collFl,
+		SyncCompress:    *syncComp,
+	}
+	if *verify && *syncComp {
+		fatal(fmt.Errorf("-sync-compress is lossy (float16 replicas); -verify pins the lossless path — drop one of them"))
 	}
 
 	switch {
 	case *serve:
 		runServer(spec)
 	case *rank >= 0:
+		if *autoLook {
+			fatal(fmt.Errorf("-auto-lookahead resolves at the driver (every rank must agree on ℒ); pass the driver's -lookahead value instead"))
+		}
 		runWorker(cfg)
 	case netName == "tcp":
 		if !*spawn {
@@ -160,9 +173,42 @@ func newServer(spec *data.Spec) *embed.Server {
 	return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
 }
 
+// resolveAutoLookahead calibrates this machine's per-iteration compute
+// time, combines it with the embedding link's round trip and the trainer
+// cache budget, and overwrites ℒ — both in cfg and in the flag, so banners
+// and forked worker processes all see the resolved value.
+func resolveAutoLookahead(cfg *train.Config, rtt time.Duration) {
+	iter, err := train.CalibrateIterTime(*cfg, 3)
+	if err != nil {
+		fatal(err)
+	}
+	budget := *cacheRws
+	if budget <= 0 {
+		budget = int(cfg.Spec.TotalRows() / 4)
+	}
+	if budget < cfg.BatchSize {
+		budget = cfg.BatchSize
+	}
+	l, err := train.AutoLookahead(*cfg, iter, rtt, budget, 256)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("auto-lookahead: iteration ≈ %v, link RTT ≈ %v, budget %d rows → ℒ = %d\n\n",
+		iter.Round(time.Microsecond), rtt.Round(time.Microsecond), budget, l)
+	cfg.LookAhead = l
+	*lookahd = l
+}
+
 // runLocal is the single-process driver: every engine and the inproc/sim
 // fabrics, plus in-process -verify.
 func runLocal(cfg train.Config, spec *data.Spec, netName string) {
+	if *autoLook {
+		var rtt time.Duration
+		if netName == "sim" {
+			rtt = *netLat
+		}
+		resolveAutoLookahead(&cfg, rtt)
+	}
 	banner(spec, netName)
 	newTransport := func(srv *embed.Server) transport.Transport {
 		if netName == "sim" {
@@ -294,25 +340,33 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	}
 	srvAddr, meshAddrs := ports[0], ports[1:]
 
-	common := []string{
-		"-net", "tcp",
-		"-dataset", *dataset,
-		"-scale", fmt.Sprint(*scale),
-		"-model", *modelFl,
-		"-opt", *optFl,
-		"-lr", fmt.Sprint(*lr),
-		"-batch-size", fmt.Sprint(*batchSz),
-		"-batches", fmt.Sprint(*batches),
-		"-lookahead", fmt.Sprint(*lookahd),
-		"-trainers", fmt.Sprint(*trainers),
-		"-partitioner", *partFl,
-		fmt.Sprintf("-eager-sync=%v", *eager),
-		"-shards", fmt.Sprint(*shards),
-		"-emb-dim", fmt.Sprint(*embDim),
-		"-seed", fmt.Sprint(*seed),
+	// commonArgs reads the flags at call time: the server is spawned before
+	// -auto-lookahead resolves ℒ (it needs the server up to measure the link
+	// RTT), the trainers after — every rank must see the resolved value.
+	commonArgs := func() []string {
+		return []string{
+			"-net", "tcp",
+			"-dataset", *dataset,
+			"-scale", fmt.Sprint(*scale),
+			"-model", *modelFl,
+			"-opt", *optFl,
+			"-lr", fmt.Sprint(*lr),
+			"-batch-size", fmt.Sprint(*batchSz),
+			"-batches", fmt.Sprint(*batches),
+			"-lookahead", fmt.Sprint(*lookahd),
+			"-trainers", fmt.Sprint(*trainers),
+			"-partitioner", *partFl,
+			fmt.Sprintf("-eager-sync=%v", *eager),
+			"-collective", *collFl,
+			fmt.Sprintf("-sync-compress=%v", *syncComp),
+			fmt.Sprintf("-stats=%v", *statsFl),
+			"-shards", fmt.Sprint(*shards),
+			"-emb-dim", fmt.Sprint(*embDim),
+			"-seed", fmt.Sprint(*seed),
+		}
 	}
 	startProc := func(tag string, extra ...string) *exec.Cmd {
-		cmd := exec.Command(exe, append(append([]string{}, common...), extra...)...)
+		cmd := exec.Command(exe, append(commonArgs(), extra...)...)
 		cmd.Stdout = newPrefixWriter(os.Stdout, "["+tag+"] ")
 		cmd.Stderr = newPrefixWriter(os.Stderr, "["+tag+"] ")
 		if err := cmd.Start(); err != nil {
@@ -336,6 +390,25 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			serverProc.Process.Kill()
 		}
 		fatal(err)
+	}
+
+	if *autoLook {
+		// Measure the real link round trip against the freshly spawned
+		// server (fingerprint op = one full RPC), then resolve ℒ once here;
+		// the trainers inherit the concrete -lookahead value.
+		link, err := transport.DialTCPLink(srvAddr, 30*time.Second)
+		if err != nil {
+			die(err)
+		}
+		link.Fingerprint() // warm the connection and the server's shard walk
+		const pings = 3
+		t0 := time.Now()
+		for i := 0; i < pings; i++ {
+			link.Fingerprint()
+		}
+		rtt := time.Since(t0) / pings
+		link.Close()
+		resolveAutoLookahead(&cfg, rtt)
 	}
 
 	if *engineFl == "lrpp" {
@@ -531,6 +604,19 @@ func report(r *train.Result) {
 			fmt.Printf(", simulated delay %v", r.Mesh.SimulatedDelay.Round(time.Millisecond))
 		}
 		fmt.Println()
+		if *statsFl {
+			c := r.MeshClasses
+			iters := float64(r.Iters)
+			fmt.Printf("  mesh by phase (sent from this process):\n")
+			row := func(name string, msgs, bytes int64) {
+				fmt.Printf("    %-11s %7d frames (%6.1f/iter)  %10.2f KB (%8.0f B/iter)\n",
+					name, msgs, float64(msgs)/iters, float64(bytes)/1e3, float64(bytes)/iters)
+			}
+			row("replica", c.ReplicaMsgs, c.ReplicaBytes)
+			row("sync", c.SyncMsgs, c.SyncBytes)
+			row("collective", c.CollMsgs, c.CollBytes)
+			row("plan", c.PlanMsgs, c.PlanBytes)
+		}
 	}
 	st := r.Transport
 	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",

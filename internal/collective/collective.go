@@ -7,16 +7,34 @@
 // slot and every rank folds the slots in rank order, so results are
 // bit-identical run to run regardless of goroutine scheduling. That
 // rank-ordered fold is the package's contract, not an implementation
-// detail: the mesh-based reducer that multi-process worker runs use
-// (internal/train's meshColl, a rank-0-rooted reduce+broadcast over
-// transport.Mesh) reproduces the identical summation order, which is what
-// keeps distributed runs bit-identical to single-process ones.
+// detail: the Collective interface names it, and every mesh-based reducer
+// strategy multi-process worker runs select from (internal/train's
+// meshColl: rooted per-parameter frames, fused single-frame rounds, or a
+// ring of relayed fused frames over transport.Mesh) reproduces the
+// identical summation order, which is what keeps distributed runs
+// bit-identical to single-process ones.
 package collective
 
 import (
 	"fmt"
 	"sync"
 )
+
+// Collective is the interface the LRPP trainers step every iteration's
+// dense gradients and loss term through: one *fused* all-reduce covering
+// all parameter segments plus the float64 loss, instead of one collective
+// round per parameter. Implementations must fold contributions per segment
+// in rank order starting from zero — the contract that keeps every
+// engine × fabric combination bit-identical. In-process trainer goroutines
+// share a Group; multi-process workers use internal/train's mesh-based
+// reducer, whose rooted, fused, and ring strategies all reproduce the
+// identical summation order.
+type Collective interface {
+	// FusedAllReduce sums segs[i] element-wise across all ranks into every
+	// rank's segs[i] in place, and likewise loss. All ranks must pass
+	// congruent shapes; the call doubles as the iteration barrier.
+	FusedAllReduce(rank int, segs [][]float32, loss []float64)
+}
 
 // Group coordinates a fixed set of n ranks performing collectives. A Group
 // is reusable: ranks may call the same collective repeatedly, but all ranks
@@ -122,6 +140,45 @@ func allReduceSum[T float32 | float64](g *Group, rank int, x []T) {
 
 // AllReduceSum is the float32 all-reduce used for dense gradients.
 func (g *Group) AllReduceSum(rank int, x []float32) { allReduceSum(g, rank, x) }
+
+// fusedContrib is one rank's snapshot of a fused round: every gradient
+// segment plus the loss vector, deposited as a single slot.
+type fusedContrib struct {
+	segs [][]float32
+	loss []float64
+}
+
+// FusedAllReduce implements Collective: one arrive/depart round reduces
+// every segment and the loss together, folding slot r of each segment in
+// rank order from zero — bit-identical to per-segment AllReduceSum calls,
+// at one synchronization instead of len(segs)+1.
+func (g *Group) FusedAllReduce(rank int, segs [][]float32, loss []float64) {
+	if g.n == 1 {
+		return
+	}
+	contrib := fusedContrib{segs: make([][]float32, len(segs)), loss: append([]float64(nil), loss...)}
+	for i, s := range segs {
+		contrib.segs[i] = append([]float32(nil), s...)
+	}
+	slots := g.arrive(rank, contrib)
+	for i, x := range segs {
+		for k := range x {
+			var s float32
+			for r := 0; r < g.n; r++ {
+				s += slots[r].(fusedContrib).segs[i][k]
+			}
+			x[k] = s
+		}
+	}
+	for k := range loss {
+		var s float64
+		for r := 0; r < g.n; r++ {
+			s += slots[r].(fusedContrib).loss[k]
+		}
+		loss[k] = s
+	}
+	g.depart()
+}
 
 // AllReduceSum64 is the float64 all-reduce. The LRPP trainers use it for
 // the full-batch loss: per-rank partial losses are float64, and summing

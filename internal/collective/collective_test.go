@@ -72,6 +72,62 @@ func TestAllReduceSum64RankOrderedFold(t *testing.T) {
 	}
 }
 
+// TestFusedAllReduceMatchesPerSegment pins the fused round to the exact
+// bits of the per-segment calls it replaces: same rank-ordered fold per
+// segment, same float64 loss fold, values chosen so any other fold order
+// gives different bit patterns.
+func TestFusedAllReduceMatchesPerSegment(t *testing.T) {
+	const n = 4
+	segVals := [][]float32{ // [rank][seg]
+		{1e-8, 1},
+		{1, -1},
+		{-1, 3e-8},
+		{3e-8, 1e-8},
+	}
+	lossVals := []float64{1e-17, 1.0, -1.0, 3e-17}
+
+	// Reference: the per-segment primitives.
+	ref := NewGroup(n)
+	wantSegs := make([][][]float32, n) // [rank][seg]
+	wantLoss := make([][]float64, n)
+	run(n, func(rank int) {
+		a := []float32{segVals[rank][0]}
+		b := []float32{segVals[rank][1]}
+		ref.AllReduceSum(rank, a)
+		ref.AllReduceSum(rank, b)
+		l := []float64{lossVals[rank]}
+		ref.AllReduceSum64(rank, l)
+		wantSegs[rank] = [][]float32{a, b}
+		wantLoss[rank] = l
+	})
+
+	g := NewGroup(n)
+	run(n, func(rank int) {
+		segs := [][]float32{{segVals[rank][0]}, {segVals[rank][1]}}
+		loss := []float64{lossVals[rank]}
+		g.FusedAllReduce(rank, segs, loss)
+		for i := range segs {
+			if segs[i][0] != wantSegs[rank][i][0] {
+				t.Errorf("rank %d seg %d: fused %v != per-segment %v", rank, i, segs[i][0], wantSegs[rank][i][0])
+			}
+		}
+		if loss[0] != wantLoss[rank][0] {
+			t.Errorf("rank %d loss: fused %v != per-segment %v", rank, loss[0], wantLoss[rank][0])
+		}
+	})
+}
+
+// TestFusedAllReduceSingleRank: n=1 is a no-op that leaves inputs alone.
+func TestFusedAllReduceSingleRank(t *testing.T) {
+	g := NewGroup(1)
+	segs := [][]float32{{1, 2}}
+	loss := []float64{0.5}
+	g.FusedAllReduce(0, segs, loss)
+	if segs[0][0] != 1 || segs[0][1] != 2 || loss[0] != 0.5 {
+		t.Fatalf("single-rank fused reduce mutated inputs: %v %v", segs, loss)
+	}
+}
+
 func TestAllReduceMixedPhases(t *testing.T) {
 	// Alternating float32 and float64 collectives on one group must not
 	// bleed between phases.

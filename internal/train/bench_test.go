@@ -100,61 +100,89 @@ func BenchmarkEnginesSimnet5ms(b *testing.B) {
 	}
 }
 
+// runLRPPTCPOnce runs one full loopback-TCP worker configuration: a
+// ServeEmbed server process loop, one TCPLink per trainer, and the trainer
+// mesh over real sockets — every message through the little-endian codec.
+func runLRPPTCPOnce(b *testing.B, cfg Config, p int) *Result {
+	b.Helper()
+	srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- transport.ServeEmbed(lis, srv) }()
+	mesh, err := transport.NewLoopbackTCPMesh(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := make([]*transport.TCPLink, p)
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for j := 0; j < p; j++ {
+		if links[j], err = transport.DialTCPLink(lis.Addr().String(), 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results[j], errs[j] = RunLRPPWorker(cfg, j, links[j], mesh)
+		}(j)
+	}
+	wg.Wait()
+	mesh.Shutdown()
+	links[0].ShutdownServer()
+	for _, l := range links {
+		l.Close()
+	}
+	if err := <-serveDone; err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			b.Fatal(e)
+		}
+	}
+	return results[0]
+}
+
 // BenchmarkLRPPTCP is the measured counterpart to the simnet rows: the
-// same workload run as P worker engines over real loopback sockets — one
-// TCPLink per trainer to a ServeEmbed server, plans/collectives/replicas/
-// sync over a loopback TCP mesh, every message through the little-endian
-// codec. Loopback has microsecond latency and GB/s bandwidth, so this
-// measures the protocol's own cost (framing, codec, syscalls, acked
-// write-backs) rather than a congested network; see README's
-// measured-vs-modeled note.
+// same workload run as P worker engines over real loopback sockets.
+// Loopback has microsecond latency and GB/s bandwidth, so this measures
+// the protocol's own cost (framing, codec, syscalls, acked write-backs)
+// rather than a congested network; see README's measured-vs-modeled note.
+// Runs the default (fused) collective strategy; BenchmarkCollectives
+// sweeps the strategies explicitly.
 func BenchmarkLRPPTCP(b *testing.B) {
 	for _, p := range []int{2, 4} {
 		b.Run(fmt.Sprintf("%dtrainers", p), func(b *testing.B) {
 			cfg := benchConfig(p)
 			for i := 0; i < b.N; i++ {
-				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
-				lis, err := net.Listen("tcp", "127.0.0.1:0")
-				if err != nil {
-					b.Fatal(err)
-				}
-				serveDone := make(chan error, 1)
-				go func() { serveDone <- transport.ServeEmbed(lis, srv) }()
-				mesh, err := transport.NewLoopbackTCPMesh(p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				links := make([]*transport.TCPLink, p)
-				results := make([]*Result, p)
-				errs := make([]error, p)
-				var wg sync.WaitGroup
-				for j := 0; j < p; j++ {
-					if links[j], err = transport.DialTCPLink(lis.Addr().String(), 5*time.Second); err != nil {
-						b.Fatal(err)
-					}
-					wg.Add(1)
-					go func(j int) {
-						defer wg.Done()
-						results[j], errs[j] = RunLRPPWorker(cfg, j, links[j], mesh)
-					}(j)
-				}
-				wg.Wait()
-				mesh.Shutdown()
-				links[0].ShutdownServer()
-				for _, l := range links {
-					l.Close()
-				}
-				if err := <-serveDone; err != nil {
-					b.Fatal(err)
-				}
-				for _, e := range errs {
-					if e != nil {
-						b.Fatal(e)
-					}
-				}
-				reportRun(b, results[0], nil)
+				reportRun(b, runLRPPTCPOnce(b, cfg, p), nil)
 			}
 		})
+	}
+}
+
+// BenchmarkCollectives sweeps the mesh all-reduce strategy × trainer count
+// over loopback TCP: the perf trajectory of the fused/ring collective work
+// (rooted is the PR-3 wire behavior, one frame per dense parameter per
+// step). All cells run the identical workload and end in identical bits;
+// only the communication schedule differs.
+func BenchmarkCollectives(b *testing.B) {
+	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+		for _, p := range []int{2, 4} {
+			b.Run(fmt.Sprintf("%s-%dtrainers", strategy, p), func(b *testing.B) {
+				cfg := benchConfig(p)
+				cfg.Collective = strategy
+				for i := 0; i < b.N; i++ {
+					res := runLRPPTCPOnce(b, cfg, p)
+					reportRun(b, res, nil)
+					b.ReportMetric(float64(res.MeshClasses.CollMsgs)/float64(res.Iters), "collframes/iter")
+				}
+			})
+		}
 	}
 }
 

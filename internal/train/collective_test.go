@@ -1,0 +1,216 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+	"bagpipe/internal/transport"
+)
+
+// TestCollectiveStrategiesBitIdentical is the collective conformance
+// matrix: every mesh all-reduce strategy (rooted per-parameter frames,
+// fused single-frame, ring) over every fabric (instant in-process,
+// reordering simulated links, real TCP sockets + codec) leaves the
+// embedding servers bit-identical to the no-cache baseline and reports its
+// exact losses. Under -race this also exercises the ring relay path in the
+// receiver goroutine.
+func TestCollectiveStrategiesBitIdentical(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumTrainers = 3
+	cfg.NumBatches = 12
+
+	srvBase := newServer(cfg.Spec, 3)
+	base, err := RunBaseline(cfg, transport.NewInProcess(srvBase))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+		for _, meshName := range []string{"inproc", "sim", "tcp"} {
+			t.Run(fmt.Sprintf("%s_%s", strategy, meshName), func(t *testing.T) {
+				c := cfg
+				c.Collective = strategy
+				srv := newServer(c.Spec, 3)
+				var mesh transport.Mesh
+				switch meshName {
+				case "inproc":
+					mesh = transport.NewInprocMesh(c.NumTrainers)
+				case "sim":
+					mesh = transport.NewSimMesh(c.NumTrainers, 200*time.Microsecond, 20e6)
+				case "tcp":
+					lb, err := transport.NewLoopbackTCPMesh(c.NumTrainers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer lb.Shutdown()
+					mesh = lb
+				}
+				results := runWorkers(t, c, newTransports(srv, c.NumTrainers), mesh)
+
+				if d := embed.Diff(srvBase, srv); len(d) != 0 {
+					t.Fatalf("strategy %s over %s diverged at %d ids (first: %v)", strategy, meshName, len(d), d[0])
+				}
+				for p, res := range results {
+					if res.FirstLoss != base.FirstLoss || res.LastLoss != base.LastLoss {
+						t.Fatalf("worker %d losses diverged: %v/%v vs baseline %v/%v",
+							p, res.FirstLoss, res.LastLoss, base.FirstLoss, base.LastLoss)
+					}
+					if res.MeshClasses.CollMsgs == 0 {
+						t.Fatalf("worker %d sent no collective frames under strategy %s", p, strategy)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFusedCollectiveFrameReduction pins the tentpole's arithmetic: per
+// iteration, the fused strategy sends 2(P−1) collective frames across the
+// whole mesh where rooted sends 2(P−1)·(params+1), and ring sends P(P−1).
+// The wd model has well over four dense parameters, so fused must beat
+// rooted by ≥5× — the acceptance bar — and the counters, not the math,
+// are what's checked.
+func TestFusedCollectiveFrameReduction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumTrainers = 3
+	cfg.NumBatches = 10
+
+	frames := make(map[string]int64)
+	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+		c := cfg
+		c.Collective = strategy
+		srv := newServer(c.Spec, 3)
+		results := runWorkers(t, c, newTransports(srv, c.NumTrainers), transport.NewInprocMesh(c.NumTrainers))
+		var total int64
+		for _, res := range results {
+			total += res.MeshClasses.CollMsgs
+		}
+		frames[strategy] = total
+	}
+	P, iters := int64(cfg.NumTrainers), int64(cfg.NumBatches)
+	if want := P * (P - 1) * iters; frames[CollRing] != want {
+		t.Errorf("ring sent %d collective frames, want P(P-1)·iters = %d", frames[CollRing], want)
+	}
+	if want := 2 * (P - 1) * iters; frames[CollFused] != want {
+		t.Errorf("fused sent %d collective frames, want 2(P-1)·iters = %d", frames[CollFused], want)
+	}
+	if frames[CollRooted] < 5*frames[CollFused] {
+		t.Errorf("rooted sent %d frames vs fused %d: fusion saves < 5x", frames[CollRooted], frames[CollFused])
+	}
+}
+
+// TestLRPPSyncCompressRuns: the quantized replica path (-sync-compress) is
+// lossy by design, so it cannot be held to bit-identity — but it must run
+// every fabric-facing stage, quantize at the sender (all fabrics carry
+// identical values), and land close to the lossless run. The loss curve
+// staying within f16-noise of baseline is the smoke bar.
+func TestLRPPSyncCompressRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumTrainers = 2
+	cfg.NumBatches = 20
+	cfg.SyncCompress = true
+
+	srv := newServer(cfg.Spec, 3)
+	res, err := RunLRPP(cfg, newTransports(srv, 2), nil)
+	if err != nil {
+		t.Fatalf("lrpp with sync-compress: %v", err)
+	}
+
+	exact := cfg
+	exact.SyncCompress = false
+	srvExact := newServer(cfg.Spec, 3)
+	resExact, err := RunLRPP(exact, newTransports(srvExact, 2), nil)
+	if err != nil {
+		t.Fatalf("lrpp lossless: %v", err)
+	}
+	if res.ReplicaRows == 0 {
+		t.Fatal("no replicas pushed; the quantized path was never exercised")
+	}
+	if d := res.LastLoss - resExact.LastLoss; d > 0.05 || d < -0.05 {
+		t.Fatalf("quantized last loss %v drifted from lossless %v", res.LastLoss, resExact.LastLoss)
+	}
+	// And the per-class accounting halves replica bytes: 2 bytes/element
+	// instead of 4, same frame count.
+	if res.MeshClasses.ReplicaMsgs != resExact.MeshClasses.ReplicaMsgs {
+		t.Fatalf("replica frame count changed under quantization: %d vs %d",
+			res.MeshClasses.ReplicaMsgs, resExact.MeshClasses.ReplicaMsgs)
+	}
+	if res.MeshClasses.ReplicaBytes >= resExact.MeshClasses.ReplicaBytes {
+		t.Fatalf("quantized replica bytes %d not below lossless %d",
+			res.MeshClasses.ReplicaBytes, resExact.MeshClasses.ReplicaBytes)
+	}
+}
+
+// TestCalibrateAndAutoLookahead covers the -auto-lookahead machinery: the
+// calibration returns a sane positive compute time, and the window policy
+// respects both the latency floor (rtt/iter + slack) and the cache-budget
+// ceiling.
+func TestCalibrateAndAutoLookahead(t *testing.T) {
+	cfg := tinyConfig()
+	iter, err := CalibrateIterTime(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter <= 0 || iter > 5*time.Second {
+		t.Fatalf("calibrated iteration time %v not plausible", iter)
+	}
+
+	// A link 10 iterations deep needs ℒ ≈ 12; a huge budget must not cap it.
+	l, err := AutoLookahead(cfg, time.Millisecond, 10*time.Millisecond, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 12 {
+		t.Fatalf("auto ℒ = %d, want rtt/iter+2 = 12", l)
+	}
+	// A tiny cache budget caps the window regardless of latency.
+	lTight, err := AutoLookahead(cfg, time.Millisecond, 100*time.Millisecond, 40, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lTight >= 102 || lTight < 1 {
+		t.Fatalf("budget-capped ℒ = %d, want small positive", lTight)
+	}
+	if lTight > 8 {
+		t.Fatalf("40-row budget fits ℒ = %d windows of ~16-example batches: cap not applied", lTight)
+	}
+	// Zero-cost compute degrades to the floor, never to zero.
+	lFloor, err := AutoLookahead(cfg, 0, time.Millisecond, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lFloor != 2 {
+		t.Fatalf("floor ℒ = %d, want 2", lFloor)
+	}
+	if _, err := AutoLookahead(cfg, time.Millisecond, time.Millisecond, 0, 64); err == nil {
+		t.Fatal("zero cache budget accepted")
+	}
+	bad := cfg
+	bad.Collective = "nope"
+	if _, err := AutoLookahead(bad, time.Millisecond, time.Millisecond, 100, 64); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestCollectiveConfigValidation: unknown strategy names are rejected at
+// every engine entry point.
+func TestCollectiveConfigValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Collective = "tree"
+	srv := newServer(cfg.Spec, 1)
+	if _, err := RunLRPP(cfg, newTransports(srv, cfg.NumTrainers), nil); err == nil {
+		t.Fatal("RunLRPP accepted unknown collective strategy")
+	}
+	if _, err := RunLRPPWorker(cfg, 0, transport.NewInProcess(srv), transport.NewInprocMesh(cfg.NumTrainers)); err == nil {
+		t.Fatal("RunLRPPWorker accepted unknown collective strategy")
+	}
+	ok := tinyConfig()
+	for _, s := range []string{"", CollRooted, CollFused, CollRing} {
+		ok.Collective = s
+		if err := ok.validate(); err != nil {
+			t.Fatalf("strategy %q rejected: %v", s, err)
+		}
+	}
+}

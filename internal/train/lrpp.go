@@ -59,19 +59,42 @@ func syncMsgBytes(entries map[uint64][]contribEntry, dim int) int64 {
 	return b
 }
 
-func replicaMsgBytes(rows map[uint64][]float32, dim int) int64 {
-	return 8 + int64(len(rows))*int64(8+4*dim)
+// syncBatchBytes is the declared wire size of one coalesced sync frame:
+// a flush count plus one SyncMsg body per iteration table.
+func syncBatchBytes(flushes []transport.SyncMsg, dim int) int64 {
+	b := int64(4)
+	for _, f := range flushes {
+		b += syncMsgBytes(f.Entries, dim)
+	}
+	return b
 }
 
-// lrppColl is the collective layer a trainer steps its dense gradients
-// through: the in-process collective.Group when all trainers share an
-// address space, or the mesh-based reducer (meshColl, worker.go) when each
-// trainer is its own process. Both sum in rank order from zero, so the
-// result bits are identical.
-type lrppColl interface {
-	AllReduceSum(rank int, x []float32)
-	AllReduceSum64(rank int, x []float64)
+// replicaMsgBytes models the wire size of one replica push; quantized rows
+// cost 2 bytes per element instead of 4.
+func replicaMsgBytes(rows map[uint64][]float32, dim int, quant bool) int64 {
+	elem := int64(4)
+	if quant {
+		elem = 2
+	}
+	return 8 + int64(len(rows))*(8+elem*int64(dim))
 }
+
+// lrppColl is the collective layer a trainer steps its dense gradients and
+// loss through, as one fused round per iteration: the in-process
+// collective.Group when all trainers share an address space, or the
+// mesh-based reducer (meshColl, meshcoll.go) when each trainer is its own
+// process. Every implementation folds per segment in rank order from zero,
+// so the result bits are identical.
+type lrppColl = collective.Collective
+
+// Mesh traffic classes for per-phase accounting (Result.MeshClasses).
+const (
+	classReplica = iota
+	classSync
+	classColl
+	classPlan
+	numClasses
+)
 
 // lrppEngine is the per-process engine state: shared by all trainers of
 // the run in single-process mode, owned by the one local trainer in worker
@@ -97,6 +120,17 @@ type lrppEngine struct {
 	activeMaint    atomic.Int64
 	overlapPT      atomic.Int64
 	overlapMT      atomic.Int64
+
+	// Per-phase mesh traffic sent by this process (frames + declared
+	// bytes), indexed by class.
+	classMsgs  [numClasses]atomic.Int64
+	classBytes [numClasses]atomic.Int64
+}
+
+// countSend charges one sent mesh frame to its traffic class.
+func (eng *lrppEngine) countSend(class int, bytes int64) {
+	eng.classMsgs[class].Add(1)
+	eng.classBytes[class].Add(bytes)
 }
 
 // idMergeQueue sequences one owned id's pending per-iteration merges.
@@ -370,6 +404,12 @@ func (eng *lrppEngine) collectResult(trainers []*lrppTrainer, stats []core.IterS
 	res.OverlapPrefetchTrain = eng.overlapPT.Load()
 	res.OverlapMaintTrain = eng.overlapMT.Load()
 	res.Mesh = eng.mesh.Stats()
+	res.MeshClasses = MeshTraffic{
+		ReplicaMsgs: eng.classMsgs[classReplica].Load(), ReplicaBytes: eng.classBytes[classReplica].Load(),
+		SyncMsgs: eng.classMsgs[classSync].Load(), SyncBytes: eng.classBytes[classSync].Load(),
+		CollMsgs: eng.classMsgs[classColl].Load(), CollBytes: eng.classBytes[classColl].Load(),
+		PlanMsgs: eng.classMsgs[classPlan].Load(), PlanBytes: eng.classBytes[classPlan].Load(),
+	}
 	return res, nil
 }
 
@@ -466,6 +506,18 @@ func (t *lrppTrainer) startReceiver() {
 				}
 				t.mu.Unlock()
 				t.cond.Broadcast()
+			case transport.SyncBatchMsg:
+				// One coalesced frame, several iterations' flushes: deposits
+				// are keyed by (id, iteration), so the tables unpack exactly
+				// like the per-iteration frames they replace.
+				t.mu.Lock()
+				for _, f := range pl.Flushes {
+					for id, es := range f.Entries {
+						t.depositLocked(id, f.Iter, msg.From, es)
+					}
+				}
+				t.mu.Unlock()
+				t.cond.Broadcast()
 			case transport.PlanMsg:
 				// Worker mode only: the rank-0 process streams oracle plans.
 				if t.planBox == nil {
@@ -478,6 +530,13 @@ func (t *lrppTrainer) startReceiver() {
 					panic(fmt.Sprintf("train: trainer %d received a collective message outside worker mode", t.p))
 				}
 				t.mcoll.deliver(msg.From, pl)
+			case transport.FusedCollMsg:
+				// Worker mode only: fused contributions; under the ring
+				// strategy delivery also relays the frame to the next rank.
+				if t.mcoll == nil {
+					panic(fmt.Sprintf("train: trainer %d received a collective message outside worker mode", t.p))
+				}
+				t.mcoll.deliverFused(pl, msg.Bytes)
 			default:
 				panic(fmt.Sprintf("train: trainer %d received unknown mesh payload %T", t.p, msg.Payload))
 			}
@@ -487,25 +546,27 @@ func (t *lrppTrainer) startReceiver() {
 
 // startFlusher runs the delayed-sync sender: per iteration it flushes
 // critical contributions (rows the next iteration reads) immediately and
-// holds the rest back lag iterations, batching everything per owner so the
-// trainer loop never blocks on cross-trainer traffic.
+// holds the rest back lag iterations. Everything one flush pass owes one
+// owner — typically iteration x's urgent contributions plus iteration
+// x−lag's deferred ones — is coalesced into a single SyncBatchMsg frame
+// with a per-iteration entry table, instead of one frame per (iteration,
+// criticality), so the trainer loop never blocks on cross-trainer traffic
+// and the fabric sees one frame per owner per pass.
 func (t *lrppTrainer) startFlusher() {
 	eng := t.eng
 	t.flushWG.Add(1)
 	go func() {
 		defer t.flushWG.Done()
-		send := func(buckets map[int]map[uint64][]contribEntry, iter int, urgent bool) {
-			owners := make([]int, 0, len(buckets))
-			for o := range buckets {
-				owners = append(owners, o)
-			}
-			sort.Ints(owners)
-			for _, o := range owners {
-				entries := buckets[o]
+		// pass accumulates one flush pass's per-owner iteration tables; the
+		// urgent/delayed counters keep their historical granularity (one
+		// per non-empty per-owner table) even though the frames coalesce.
+		pass := make(map[int][]transport.SyncMsg)
+		collect := func(buckets map[int]map[uint64][]contribEntry, iter int, urgent bool) {
+			for o, entries := range buckets {
 				if len(entries) == 0 {
 					continue
 				}
-				t.ep.Send(o, syncMsgBytes(entries, eng.dim), transport.SyncMsg{Iter: iter, Entries: entries})
+				pass[o] = append(pass[o], transport.SyncMsg{Iter: iter, Entries: entries})
 				if urgent {
 					eng.urgentFlushes.Add(1)
 				} else {
@@ -513,18 +574,34 @@ func (t *lrppTrainer) startFlusher() {
 				}
 			}
 		}
-		var backlog []flushItem
-		for it := range t.flushQ {
-			send(it.urgent, it.iter, true)
-			backlog = append(backlog, it)
-			for len(backlog) > 0 && backlog[0].iter <= it.iter-eng.lag {
-				send(backlog[0].lazy, backlog[0].iter, false)
-				backlog = backlog[1:]
+		flush := func() {
+			owners := make([]int, 0, len(pass))
+			for o := range pass {
+				owners = append(owners, o)
+			}
+			sort.Ints(owners)
+			for _, o := range owners {
+				flushes := pass[o]
+				b := syncBatchBytes(flushes, eng.dim)
+				t.ep.Send(o, b, transport.SyncBatchMsg{Flushes: flushes})
+				eng.countSend(classSync, b)
+				delete(pass, o)
 			}
 		}
-		for _, it := range backlog {
-			send(it.lazy, it.iter, false)
+		var backlog []flushItem
+		for it := range t.flushQ {
+			collect(it.urgent, it.iter, true)
+			backlog = append(backlog, it)
+			for len(backlog) > 0 && backlog[0].iter <= it.iter-eng.lag {
+				collect(backlog[0].lazy, backlog[0].iter, false)
+				backlog = backlog[1:]
+			}
+			flush()
 		}
+		for _, it := range backlog {
+			collect(it.lazy, it.iter, false)
+		}
+		flush()
 	}()
 }
 
@@ -632,6 +709,11 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	}
 
 	// 4. Snapshot and push replicas to the non-owners reading our rows.
+	// With SyncCompress the snapshot is rounded through float16 *here*, at
+	// the sender — every fabric then carries the identical quantized
+	// values, and the wire encoding (2 bytes/element on TCP) is lossless
+	// with respect to them.
+	quant := eng.cfg.SyncCompress
 	type out struct {
 		to    int
 		bytes int64
@@ -645,13 +727,19 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 			if !ok {
 				panic(fmt.Sprintf("train: trainer %d iter %d: replica id %d missing from partition", t.p, x, id))
 			}
-			snap[id] = append([]float32(nil), e.Row...)
+			row := append([]float32(nil), e.Row...)
+			if quant {
+				transport.QuantizeF16(row)
+			}
+			snap[id] = row
 		}
-		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim), msg: transport.ReplicaMsg{Iter: x, Rows: snap}})
+		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim, quant),
+			msg: transport.ReplicaMsg{Iter: x, F16: quant, Rows: snap}})
 	}
 	t.mu.Unlock()
 	for _, o := range outs {
 		t.ep.Send(o.to, o.bytes, o.msg)
+		eng.countSend(classReplica, o.bytes)
 		eng.replicaRows.Add(int64(len(o.msg.Rows)))
 	}
 
@@ -701,19 +789,24 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	}
 	t.mu.Unlock()
 
-	// 6. Forward/backward on this trainer's examples, dense all-reduce
-	// across the trainer group, dense step, loss reduction — the identical
-	// collective sequence on every trainer.
+	// 6. Forward/backward on this trainer's examples, then ONE fused
+	// collective round: every dense-parameter gradient segment plus the
+	// loss term crosses the trainer group together (a single frame per hop
+	// on mesh fabrics, instead of one per parameter), folded in rank order
+	// from zero — the identical call sequence and summation on every
+	// trainer.
 	ls := extractLocal(d.Batch, d.Assign, t.p, eng.cfg.Spec.NumCategorical, eng.cfg.Spec.NumNumeric, eng.dim, gathered)
 	eng.activeTrain.Add(1)
 	loss, dEmb := computeLocal(t.model, ls)
-	for _, p := range t.model.Params() {
-		eng.coll.AllReduceSum(t.p, p.Grad)
+	params := t.model.Params()
+	segs := make([][]float32, len(params))
+	for i, p := range params {
+		segs[i] = p.Grad
 	}
-	t.opt.Step(t.model.Params())
-	eng.activeTrain.Add(-1)
 	lossVec := []float64{loss}
-	eng.coll.AllReduceSum64(t.p, lossVec)
+	eng.coll.FusedAllReduce(t.p, segs, lossVec)
+	t.opt.Step(params)
+	eng.activeTrain.Add(-1)
 	// All ranks hold the identical reduced loss; in single-process mode the
 	// losses slice is shared so only trainer 0 writes it, in worker mode
 	// every process records its own copy.

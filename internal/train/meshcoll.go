@@ -1,0 +1,395 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"bagpipe/internal/transport"
+)
+
+// This file is the mesh-based side of the collective layer: the reducer a
+// multi-process LRPP worker steps its dense gradients and loss through
+// (collective.Collective's mesh implementation). Three strategies are
+// selectable per run (cfg.Collective, -collective at the CLI), all folding
+// contributions per segment in rank order from zero so every strategy —
+// like the in-process collective.Group — produces bit-identical results:
+//
+//   - rooted: the PR-3 baseline. One CollMsg per dense parameter per step,
+//     reduced through rank 0 and broadcast back: 2(P−1) frames per
+//     *parameter* per iteration.
+//   - fused: one FusedCollMsg packs every parameter segment plus the loss
+//     term behind a segment table, reduced through rank 0 and broadcast:
+//     2(P−1) frames per *iteration* — the frame count drops by the number
+//     of dense parameters.
+//   - ring: the same fused frame, but topology-aware: each rank sends its
+//     contribution to (rank+1) mod P and forwards what it receives, so
+//     after P−1 hops every rank holds all P contributions and folds them
+//     locally in rank order. P(P−1) smaller-haul frames per iteration, but
+//     no rank-0 incast: every link carries exactly P−1 frames, where the
+//     rooted strategies put all 2(P−1) on rank 0's links.
+//
+// Every call is tagged with a sequence number (all ranks make the same
+// sequence of collective calls, as with MPI communicators), so arbitrarily
+// reordered delivery cannot mismatch phases. The trainer's receiver
+// goroutine feeds inbound frames in through deliver/deliverFused.
+
+// Collective strategy names (Config.Collective / -collective).
+const (
+	CollRooted = "rooted"
+	CollFused  = "fused"
+	CollRing   = "ring"
+)
+
+// meshColl implements collective.Collective over a mesh endpoint.
+type meshColl struct {
+	rank, n  int
+	ep       transport.Endpoint
+	strategy string
+	eng      *lrppEngine // per-class traffic accounting
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64
+	contrib map[uint64]map[int]transport.CollMsg      // rooted, root: seq → sender → contribution
+	result  map[uint64]transport.CollMsg              // rooted, non-root: seq → root's result
+	fused   map[uint64]map[int]transport.FusedCollMsg // fused root / ring all: seq → origin → contribution
+	fresult map[uint64]transport.FusedCollMsg         // fused, non-root: seq → root's result
+}
+
+func newMeshColl(rank, n int, ep transport.Endpoint, strategy string, eng *lrppEngine) *meshColl {
+	c := &meshColl{
+		rank: rank, n: n, ep: ep, strategy: strategy, eng: eng,
+		contrib: make(map[uint64]map[int]transport.CollMsg),
+		result:  make(map[uint64]transport.CollMsg),
+		fused:   make(map[uint64]map[int]transport.FusedCollMsg),
+		fresult: make(map[uint64]transport.FusedCollMsg),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// send is the one place collective frames leave this rank: it charges the
+// engine's collective-class traffic counters alongside the mesh send.
+func (c *meshColl) send(to int, bytes int64, payload any) {
+	c.ep.Send(to, bytes, payload)
+	if c.eng != nil {
+		c.eng.countSend(classColl, bytes)
+	}
+}
+
+// deliver routes one inbound unfused collective message (called from the
+// trainer's mesh receiver goroutine).
+func (c *meshColl) deliver(from int, m transport.CollMsg) {
+	c.mu.Lock()
+	if c.rank == 0 {
+		byFrom := c.contrib[m.Seq]
+		if byFrom == nil {
+			byFrom = make(map[int]transport.CollMsg, c.n-1)
+			c.contrib[m.Seq] = byFrom
+		}
+		byFrom[from] = m
+	} else {
+		c.result[m.Seq] = m
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// deliverFused routes one inbound fused frame. Under the ring strategy the
+// receiver is also a relay: a contribution is forwarded to the next rank
+// unless that rank is its origin (the frame has then completed its P−1
+// hops). Forwarding happens before the local deposit so the frame's next
+// hop never waits on this rank's fold.
+func (c *meshColl) deliverFused(m transport.FusedCollMsg, bytes int64) {
+	if c.strategy == CollRing {
+		if next := (c.rank + 1) % c.n; next != m.Origin {
+			c.send(next, bytes, m)
+		}
+	}
+	c.mu.Lock()
+	if c.strategy == CollRing || c.rank == 0 {
+		byOrigin := c.fused[m.Seq]
+		if byOrigin == nil {
+			byOrigin = make(map[int]transport.FusedCollMsg, c.n-1)
+			c.fused[m.Seq] = byOrigin
+		}
+		byOrigin[m.Origin] = m
+	} else {
+		c.fresult[m.Seq] = m
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// gather blocks until every peer's unfused contribution for seq arrived
+// (rooted root only) and removes them from the pending set.
+func (c *meshColl) gather(seq uint64) map[int]transport.CollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.contrib[seq]) < c.n-1 {
+		c.cond.Wait()
+	}
+	byFrom := c.contrib[seq]
+	delete(c.contrib, seq)
+	return byFrom
+}
+
+// await blocks until the root's unfused result for seq arrived (rooted
+// non-root only).
+func (c *meshColl) await(seq uint64) transport.CollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.result[seq]; ok {
+			delete(c.result, seq)
+			return m
+		}
+		c.cond.Wait()
+	}
+}
+
+// gatherFused blocks until all n−1 peer contributions for seq arrived
+// (fused root, or any rank under ring) and removes them.
+func (c *meshColl) gatherFused(seq uint64) map[int]transport.FusedCollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.fused[seq]) < c.n-1 {
+		c.cond.Wait()
+	}
+	byOrigin := c.fused[seq]
+	delete(c.fused, seq)
+	return byOrigin
+}
+
+// awaitFused blocks until the root's fused result for seq arrived (fused
+// non-root only).
+func (c *meshColl) awaitFused(seq uint64) transport.FusedCollMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.fresult[seq]; ok {
+			delete(c.fresult, seq)
+			return m
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *meshColl) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.seq
+	c.seq++
+	return s
+}
+
+// FusedAllReduce implements collective.Collective: one call reduces every
+// dense-parameter segment plus the loss vector across the mesh, by the
+// configured strategy. All strategies fold in rank order from zero, so the
+// result bits match the in-process Group exactly.
+func (c *meshColl) FusedAllReduce(rank int, segs [][]float32, loss []float64) {
+	if c.n == 1 {
+		return
+	}
+	switch c.strategy {
+	case CollRooted:
+		for _, s := range segs {
+			c.allReduceSum(s)
+		}
+		c.allReduceSum64(loss)
+	case CollRing:
+		c.fusedRing(segs, loss)
+	default: // CollFused
+		c.fusedRooted(segs, loss)
+	}
+}
+
+// snapshotFused copies segs and loss into a frame: the caller's buffers are
+// live (reused across iterations, mutated by the fold), and in-process
+// meshes deliver payloads by reference.
+func snapshotFused(seq uint64, origin int, segs [][]float32, loss []float64) transport.FusedCollMsg {
+	m := transport.FusedCollMsg{Seq: seq, Origin: origin,
+		Segs: make([][]float32, len(segs)), Loss: append([]float64(nil), loss...)}
+	for i, s := range segs {
+		m.Segs[i] = append([]float32(nil), s...)
+	}
+	return m
+}
+
+// checkFused panics unless m's shape matches the local call: a mismatch
+// means the ranks' collective call sequences diverged, which can only end
+// in silent corruption.
+func (c *meshColl) checkFused(m transport.FusedCollMsg, segs [][]float32, loss []float64) {
+	if len(m.Segs) != len(segs) || len(m.Loss) != len(loss) {
+		panic(fmt.Sprintf("train: collective %d: rank %d contributed %d segments / %d loss terms, want %d / %d",
+			m.Seq, m.Origin, len(m.Segs), len(m.Loss), len(segs), len(loss)))
+	}
+	for i, s := range segs {
+		if len(m.Segs[i]) != len(s) {
+			panic(fmt.Sprintf("train: collective %d: rank %d segment %d carried %d floats, want %d",
+				m.Seq, m.Origin, i, len(m.Segs[i]), len(s)))
+		}
+	}
+}
+
+// fusedRooted is the fused strategy: rank 0 folds everyone's single frame
+// in rank order and broadcasts the result — 2(P−1) frames per iteration.
+func (c *meshColl) fusedRooted(segs [][]float32, loss []float64) {
+	seq := c.nextSeq()
+	bytes := fusedCollBytes(segs, len(loss))
+	if c.rank == 0 {
+		byOrigin := c.gatherFused(seq)
+		// Fold in rank order from zero: segs/loss already hold rank 0's
+		// terms.
+		for r := 1; r < c.n; r++ {
+			m, ok := byOrigin[r]
+			if !ok {
+				panic(fmt.Sprintf("train: collective %d: rank %d never contributed", seq, r))
+			}
+			c.checkFused(m, segs, loss)
+			for i, x := range segs {
+				src := m.Segs[i]
+				for k := range x {
+					x[k] += src[k]
+				}
+			}
+			for k := range loss {
+				loss[k] += m.Loss[k]
+			}
+		}
+		out := snapshotFused(seq, 0, segs, loss)
+		for r := 1; r < c.n; r++ {
+			c.send(r, bytes, out)
+		}
+		return
+	}
+	c.send(0, bytes, snapshotFused(seq, c.rank, segs, loss))
+	m := c.awaitFused(seq)
+	c.checkFused(m, segs, loss)
+	for i := range segs {
+		copy(segs[i], m.Segs[i])
+	}
+	copy(loss, m.Loss)
+}
+
+// fusedRing is the topology-aware strategy: contributions travel the ring
+// (each rank sends its own frame to the next rank; relays happen in
+// deliverFused), every rank buffers all P contributions per segment and
+// folds from zero in rank order — the identical summation, no rank-0
+// incast.
+func (c *meshColl) fusedRing(segs [][]float32, loss []float64) {
+	seq := c.nextSeq()
+	own := snapshotFused(seq, c.rank, segs, loss)
+	c.send((c.rank+1)%c.n, fusedCollBytes(segs, len(loss)), own)
+	byOrigin := c.gatherFused(seq)
+	for r := 0; r < c.n; r++ {
+		if r == c.rank {
+			continue
+		}
+		m, ok := byOrigin[r]
+		if !ok {
+			panic(fmt.Sprintf("train: collective %d: rank %d's contribution never completed the ring", seq, r))
+		}
+		c.checkFused(m, segs, loss)
+	}
+	term := func(r int) transport.FusedCollMsg {
+		if r == c.rank {
+			return own
+		}
+		return byOrigin[r]
+	}
+	for i, x := range segs {
+		for r := 0; r < c.n; r++ {
+			src := term(r).Segs[i]
+			if r == 0 {
+				copy(x, src)
+			} else {
+				for k := range x {
+					x[k] += src[k]
+				}
+			}
+		}
+	}
+	for k := range loss {
+		var s float64
+		for r := 0; r < c.n; r++ {
+			s += term(r).Loss[k]
+		}
+		loss[k] = s
+	}
+}
+
+// allReduceSum is the rooted (unfused) float32 reduce+broadcast: one frame
+// pair per call, contributions folded at rank 0 in rank order from zero.
+func (c *meshColl) allReduceSum(x []float32) {
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		byFrom := c.gather(seq)
+		// Fold in rank order from zero: x already holds rank 0's term.
+		for r := 1; r < c.n; r++ {
+			m, ok := byFrom[r]
+			if !ok || len(m.F32) != len(x) {
+				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d floats, want %d",
+					seq, r, len(m.F32), len(x)))
+			}
+			for i := range x {
+				x[i] += m.F32[i]
+			}
+		}
+		// Broadcast a snapshot: x is the caller's live gradient buffer, and
+		// in-process meshes deliver payloads by reference.
+		out := append([]float32(nil), x...)
+		for r := 1; r < c.n; r++ {
+			c.send(r, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: out})
+		}
+		return
+	}
+	c.send(0, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: append([]float32(nil), x...)})
+	m := c.await(seq)
+	if len(m.F32) != len(x) {
+		panic(fmt.Sprintf("train: collective %d: result carried %d floats, want %d", seq, len(m.F32), len(x)))
+	}
+	copy(x, m.F32)
+}
+
+// allReduceSum64 is allReduceSum for float64 vectors (loss terms).
+func (c *meshColl) allReduceSum64(x []float64) {
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		byFrom := c.gather(seq)
+		for r := 1; r < c.n; r++ {
+			m, ok := byFrom[r]
+			if !ok || len(m.F64) != len(x) {
+				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d doubles, want %d",
+					seq, r, len(m.F64), len(x)))
+			}
+			for i := range x {
+				x[i] += m.F64[i]
+			}
+		}
+		out := append([]float64(nil), x...)
+		for r := 1; r < c.n; r++ {
+			c.send(r, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: out})
+		}
+		return
+	}
+	c.send(0, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: append([]float64(nil), x...)})
+	m := c.await(seq)
+	if len(m.F64) != len(x) {
+		panic(fmt.Sprintf("train: collective %d: result carried %d doubles, want %d", seq, len(m.F64), len(x)))
+	}
+	copy(x, m.F64)
+}
+
+// collBytes is the declared wire size of one unfused collective message.
+func collBytes(n, elem int) int64 { return 9 + int64(n*elem) }
+
+// fusedCollBytes is the declared wire size of one fused collective frame:
+// seq + origin + segment table + loss vector.
+func fusedCollBytes(segs [][]float32, lossLen int) int64 {
+	b := int64(8 + 4 + 4 + 4 + 8*lossLen)
+	for _, s := range segs {
+		b += 4 + 4*int64(len(s))
+	}
+	return b
+}

@@ -28,11 +28,13 @@
 // composes the per-trainer windows into the global guarantee.
 //
 // Every engine drives the same deterministic rank machinery: data-parallel
-// model replicas whose dense gradients are combined in rank order from
-// zero (collective.Group in-process, meshColl across processes), and
-// per-row gradient contributions folded in batch-example order with one
-// optimizer update per (row, iteration). Over the same Config, every
-// engine × fabric combination therefore produces bit-identical
+// model replicas whose dense gradients and loss are combined in one fused
+// collective round per iteration, folded in rank order from zero
+// (collective.Group in-process; meshColl across processes, with rooted /
+// fused / ring strategies — meshcoll.go), and per-row gradient
+// contributions folded in batch-example order with one optimizer update
+// per (row, iteration). Over the same Config, every engine × fabric ×
+// collective-strategy combination therefore produces bit-identical
 // embedding-server state — the end-to-end property the differential tests
 // and the fuzz harness (lrpp_fuzz_test.go) enforce under -race.
 package train
@@ -80,6 +82,20 @@ type Config struct {
 	// instead of delaying non-critical contributions one iteration off the
 	// critical path (the §3.3 "Delayed Synchronization" default).
 	SyncEager bool
+	// Collective selects the mesh all-reduce strategy for multi-process
+	// worker runs: "rooted" (one frame per dense parameter, reduced through
+	// rank 0 — the PR-3 wire behavior), "fused" (the default: every
+	// parameter segment plus the loss in a single frame through rank 0), or
+	// "ring" (fused frames forwarded around the ring, folded locally). All
+	// three fold in rank order from zero and are therefore bit-identical;
+	// they differ only in frame count and topology. Single-process engines
+	// always use the in-process collective.Group.
+	Collective string
+	// SyncCompress quantizes replica row pushes to float16 on the mesh,
+	// halving replica bytes. Lossy: the final state is no longer
+	// bit-identical to the baseline, so it cannot be combined with
+	// differential verification; the tests pin the lossless default.
+	SyncCompress bool
 	// Hooks, when non-nil, receives LRPP engine events for invariant
 	// auditing (differential + fuzz harness). Nil in production runs.
 	Hooks *LRPPHooks
@@ -95,7 +111,19 @@ func (c *Config) validate() error {
 	if c.NumTrainers <= 0 {
 		return fmt.Errorf("train: need at least one trainer, got %d", c.NumTrainers)
 	}
+	switch c.Collective {
+	case "", CollRooted, CollFused, CollRing:
+	default:
+		return fmt.Errorf("train: unknown collective strategy %q (rooted, fused, ring)", c.Collective)
+	}
 	return nil
+}
+
+func (c *Config) collective() string {
+	if c.Collective != "" {
+		return c.Collective
+	}
+	return CollFused
 }
 
 func (c *Config) partitioner() core.Partitioner {
@@ -160,8 +188,23 @@ type Result struct {
 	UrgentFlushes  int64 // sync batches flushed on the critical path (needed next iter)
 	DelayedFlushes int64 // sync batches flushed off the critical path
 	Mesh           transport.MeshStats
+	// MeshClasses splits the mesh traffic this process *sent* by protocol
+	// phase — the counters that prove (rather than assert) the fused
+	// collectives' frame reduction. Collective and plan frames only cross
+	// the mesh in worker mode; replica and sync frames cross it in every
+	// multi-trainer LRPP run.
+	MeshClasses MeshTraffic
 
 	Transport transport.Stats
+}
+
+// MeshTraffic is per-phase mesh accounting: frames and declared bytes,
+// split by what the frame carried.
+type MeshTraffic struct {
+	ReplicaMsgs, ReplicaBytes int64 // owner→reader row snapshots
+	SyncMsgs, SyncBytes       int64 // delayed-sync flush frames
+	CollMsgs, CollBytes       int64 // collective contributions/results
+	PlanMsgs, PlanBytes       int64 // oracle plans (rank 0 → peers)
 }
 
 // HitRate returns the fraction of unique-ID accesses served by the cache.

@@ -23,162 +23,14 @@ import (
 //     Cacher and streams every peer its per-iteration TrainerPlan. Plans may
 //     arrive reordered (the mesh contract permits it), so a resequencer
 //     (planSeq) feeds the trainer in iteration order.
-//   - dense-gradient and loss collectives (transport.CollMsg): meshColl is
-//     a rank-0-rooted reduce+broadcast whose root folds contributions in
-//     rank order from zero — the exact summation order of
-//     collective.Group — so worker runs stay bit-identical to single-process
-//     and baseline runs.
+//   - dense-gradient and loss collectives: meshColl (meshcoll.go) reduces
+//     them by the configured strategy — rooted per-parameter CollMsgs,
+//     fused single-frame FusedCollMsgs through rank 0, or a ring of fused
+//     frames — every strategy folding in rank order from zero, the exact
+//     summation order of collective.Group, so worker runs stay
+//     bit-identical to single-process and baseline runs.
 //   - everything LRPP already exchanged (replicas, delayed-sync flushes)
 //     rides the same mesh unchanged.
-
-// meshColl implements lrppColl over a mesh endpoint: contributions flow to
-// rank 0, which folds them in rank order and broadcasts the result. Every
-// call is tagged with a sequence number (all ranks make the same sequence
-// of collective calls, as with MPI communicators), so arbitrarily reordered
-// delivery cannot mismatch phases. The trainer's receiver goroutine feeds
-// inbound CollMsgs in through deliver.
-type meshColl struct {
-	rank, n int
-	ep      transport.Endpoint
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	seq     uint64
-	contrib map[uint64]map[int]transport.CollMsg // root: seq → sender → contribution
-	result  map[uint64]transport.CollMsg         // non-root: seq → root's result
-}
-
-func newMeshColl(rank, n int, ep transport.Endpoint) *meshColl {
-	c := &meshColl{
-		rank: rank, n: n, ep: ep,
-		contrib: make(map[uint64]map[int]transport.CollMsg),
-		result:  make(map[uint64]transport.CollMsg),
-	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
-}
-
-// deliver routes one inbound collective message (called from the trainer's
-// mesh receiver goroutine).
-func (c *meshColl) deliver(from int, m transport.CollMsg) {
-	c.mu.Lock()
-	if c.rank == 0 {
-		byFrom := c.contrib[m.Seq]
-		if byFrom == nil {
-			byFrom = make(map[int]transport.CollMsg, c.n-1)
-			c.contrib[m.Seq] = byFrom
-		}
-		byFrom[from] = m
-	} else {
-		c.result[m.Seq] = m
-	}
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-// gather blocks until every peer's contribution for seq arrived (root
-// only) and removes them from the pending set.
-func (c *meshColl) gather(seq uint64) map[int]transport.CollMsg {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for len(c.contrib[seq]) < c.n-1 {
-		c.cond.Wait()
-	}
-	byFrom := c.contrib[seq]
-	delete(c.contrib, seq)
-	return byFrom
-}
-
-// await blocks until the root's result for seq arrived (non-root only).
-func (c *meshColl) await(seq uint64) transport.CollMsg {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for {
-		if m, ok := c.result[seq]; ok {
-			delete(c.result, seq)
-			return m
-		}
-		c.cond.Wait()
-	}
-}
-
-func (c *meshColl) nextSeq() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.seq
-	c.seq++
-	return s
-}
-
-// AllReduceSum implements lrppColl for float32 vectors (dense gradients).
-func (c *meshColl) AllReduceSum(rank int, x []float32) {
-	if c.n == 1 {
-		return
-	}
-	seq := c.nextSeq()
-	if c.rank == 0 {
-		byFrom := c.gather(seq)
-		// Fold in rank order from zero: x already holds rank 0's term.
-		for r := 1; r < c.n; r++ {
-			m, ok := byFrom[r]
-			if !ok || len(m.F32) != len(x) {
-				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d floats, want %d",
-					seq, r, len(m.F32), len(x)))
-			}
-			for i := range x {
-				x[i] += m.F32[i]
-			}
-		}
-		// Broadcast a snapshot: x is the caller's live gradient buffer, and
-		// in-process meshes deliver payloads by reference.
-		out := append([]float32(nil), x...)
-		for r := 1; r < c.n; r++ {
-			c.ep.Send(r, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: out})
-		}
-		return
-	}
-	c.ep.Send(0, collBytes(len(x), 4), transport.CollMsg{Seq: seq, F32: append([]float32(nil), x...)})
-	m := c.await(seq)
-	if len(m.F32) != len(x) {
-		panic(fmt.Sprintf("train: collective %d: result carried %d floats, want %d", seq, len(m.F32), len(x)))
-	}
-	copy(x, m.F32)
-}
-
-// AllReduceSum64 implements lrppColl for float64 vectors (loss terms).
-func (c *meshColl) AllReduceSum64(rank int, x []float64) {
-	if c.n == 1 {
-		return
-	}
-	seq := c.nextSeq()
-	if c.rank == 0 {
-		byFrom := c.gather(seq)
-		for r := 1; r < c.n; r++ {
-			m, ok := byFrom[r]
-			if !ok || len(m.F64) != len(x) {
-				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d doubles, want %d",
-					seq, r, len(m.F64), len(x)))
-			}
-			for i := range x {
-				x[i] += m.F64[i]
-			}
-		}
-		out := append([]float64(nil), x...)
-		for r := 1; r < c.n; r++ {
-			c.ep.Send(r, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: out})
-		}
-		return
-	}
-	c.ep.Send(0, collBytes(len(x), 8), transport.CollMsg{Seq: seq, F64: append([]float64(nil), x...)})
-	m := c.await(seq)
-	if len(m.F64) != len(x) {
-		panic(fmt.Sprintf("train: collective %d: result carried %d doubles, want %d", seq, len(m.F64), len(x)))
-	}
-	copy(x, m.F64)
-}
-
-// collBytes is the declared wire size of one collective message.
-func collBytes(n, elem int) int64 { return 9 + int64(n*elem) }
 
 // planSeq re-sequences oracle plans arriving over the mesh: the fabric may
 // reorder them, the trainer consumes them in iteration order.
@@ -279,7 +131,7 @@ func RunLRPPWorker(cfg Config, rank int, tr transport.Transport, mesh transport.
 	eng := newLRPPEngine(&cfg, mesh, nil)
 	eng.worker = true
 	ep := mesh.Endpoint(rank)
-	mcoll := newMeshColl(rank, P, ep)
+	mcoll := newMeshColl(rank, P, ep, cfg.collective(), eng)
 	eng.coll = mcoll
 	t, err := newLRPPTrainer(eng, rank, tr, ep)
 	if err != nil {
@@ -308,7 +160,9 @@ func RunLRPPWorker(cfg Config, rank int, tr transport.Transport, mesh transport.
 				stats = append(stats, d.Stats(oracle.CacheOccupancy()))
 				plans := d.SplitPlans(P)
 				for p := 1; p < P; p++ {
-					ep.Send(p, planMsgBytes(plans[p]), transport.PlanMsg{Plan: plans[p]})
+					pb := planMsgBytes(plans[p])
+					ep.Send(p, pb, transport.PlanMsg{Plan: plans[p]})
+					eng.countSend(classPlan, pb)
 				}
 				planCh <- plans[0]
 			}

@@ -31,9 +31,13 @@ import (
 // values (TCP additionally through EncodePayload/DecodePayload).
 type (
 	// ReplicaMsg carries an owner's per-iteration row snapshots to a
-	// non-owner whose examples read them (LRPP logical replication).
+	// non-owner whose examples read them (LRPP logical replication). With
+	// F16 set the rows cross the wire as binary16 (2 bytes/element); the
+	// sender must have rounded the values through QuantizeF16 first, so the
+	// encoding itself is lossless and every fabric moves identical values.
 	ReplicaMsg struct {
 		Iter int
+		F16  bool
 		Rows map[uint64][]float32
 	}
 
@@ -52,6 +56,15 @@ type (
 		Entries map[uint64][]Contrib
 	}
 
+	// SyncBatchMsg coalesces every delayed-sync flush one sender owes one
+	// owner at a flush pass — typically iteration x's critical
+	// contributions plus iteration x−lag's deferred ones — into a single
+	// frame: one per-row entry table per iteration instead of one frame
+	// per (iteration, criticality).
+	SyncBatchMsg struct {
+		Flushes []SyncMsg
+	}
+
 	// PlanMsg distributes one trainer's oracle plan from the rank-0 process
 	// (which hosts the Oracle Cacher) to its peer. Only the Decision fields
 	// a remote trainer consumes travel (Iter, Assign, NeededNext, Batch),
@@ -65,11 +78,26 @@ type (
 
 	// CollMsg is one collective-communication step: a rank's contribution
 	// to (or the root's result of) all-reduce call number Seq. Exactly one
-	// of F32/F64 is non-nil.
+	// of F32/F64 is non-nil. The rooted (unfused) strategy sends one
+	// CollMsg per dense parameter per step.
 	CollMsg struct {
 		Seq uint64
 		F32 []float32
 		F64 []float64
+	}
+
+	// FusedCollMsg is one *fused* collective step: every dense-parameter
+	// gradient segment plus the float64 loss term of one iteration packed
+	// into a single frame behind a length-prefixed segment table, so a
+	// whole all-reduce round costs one frame instead of one per parameter.
+	// Origin is the contributing rank — under the ring strategy frames are
+	// forwarded peer to peer, so the mesh-level sender (MeshMsg.From) is
+	// the previous hop, not the rank whose gradients these are.
+	FusedCollMsg struct {
+		Seq    uint64
+		Origin int
+		Segs   [][]float32
+		Loss   []float64
 	}
 
 	// RawMsg is an opaque byte payload (conformance tests, future control
@@ -84,6 +112,9 @@ const (
 	tagPlan
 	tagColl
 	tagRaw
+	tagReplicaF16
+	tagSyncBatch
+	tagFusedColl
 )
 
 // EncodePayload encodes one of the wire payload types, tag first.
@@ -98,25 +129,29 @@ func EncodePayload(p any) []byte {
 func appendPayload(b []byte, p any) []byte {
 	switch m := p.(type) {
 	case ReplicaMsg:
-		b = append(b, tagReplica)
+		if m.F16 {
+			b = append(b, tagReplicaF16)
+		} else {
+			b = append(b, tagReplica)
+		}
 		b = putU64(b, uint64(m.Iter))
 		b = putU32(b, uint32(len(m.Rows)))
 		for _, id := range sortedIDKeys(m.Rows) {
 			b = putU64(b, id)
-			b = putF32s(b, m.Rows[id])
+			if m.F16 {
+				b = putF16s(b, m.Rows[id])
+			} else {
+				b = putF32s(b, m.Rows[id])
+			}
 		}
 	case SyncMsg:
 		b = append(b, tagSync)
-		b = putU64(b, uint64(m.Iter))
-		b = putU32(b, uint32(len(m.Entries)))
-		for _, id := range sortedIDKeys(m.Entries) {
-			b = putU64(b, id)
-			es := m.Entries[id]
-			b = putU32(b, uint32(len(es)))
-			for _, e := range es {
-				b = putU64(b, uint64(e.Example))
-				b = putF32s(b, e.Grad)
-			}
+		b = putSyncBody(b, m)
+	case SyncBatchMsg:
+		b = append(b, tagSyncBatch)
+		b = putU32(b, uint32(len(m.Flushes)))
+		for _, f := range m.Flushes {
+			b = putSyncBody(b, f)
 		}
 	case PlanMsg:
 		b = append(b, tagPlan)
@@ -131,6 +166,15 @@ func appendPayload(b []byte, p any) []byte {
 			b = append(b, 0)
 			b = putF32s(b, m.F32)
 		}
+	case FusedCollMsg:
+		b = append(b, tagFusedColl)
+		b = putU64(b, m.Seq)
+		b = putU32(b, uint32(m.Origin))
+		b = putU32(b, uint32(len(m.Segs)))
+		for _, seg := range m.Segs {
+			b = putF32s(b, seg)
+		}
+		b = putF64s(b, m.Loss)
 	case RawMsg:
 		b = append(b, tagRaw)
 		b = append(b, m...)
@@ -148,27 +192,26 @@ func DecodePayload(b []byte) (any, error) {
 	r := &wireReader{b: b[1:]}
 	var out any
 	switch b[0] {
-	case tagReplica:
-		m := ReplicaMsg{Iter: int(r.u64())}
+	case tagReplica, tagReplicaF16:
+		m := ReplicaMsg{Iter: int(r.u64()), F16: b[0] == tagReplicaF16}
 		n := r.count(8)
 		m.Rows = make(map[uint64][]float32, n)
 		for i := 0; i < n; i++ {
 			id := r.u64()
-			m.Rows[id] = r.f32s()
+			if m.F16 {
+				m.Rows[id] = r.f16s()
+			} else {
+				m.Rows[id] = r.f32s()
+			}
 		}
 		out = m
 	case tagSync:
-		m := SyncMsg{Iter: int(r.u64())}
-		n := r.count(8)
-		m.Entries = make(map[uint64][]Contrib, n)
+		out = r.sync()
+	case tagSyncBatch:
+		n := r.count(12)
+		m := SyncBatchMsg{Flushes: make([]SyncMsg, 0, n)}
 		for i := 0; i < n; i++ {
-			id := r.u64()
-			ne := r.count(8)
-			es := make([]Contrib, 0, ne)
-			for j := 0; j < ne; j++ {
-				es = append(es, Contrib{Example: int(r.u64()), Grad: r.f32s()})
-			}
-			m.Entries[id] = es
+			m.Flushes = append(m.Flushes, r.sync())
 		}
 		out = m
 	case tagPlan:
@@ -180,6 +223,15 @@ func DecodePayload(b []byte) (any, error) {
 		} else {
 			m.F32 = r.f32s()
 		}
+		out = m
+	case tagFusedColl:
+		m := FusedCollMsg{Seq: r.u64(), Origin: int(r.u32())}
+		n := r.count(4)
+		m.Segs = make([][]float32, 0, n)
+		for i := 0; i < n; i++ {
+			m.Segs = append(m.Segs, r.f32s())
+		}
+		m.Loss = r.f64s()
 		out = m
 	case tagRaw:
 		raw := make(RawMsg, len(b)-1)
@@ -195,6 +247,40 @@ func DecodePayload(b []byte) (any, error) {
 		return nil, fmt.Errorf("transport: %d trailing bytes after payload tag %d", len(r.b), b[0])
 	}
 	return out, nil
+}
+
+// putSyncBody writes one iteration's flush (the SyncMsg body, shared by the
+// single-flush and coalesced encodings).
+func putSyncBody(b []byte, m SyncMsg) []byte {
+	b = putU64(b, uint64(m.Iter))
+	b = putU32(b, uint32(len(m.Entries)))
+	for _, id := range sortedIDKeys(m.Entries) {
+		b = putU64(b, id)
+		es := m.Entries[id]
+		b = putU32(b, uint32(len(es)))
+		for _, e := range es {
+			b = putU64(b, uint64(e.Example))
+			b = putF32s(b, e.Grad)
+		}
+	}
+	return b
+}
+
+// sync reads one iteration's flush (the inverse of putSyncBody).
+func (r *wireReader) sync() SyncMsg {
+	m := SyncMsg{Iter: int(r.u64())}
+	n := r.count(8)
+	m.Entries = make(map[uint64][]Contrib, n)
+	for i := 0; i < n; i++ {
+		id := r.u64()
+		ne := r.count(8)
+		es := make([]Contrib, 0, ne)
+		for j := 0; j < ne; j++ {
+			es = append(es, Contrib{Example: int(r.u64()), Grad: r.f32s()})
+		}
+		m.Entries[id] = es
+	}
+	return m
 }
 
 // putPlan writes a TrainerPlan plus the Decision subset remote trainers
@@ -327,26 +413,48 @@ func putF32(b []byte, v float32) []byte {
 	return binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
 }
 
+// grow appends n zero bytes and returns the buffer plus the write offset —
+// the bulk writers fill the region directly, skipping per-element appends.
+func grow(b []byte, n int) ([]byte, int) {
+	off := len(b)
+	return append(b, make([]byte, n)...), off
+}
+
 func putF32s(b []byte, xs []float32) []byte {
 	b = putU32(b, uint32(len(xs)))
-	for _, x := range xs {
-		b = putF32(b, x)
+	b, off := grow(b, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[off+4*i:], math.Float32bits(x))
+	}
+	return b
+}
+
+// putF16s writes a float32 slice as binary16 bit patterns (the quantized
+// replica encoding). Values must already be f16-representable (the sender
+// quantized them), so the round trip is exact.
+func putF16s(b []byte, xs []float32) []byte {
+	b = putU32(b, uint32(len(xs)))
+	b, off := grow(b, 2*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint16(b[off+2*i:], F16FromF32(x))
 	}
 	return b
 }
 
 func putF64s(b []byte, xs []float64) []byte {
 	b = putU32(b, uint32(len(xs)))
-	for _, x := range xs {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	b, off := grow(b, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(x))
 	}
 	return b
 }
 
 func putU64s(b []byte, xs []uint64) []byte {
 	b = putU32(b, uint32(len(xs)))
-	for _, x := range xs {
-		b = putU64(b, x)
+	b, off := grow(b, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[off+8*i:], x)
 	}
 	return b
 }
@@ -354,8 +462,9 @@ func putU64s(b []byte, xs []uint64) []byte {
 // putInts writes a non-negative int slice (ranks, assignments) as u32s.
 func putInts(b []byte, xs []int) []byte {
 	b = putU32(b, uint32(len(xs)))
-	for _, x := range xs {
-		b = putU32(b, uint32(x))
+	b, off := grow(b, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[off+4*i:], uint32(x))
 	}
 	return b
 }
@@ -363,8 +472,11 @@ func putInts(b []byte, xs []int) []byte {
 // --- primitive reader ---
 
 // wireReader consumes an encoded payload body. The first decode error
-// sticks; subsequent reads return zero values so decoders need no per-field
-// checks, and the caller inspects err once at the end.
+// sticks and every later read returns a zero value without consuming bytes
+// — load-bearing, not just convenient: count()'s allocation guard assumes a
+// poisoned reader can never hand a decoder a garbage element count — so
+// decoders need no per-field checks and the caller inspects err once at the
+// end.
 type wireReader struct {
 	b   []byte
 	err error
@@ -377,7 +489,7 @@ func (r *wireReader) fail() {
 }
 
 func (r *wireReader) u8() byte {
-	if len(r.b) < 1 {
+	if r.err != nil || len(r.b) < 1 {
 		r.fail()
 		return 0
 	}
@@ -387,7 +499,7 @@ func (r *wireReader) u8() byte {
 }
 
 func (r *wireReader) u32() uint32 {
-	if len(r.b) < 4 {
+	if r.err != nil || len(r.b) < 4 {
 		r.fail()
 		return 0
 	}
@@ -397,7 +509,7 @@ func (r *wireReader) u32() uint32 {
 }
 
 func (r *wireReader) u64() uint64 {
-	if len(r.b) < 8 {
+	if r.err != nil || len(r.b) < 8 {
 		r.fail()
 		return 0
 	}
@@ -410,7 +522,12 @@ func (r *wireReader) f32() float32 { return math.Float32frombits(r.u32()) }
 
 // count reads a u32 element count and sanity-checks it against the bytes
 // remaining (each element needs at least minElem bytes), so a corrupt frame
-// cannot drive a huge allocation.
+// cannot drive a huge allocation. The bulk slice readers below lean on the
+// same guarantee from the other side: a non-zero count with minElem = the
+// element width proves the elements' bytes are all present, so they carve
+// the region off in one bounds check and decode without per-element error
+// handling — the codec is the distributed hot path, and per-element checks
+// were measurable in profiles.
 func (r *wireReader) count(minElem int) int {
 	n := int(r.u32())
 	if r.err == nil && minElem > 0 && n > len(r.b)/minElem {
@@ -420,14 +537,36 @@ func (r *wireReader) count(minElem int) int {
 	return n
 }
 
+// take returns the next n*elem bytes as one region (count(elem) has already
+// proven they exist) and advances the reader past them.
+func (r *wireReader) take(n, elem int) []byte {
+	b := r.b[:n*elem]
+	r.b = r.b[n*elem:]
+	return b
+}
+
 func (r *wireReader) f32s() []float32 {
 	n := r.count(4)
 	if n == 0 {
 		return nil
 	}
+	b := r.take(n, 4)
 	xs := make([]float32, n)
 	for i := range xs {
-		xs[i] = r.f32()
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return xs
+}
+
+func (r *wireReader) f16s() []float32 {
+	n := r.count(2)
+	if n == 0 {
+		return nil
+	}
+	b := r.take(n, 2)
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = F32FromF16(binary.LittleEndian.Uint16(b[2*i:]))
 	}
 	return xs
 }
@@ -437,9 +576,10 @@ func (r *wireReader) f64s() []float64 {
 	if n == 0 {
 		return nil
 	}
+	b := r.take(n, 8)
 	xs := make([]float64, n)
 	for i := range xs {
-		xs[i] = math.Float64frombits(r.u64())
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
 	return xs
 }
@@ -449,9 +589,10 @@ func (r *wireReader) u64s() []uint64 {
 	if n == 0 {
 		return nil
 	}
+	b := r.take(n, 8)
 	xs := make([]uint64, n)
 	for i := range xs {
-		xs[i] = r.u64()
+		xs[i] = binary.LittleEndian.Uint64(b[8*i:])
 	}
 	return xs
 }
@@ -461,9 +602,10 @@ func (r *wireReader) ints() []int {
 	if n == 0 {
 		return nil
 	}
+	b := r.take(n, 4)
 	xs := make([]int, n)
 	for i := range xs {
-		xs[i] = int(r.u32())
+		xs[i] = int(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 	return xs
 }

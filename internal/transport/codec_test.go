@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -44,13 +45,31 @@ func TestCodecRoundTrip(t *testing.T) {
 			12: {1, 2.5, -3},
 			99: {0, -0.125, 42},
 		}},
+		// Quantized replica rows: values must be f16-representable (the
+		// sender quantizes before building the message).
+		ReplicaMsg{Iter: 8, F16: true, Rows: map[uint64][]float32{
+			4: QuantizeF16([]float32{1, -0.5, 3.25}),
+			9: QuantizeF16([]float32{0.1, 6.5e4, -2e-5}),
+		}},
 		SyncMsg{Iter: 3, Entries: map[uint64][]Contrib{
 			5:  {{Example: 2, Grad: []float32{0.1, -0.2}}, {Example: 7, Grad: []float32{1, 2}}},
 			11: {{Example: 0, Grad: []float32{-5, 5}}},
 		}},
+		SyncBatchMsg{Flushes: []SyncMsg{
+			{Iter: 4, Entries: map[uint64][]Contrib{
+				2: {{Example: 1, Grad: []float32{0.5, 0.25}}},
+			}},
+			{Iter: 3, Entries: map[uint64][]Contrib{
+				2: {{Example: 0, Grad: []float32{-1, 2}}, {Example: 5, Grad: []float32{3, -4}}},
+				8: {{Example: 2, Grad: []float32{7, 8}}},
+			}},
+		}},
 		PlanMsg{Plan: plan},
 		CollMsg{Seq: 41, F32: []float32{1.5, -2.25}},
 		CollMsg{Seq: 42, F64: []float64{3.14159, -1e-9}},
+		FusedCollMsg{Seq: 43, Origin: 2,
+			Segs: [][]float32{{1, 2, 3}, {-0.5}, {4, 5}},
+			Loss: []float64{0.693147}},
 		RawMsg("hello mesh"),
 	}
 	for _, in := range cases {
@@ -110,16 +129,28 @@ func TestCodecDeterministic(t *testing.T) {
 }
 
 // TestCodecRejectsCorrupt: truncated or trailing-garbage frames error
-// instead of panicking or over-allocating.
+// instead of panicking or over-allocating, for every payload family
+// including the segmented fused-collective and coalesced-sync encodings.
 func TestCodecRejectsCorrupt(t *testing.T) {
-	enc := EncodePayload(ReplicaMsg{Iter: 1, Rows: map[uint64][]float32{5: {1, 2, 3}}})
-	for cut := 1; cut < len(enc); cut++ {
-		if _, err := DecodePayload(enc[:cut]); err == nil {
-			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(enc))
-		}
+	payloads := []any{
+		ReplicaMsg{Iter: 1, Rows: map[uint64][]float32{5: {1, 2, 3}}},
+		ReplicaMsg{Iter: 1, F16: true, Rows: map[uint64][]float32{5: QuantizeF16([]float32{1, 2, 3})}},
+		SyncBatchMsg{Flushes: []SyncMsg{
+			{Iter: 2, Entries: map[uint64][]Contrib{3: {{Example: 1, Grad: []float32{1, 2}}}}},
+			{Iter: 1, Entries: map[uint64][]Contrib{7: {{Example: 0, Grad: []float32{3, 4}}}}},
+		}},
+		FusedCollMsg{Seq: 9, Origin: 1, Segs: [][]float32{{1, 2}, {3}}, Loss: []float64{0.5}},
 	}
-	if _, err := DecodePayload(append(append([]byte(nil), enc...), 0xFF)); err == nil {
-		t.Fatal("trailing garbage decoded without error")
+	for _, p := range payloads {
+		enc := EncodePayload(p)
+		for cut := 1; cut < len(enc); cut++ {
+			if _, err := DecodePayload(enc[:cut]); err == nil {
+				t.Fatalf("%T: truncation at %d/%d bytes decoded without error", p, cut, len(enc))
+			}
+		}
+		if _, err := DecodePayload(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+			t.Fatalf("%T: trailing garbage decoded without error", p)
+		}
 	}
 	if _, err := DecodePayload([]byte{0x7F, 1, 2}); err == nil {
 		t.Fatal("unknown tag decoded without error")
@@ -127,4 +158,48 @@ func TestCodecRejectsCorrupt(t *testing.T) {
 	if _, err := DecodePayload(nil); err == nil {
 		t.Fatal("empty payload decoded without error")
 	}
+}
+
+// TestF16RoundTrip pins the binary16 conversion: representable values are
+// exact both ways, rounding is to nearest-even, and the edges (overflow,
+// subnormals, signed zero, Inf/NaN) behave.
+func TestF16RoundTrip(t *testing.T) {
+	exact := []float32{0, 1, -1, 0.5, -0.25, 2048, 65504, -65504, 6.103515625e-05, 5.960464477539063e-08}
+	for _, x := range exact {
+		if got := F32FromF16(F16FromF32(x)); got != x {
+			t.Fatalf("f16 round trip of representable %v gave %v", x, got)
+		}
+	}
+	// Quantization is idempotent: a second pass changes nothing.
+	xs := []float32{3.14159, -2.71828, 1e-3, 123.456, 6e4, -7e-8}
+	q := QuantizeF16(append([]float32(nil), xs...))
+	for i, v := range q {
+		if again := F32FromF16(F16FromF32(v)); again != v {
+			t.Fatalf("quantization not idempotent at %d: %v -> %v", i, v, again)
+		}
+		// And never further from the original than one f16 ulp (~2^-11
+		// relative for normals).
+		if d := v - xs[i]; d > 0.001*abs32(xs[i])+1e-7 || d < -0.001*abs32(xs[i])-1e-7 {
+			t.Fatalf("quantized %v to %v: error too large", xs[i], v)
+		}
+	}
+	// Overflow clamps to Inf, which decodes to +Inf f32.
+	if h := F16FromF32(1e6); F32FromF16(h) <= 65504 {
+		t.Fatalf("1e6 quantized to %v, want +Inf", F32FromF16(h))
+	}
+	// NaN survives.
+	if v := F32FromF16(F16FromF32(float32(math.NaN()))); v == v {
+		t.Fatal("NaN did not survive f16 round trip")
+	}
+	// Signed zero survives.
+	if h := F16FromF32(float32(math.Copysign(0, -1))); h != 0x8000 {
+		t.Fatalf("-0 encoded as %#x", h)
+	}
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

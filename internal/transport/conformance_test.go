@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -265,6 +266,54 @@ func TestMeshConformanceCloseWhileSending(t *testing.T) {
 				m.Quiesce()
 				if _, ok := dst.Recv(); ok {
 					t.Fatal("send to closed endpoint was delivered")
+				}
+			}
+		})
+	}
+}
+
+// TestMeshConformanceTypedPayloads: every engine wire type — including the
+// segmented fused-collective frame, the coalesced sync batch, and the
+// f16-quantized replica push — crosses every fabric intact. The in-memory
+// meshes deliver by reference and the TCP mesh through the codec; the
+// engine depends on both paths carrying equal values.
+func TestMeshConformanceTypedPayloads(t *testing.T) {
+	payloads := []any{
+		ReplicaMsg{Iter: 2, Rows: map[uint64][]float32{7: {1, -2, 0.5}}},
+		ReplicaMsg{Iter: 3, F16: true, Rows: map[uint64][]float32{9: QuantizeF16([]float32{0.25, 3.75})}},
+		SyncBatchMsg{Flushes: []SyncMsg{
+			{Iter: 5, Entries: map[uint64][]Contrib{3: {{Example: 1, Grad: []float32{0.5}}}}},
+			{Iter: 4, Entries: map[uint64][]Contrib{8: {{Example: 0, Grad: []float32{-1}}}}},
+		}},
+		FusedCollMsg{Seq: 11, Origin: 1, Segs: [][]float32{{1, 2}, {3, 4, 5}}, Loss: []float64{0.125}},
+	}
+	for _, tc := range meshCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			m, cleanup := tc.build(t, 2)
+			defer cleanup()
+			a, b := m.Endpoint(0), m.Endpoint(1)
+			for _, p := range payloads {
+				if !a.Send(1, int64(len(EncodePayload(p))), p) {
+					t.Fatalf("send of %T refused", p)
+				}
+			}
+			for range payloads {
+				msg, ok := b.Recv()
+				if !ok {
+					t.Fatal("stream ended early")
+				}
+				// Fabrics may reorder; match by type.
+				var want any
+				for _, p := range payloads {
+					if reflect.TypeOf(p) == reflect.TypeOf(msg.Payload) {
+						if rp, isRep := p.(ReplicaMsg); isRep && rp.F16 != msg.Payload.(ReplicaMsg).F16 {
+							continue
+						}
+						want = p
+					}
+				}
+				if want == nil || !reflect.DeepEqual(want, msg.Payload) {
+					t.Fatalf("payload %T arrived as %+v, want %+v", msg.Payload, msg.Payload, want)
 				}
 			}
 		})

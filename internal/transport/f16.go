@@ -1,0 +1,93 @@
+package transport
+
+import "math"
+
+// IEEE-754 binary16 conversion for the optional quantized replica path:
+// a replica row pushed with -sync-compress crosses the mesh as half-
+// precision floats (2 bytes/element instead of 4). Quantization happens at
+// the *sender* — rows are rounded through f16 before the message is built —
+// so every fabric (in-process reference delivery, simulated, TCP codec)
+// moves the identical values and the wire encoding itself stays lossless.
+
+// F16FromF32 converts a float32 to its binary16 bit pattern, rounding to
+// nearest-even. Overflow clamps to ±Inf; NaN is preserved; subnormals
+// flush through the standard denormal path.
+func F16FromF32(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xFF) - 127 + 15
+	mant := b & 0x7FFFFF
+
+	switch {
+	case exp >= 0x1F: // overflow or Inf/NaN
+		if b&0x7FFFFFFF > 0x7F800000 { // NaN: keep a payload bit set
+			return sign | 0x7E00
+		}
+		return sign | 0x7C00
+	case exp <= 0: // subnormal or zero in f16
+		if exp < -10 {
+			return sign // underflows to zero
+		}
+		// Add the implicit leading 1, then shift into the subnormal range
+		// with round-to-nearest-even. A carry out of the subnormal mantissa
+		// lands on the smallest normal encoding, which is exactly right.
+		mant |= 0x800000
+		shift := uint(14 - exp)
+		m := mant >> shift
+		rem := mant & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default:
+		// Normal: round the 13 dropped mantissa bits to nearest-even.
+		m := mant >> 13
+		rem := mant & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 { // mantissa overflow carries into the exponent
+				m = 0
+				exp++
+				if exp >= 0x1F {
+					return sign | 0x7C00
+				}
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(m)
+	}
+}
+
+// F32FromF16 expands a binary16 bit pattern to float32 (exact).
+func F32FromF16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into an f32 exponent.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (mant&0x3FF)<<13)
+	case 0x1F:
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// QuantizeF16 rounds every element of xs through binary16 in place,
+// returning xs. Senders on the quantized replica path call this before
+// building the message, so all mesh fabrics carry identical values.
+func QuantizeF16(xs []float32) []float32 {
+	for i, x := range xs {
+		xs[i] = F32FromF16(F16FromF32(x))
+	}
+	return xs
+}
