@@ -7,19 +7,21 @@
 //
 // One binary plays every role. With -net inproc|sim everything runs in
 // this process (the PR-2 behavior). With -net tcp the system becomes
-// genuinely distributed: an embedding-server process (-serve) and P
-// trainer processes (-rank, meshed over -peers) speak the length-prefixed
-// little-endian protocol of internal/transport; the default driver mode
-// forks all of them locally over loopback (-spawn) so one command line
-// still runs — and verifies — the whole system.
+// genuinely distributed: -servers S embedding-server processes (-serve)
+// and P trainer processes (-rank, meshed over -peers, each reaching the
+// tier through a sharded store over -server-addrs) speak the
+// length-prefixed little-endian protocol of internal/transport; the
+// default driver mode forks all of them locally over loopback (-spawn) so
+// one command line still runs — and verifies — the whole system.
 //
 // Examples:
 //
 //	bagpipe -trainers 4 -verify -batches 30           # single process, certify LRPP vs baseline
 //	bagpipe -net sim -net-latency 5ms -net-bw 256e3   # simulated-network benchmark
-//	bagpipe -trainers 4 -net tcp -verify              # 4 trainer processes + 1 server process over loopback TCP
-//	bagpipe -serve -listen :7000 ...                  # manual deployment: the embedding-server process
-//	bagpipe -rank 0 -peers host0:7001,host1:7001 -server-addr host9:7000 ...  # one trainer process
+//	bagpipe -trainers 4 -servers 2 -net tcp -verify   # 4 trainer + 2 server processes over loopback TCP
+//	bagpipe -serve -listen :7000 ...                  # manual deployment: one embedding-server process
+//	bagpipe -rank 0 -peers host0:7001,host1:7001 -servers 2 \
+//	        -server-addrs host8:7000,host9:7000 ...   # one trainer process against a 2-server tier
 //
 // See README.md for the full flag surface and copy-pasteable recipes, and
 // ARCHITECTURE.md for how the processes fit together.
@@ -56,13 +58,14 @@ var (
 	engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
 	partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
 	eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
-	collFl   = flag.String("collective", "fused", "mesh all-reduce strategy (worker mode): rooted (one frame per dense param), fused (one frame per step), ring (fused frames around the ring); all bit-identical")
+	collFl   = flag.String("collective", "fused", "mesh all-reduce strategy (worker mode): rooted (one frame per dense param), fused (one frame per step), ring (fused frames around the ring), tree (fused frames up/down a log2-P binomial tree); all bit-identical")
 	syncComp = flag.Bool("sync-compress", false, "lrpp: float16-quantize replica pushes on the mesh (lossy; incompatible with -verify)")
 	autoLook = flag.Bool("auto-lookahead", false, "pick ℒ at startup from measured iteration time, link RTT, and -cache-rows (overrides -lookahead)")
 	cacheRws = flag.Int("cache-rows", 0, "auto-lookahead: trainer cache budget in rows (0 = 1/4 of the scaled table rows)")
 	statsFl  = flag.Bool("stats", false, "print per-phase mesh traffic (frames + bytes split by replica/sync/collective/plan)")
 	workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
-	shards   = flag.Int("shards", 4, "embedding server shard count")
+	servers  = flag.Int("servers", 1, "embedding servers in the tier (rows sharded across them by id, one process each in TCP mode)")
+	shards   = flag.Int("shards", 4, "shard count within each embedding server")
 	embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
 	seed     = flag.Uint64("seed", 42, "experiment seed")
 
@@ -73,12 +76,13 @@ var (
 	meshLat  = flag.Duration("mesh-latency", 500*time.Microsecond, "lrpp + sim: trainer-to-trainer link latency")
 	meshBW   = flag.Float64("mesh-bw", 1e9, "lrpp + sim: trainer-to-trainer link bandwidth in bytes/sec (0 = infinite)")
 
-	serve      = flag.Bool("serve", false, "run as the embedding-server process (tcp); requires -listen")
-	listen     = flag.String("listen", "", "listen address for -serve, or bind override for a -rank worker")
-	rank       = flag.Int("rank", -1, "run as trainer process `rank` (tcp); requires -peers and -server-addr")
-	peersFl    = flag.String("peers", "", "comma-separated, rank-ordered trainer mesh addresses (tcp workers)")
-	serverAddr = flag.String("server-addr", "", "embedding-server address (tcp workers)")
-	spawn      = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
+	serve       = flag.Bool("serve", false, "run as the embedding-server process (tcp); requires -listen")
+	listen      = flag.String("listen", "", "listen address for -serve, or bind override for a -rank worker")
+	rank        = flag.Int("rank", -1, "run as trainer process `rank` (tcp); requires -peers and -server-addr")
+	peersFl     = flag.String("peers", "", "comma-separated, rank-ordered trainer mesh addresses (tcp workers)")
+	serverAddr  = flag.String("server-addr", "", "deprecated alias of -server-addrs for a one-server tier (tcp workers)")
+	serverAddrs = flag.String("server-addrs", "", "comma-separated, server-ordered embedding-tier addresses (tcp workers); must list -servers addresses")
+	spawn       = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
 
 	verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
 	baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
@@ -109,6 +113,9 @@ func main() {
 	}
 	if *netLat < 0 || *netBW < 0 || *meshLat < 0 || *meshBW < 0 {
 		fatal(fmt.Errorf("negative -net-latency/-net-bw/-mesh-latency/-mesh-bw"))
+	}
+	if *servers < 1 {
+		fatal(fmt.Errorf("-servers must be at least 1, got %d", *servers))
 	}
 
 	cfg := train.Config{
@@ -167,10 +174,83 @@ func resolveNet() (string, error) {
 	return "", fmt.Errorf("unknown -net %q (inproc, sim, tcp)", name)
 }
 
-// newServer builds the embedding-server tier; every role derives the
-// identical initial state from the shared flags.
+// newServer builds one embedding server; every role derives the identical
+// initial state from the shared flags. All servers of a tier share the
+// seed, so a row's initial value depends only on its id — tier splitting is
+// deterministic, and S-way state merges back to the S=1 reference
+// (embed.MergeTier) for verification.
 func newServer(spec *data.Spec) *embed.Server {
 	return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
+}
+
+// newServers builds the -servers S in-process embedding tier.
+func newServers(spec *data.Spec) []*embed.Server {
+	srvs := make([]*embed.Server, *servers)
+	for i := range srvs {
+		srvs[i] = newServer(spec)
+	}
+	return srvs
+}
+
+// storeOver assembles one trainer's tier client: one transport per server
+// over the chosen local fabric, fanned out through a ShardedStore when the
+// tier has more than one server. With -net sim each server sits behind its
+// own simulated link — its own NIC in the paper's trainer-node/server-node
+// topology — so the scatter's concurrent sub-batches genuinely overlap
+// their latencies.
+func storeOver(srvs []*embed.Server, netName string) transport.Store {
+	children := make([]transport.Store, len(srvs))
+	for i, srv := range srvs {
+		if netName == "sim" {
+			children[i] = transport.NewSimNet(srv, *netLat, *netBW)
+		} else {
+			children[i] = transport.NewInProcess(srv)
+		}
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return transport.NewShardedStore(children)
+}
+
+// dialStores dials every server of a remote tier and returns the assembled
+// store plus the underlying links (the caller closes them; Close is not a
+// tier operation).
+func dialStores(addrs []string, timeout time.Duration) (transport.Store, []*transport.TCPLink, error) {
+	links := make([]*transport.TCPLink, len(addrs))
+	children := make([]transport.Store, len(addrs))
+	for i, addr := range addrs {
+		link, err := transport.DialTCPLink(addr, timeout)
+		if err != nil {
+			for _, l := range links[:i] {
+				l.Close()
+			}
+			return nil, nil, err
+		}
+		links[i] = link
+		children[i] = link
+	}
+	if len(children) == 1 {
+		return children[0], links, nil
+	}
+	return transport.NewShardedStore(children), links, nil
+}
+
+// tierAddrs resolves the worker-mode server address list, honoring the
+// deprecated single-server alias.
+func tierAddrs() ([]string, error) {
+	list := *serverAddrs
+	if list == "" {
+		list = *serverAddr
+	}
+	if list == "" {
+		return nil, fmt.Errorf("-rank requires -server-addrs (or -server-addr for a one-server tier)")
+	}
+	addrs := strings.Split(list, ",")
+	if len(addrs) != *servers {
+		return nil, fmt.Errorf("-server-addrs lists %d addresses for -servers %d", len(addrs), *servers)
+	}
+	return addrs, nil
 }
 
 // resolveAutoLookahead calibrates this machine's per-iteration compute
@@ -200,7 +280,8 @@ func resolveAutoLookahead(cfg *train.Config, rtt time.Duration) {
 }
 
 // runLocal is the single-process driver: every engine and the inproc/sim
-// fabrics, plus in-process -verify.
+// fabrics against an in-process -servers S tier, plus in-process -verify
+// (the merged tier state against an unsharded no-cache baseline).
 func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 	if *autoLook {
 		var rtt time.Duration
@@ -210,22 +291,18 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 		resolveAutoLookahead(&cfg, rtt)
 	}
 	banner(spec, netName)
-	newTransport := func(srv *embed.Server) transport.Transport {
-		if netName == "sim" {
-			return transport.NewSimNet(srv, *netLat, *netBW)
-		}
-		return transport.NewInProcess(srv)
-	}
-	runEngine := func(srv *embed.Server) (*train.Result, error) {
+	runEngine := func(srvs []*embed.Server) (*train.Result, error) {
 		switch *engineFl {
 		case "baseline":
-			return train.RunBaseline(cfg, newTransport(srv))
+			return train.RunBaseline(cfg, storeOver(srvs, netName))
 		case "pipelined":
-			return train.RunPipelined(cfg, newTransport(srv))
+			return train.RunPipelined(cfg, storeOver(srvs, netName))
 		case "lrpp":
-			trs := make([]transport.Transport, *trainers)
+			// One store per trainer: private traffic counters, its own links
+			// to the shared tier.
+			trs := make([]transport.Store, *trainers)
 			for i := range trs {
-				trs[i] = newTransport(srv)
+				trs[i] = storeOver(srvs, netName)
 			}
 			var mesh transport.Mesh
 			if netName == "sim" {
@@ -236,8 +313,8 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 		return nil, fmt.Errorf("unknown engine %q", *engineFl)
 	}
 
-	srv := newServer(spec)
-	res, err := runEngine(srv)
+	srvs := newServers(spec)
+	res, err := runEngine(srvs)
 	if err != nil {
 		fatal(err)
 	}
@@ -247,19 +324,23 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 		if *engineFl == "baseline" {
 			fatal(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
 		}
-		fmt.Println("\n--- verify: rerunning with the no-cache fetch-per-batch baseline ---")
+		fmt.Println("\n--- verify: rerunning with the no-cache fetch-per-batch baseline (one-server reference tier) ---")
 		srvBase := newServer(spec)
-		baseRes, err := train.RunBaseline(cfg, newTransport(srvBase))
+		baseRes, err := train.RunBaseline(cfg, storeOver([]*embed.Server{srvBase}, netName))
 		if err != nil {
 			fatal(err)
 		}
 		report(baseRes)
-		diff := embed.Diff(srvBase, srv)
+		merged, err := embed.MergeTier(srvs)
+		if err != nil {
+			fatal(err)
+		}
+		diff := embed.Diff(srvBase, merged)
 		if len(diff) != 0 {
 			fatal(fmt.Errorf("FAIL: embedding state differs at %d ids (first %v)", len(diff), diff[0]))
 		}
-		fmt.Printf("\nPASS: %s and baseline embedding state bit-identical across %d materialized rows\n",
-			*engineFl, len(srv.MaterializedIDs()))
+		fmt.Printf("\nPASS: %s over %d server(s) and baseline embedding state bit-identical across %d materialized rows\n",
+			*engineFl, *servers, len(merged.MaterializedIDs()))
 		if res.Elapsed < baseRes.Elapsed {
 			fmt.Printf("%s speedup over baseline: %.2fx\n",
 				*engineFl, baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
@@ -285,13 +366,19 @@ func runServer(spec *data.Spec) {
 	fmt.Println("embedding server: shutdown")
 }
 
-// runWorker is one trainer process of a distributed LRPP run.
+// runWorker is one trainer process of a distributed LRPP run: it meshes
+// with its peers and reaches the embedding tier through one TCPLink per
+// server, sharded by a ShardedStore when the tier is multi-server.
 func runWorker(cfg train.Config) {
 	if *engineFl != "lrpp" {
-		fatal(fmt.Errorf("-rank runs the lrpp engine; -engine %s has no multi-trainer-process form (drop -rank, or use the tcp driver which runs it against a remote server)", *engineFl))
+		fatal(fmt.Errorf("-rank runs the lrpp engine; -engine %s has no multi-trainer-process form (drop -rank, or use the tcp driver which runs it against a remote tier)", *engineFl))
 	}
-	if *peersFl == "" || *serverAddr == "" {
-		fatal(fmt.Errorf("-rank requires -peers and -server-addr"))
+	if *peersFl == "" {
+		fatal(fmt.Errorf("-rank requires -peers"))
+	}
+	saddrs, err := tierAddrs()
+	if err != nil {
+		fatal(err)
 	}
 	addrs := strings.Split(*peersFl, ",")
 	if len(addrs) != cfg.NumTrainers {
@@ -299,7 +386,6 @@ func runWorker(cfg train.Config) {
 	}
 	var lis net.Listener
 	if *listen != "" {
-		var err error
 		if lis, err = net.Listen("tcp", *listen); err != nil {
 			fatal(err)
 		}
@@ -308,37 +394,39 @@ func runWorker(cfg train.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := transport.DialTCPLink(*serverAddr, 30*time.Second)
+	store, links, err := dialStores(saddrs, 30*time.Second)
 	if err != nil {
 		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
 		fatal(err)
 	}
-	res, err := train.RunLRPPWorker(cfg, *rank, tr, mesh)
+	res, err := train.RunLRPPWorker(cfg, *rank, store, mesh)
 	if err != nil {
 		mesh.Shutdown()
 		fatal(err)
 	}
 	report(res)
 	mesh.Shutdown()
-	tr.Close()
+	for _, l := range links {
+		l.Close()
+	}
 }
 
-// runTCPDriver forks the whole distributed system locally: one embedding-
-// server process plus (for the lrpp engine) one process per trainer, all on
-// loopback TCP — then optionally certifies the remote server state against
-// a local baseline run, exactly as the in-process -verify does, via the
-// checkpoint protocol.
+// runTCPDriver forks the whole distributed system locally: -servers S
+// embedding-server processes plus (for the lrpp engine) one process per
+// trainer, all on loopback TCP — then optionally certifies the remote tier
+// state against a local baseline run, exactly as the in-process -verify
+// does, by restoring every server's checkpoint and merging the tier.
 func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	banner(spec, "tcp")
 	exe, err := os.Executable()
 	if err != nil {
 		fatal(err)
 	}
-	ports, err := freeLoopbackAddrs(1 + *trainers)
+	ports, err := freeLoopbackAddrs(*servers + *trainers)
 	if err != nil {
 		fatal(err)
 	}
-	srvAddr, meshAddrs := ports[0], ports[1:]
+	srvAddrs, meshAddrs := ports[:*servers], ports[*servers:]
 
 	// commonArgs reads the flags at call time: the server is spawned before
 	// -auto-lookahead resolves ℒ (it needs the server up to measure the link
@@ -360,64 +448,80 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			"-collective", *collFl,
 			fmt.Sprintf("-sync-compress=%v", *syncComp),
 			fmt.Sprintf("-stats=%v", *statsFl),
+			"-servers", fmt.Sprint(*servers),
 			"-shards", fmt.Sprint(*shards),
 			"-emb-dim", fmt.Sprint(*embDim),
 			"-seed", fmt.Sprint(*seed),
 		}
+	}
+	// fatal would bypass deferred cleanup (os.Exit); every failure after the
+	// first spawn must go through die — including a failed spawn mid-loop,
+	// which would otherwise orphan the processes already started.
+	var spawned []*exec.Cmd
+	killSpawned := func() {
+		for _, proc := range spawned {
+			if proc.Process != nil {
+				proc.Process.Kill()
+			}
+		}
+	}
+	die := func(err error) {
+		killSpawned()
+		fatal(err)
 	}
 	startProc := func(tag string, extra ...string) *exec.Cmd {
 		cmd := exec.Command(exe, append(commonArgs(), extra...)...)
 		cmd.Stdout = newPrefixWriter(os.Stdout, "["+tag+"] ")
 		cmd.Stderr = newPrefixWriter(os.Stderr, "["+tag+"] ")
 		if err := cmd.Start(); err != nil {
-			fatal(fmt.Errorf("spawn %s: %w", tag, err))
+			die(fmt.Errorf("spawn %s: %w", tag, err))
 		}
+		spawned = append(spawned, cmd)
 		return cmd
 	}
+	defer killSpawned() // no-op after a clean Wait; covers panics
 
-	serverProc := startProc("server", "-serve", "-listen", srvAddr)
-	defer serverProc.Process.Kill() // no-op after a clean Wait; covers panics
-	var procs []*exec.Cmd
-	// fatal would bypass deferred cleanup (os.Exit); every failure past
-	// this point must go through die so no spawned process is orphaned.
-	die := func(err error) {
-		for _, proc := range procs {
-			if proc.Process != nil {
-				proc.Process.Kill()
-			}
-		}
-		if serverProc.Process != nil {
-			serverProc.Process.Kill()
-		}
-		fatal(err)
+	serverProcs := make([]*exec.Cmd, *servers)
+	for s := range serverProcs {
+		serverProcs[s] = startProc(fmt.Sprintf("server %d", s), "-serve", "-listen", srvAddrs[s])
 	}
+	var procs []*exec.Cmd
 
 	if *autoLook {
-		// Measure the real link round trip against the freshly spawned
-		// server (fingerprint op = one full RPC), then resolve ℒ once here;
-		// the trainers inherit the concrete -lookahead value.
-		link, err := transport.DialTCPLink(srvAddr, 30*time.Second)
+		// Measure the real tier round trip against the freshly spawned
+		// servers (a fingerprint is one scatter/gather RPC round: with S
+		// servers it completes when the slowest link answers, which is the
+		// latency the ℒ window must cover), then resolve ℒ once here; the
+		// trainers inherit the concrete -lookahead value. The probe times a
+		// control frame, not a payload: on bandwidth-constrained links the
+		// resolved ℒ is a floor — it covers propagation but not the fetch's
+		// serialization time, so heavily congested links may still want a
+		// hand-tuned, deeper -lookahead.
+		store, links, err := dialStores(srvAddrs, 30*time.Second)
 		if err != nil {
 			die(err)
 		}
-		link.Fingerprint() // warm the connection and the server's shard walk
+		store.Fingerprint() // warm the connections and the servers' shard walks
 		const pings = 3
 		t0 := time.Now()
 		for i := 0; i < pings; i++ {
-			link.Fingerprint()
+			store.Fingerprint()
 		}
 		rtt := time.Since(t0) / pings
-		link.Close()
+		for _, l := range links {
+			l.Close()
+		}
 		resolveAutoLookahead(&cfg, rtt)
 	}
 
 	if *engineFl == "lrpp" {
-		fmt.Printf("spawned embedding server at %s; spawning %d trainer processes\n\n", srvAddr, *trainers)
+		fmt.Printf("spawned %d embedding server(s) at %s; spawning %d trainer processes\n\n",
+			*servers, strings.Join(srvAddrs, ","), *trainers)
 		for p := 0; p < *trainers; p++ {
 			procs = append(procs, startProc(fmt.Sprintf("trainer %d", p),
 				"-rank", fmt.Sprint(p),
 				"-peers", strings.Join(meshAddrs, ","),
-				"-server-addr", srvAddr))
+				"-server-addrs", strings.Join(srvAddrs, ",")))
 		}
 		failed := false
 		for p, proc := range procs {
@@ -431,8 +535,8 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		}
 	} else {
 		// baseline/pipelined are single-trainer-process engines: run the
-		// engine here, against the remote embedding server.
-		tr, err := transport.DialTCPLink(srvAddr, 30*time.Second)
+		// engine here, against the remote embedding tier.
+		tr, links, err := dialStores(srvAddrs, 30*time.Second)
 		if err != nil {
 			die(err)
 		}
@@ -449,10 +553,12 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			die(err)
 		}
 		report(res)
-		tr.Close()
+		for _, l := range links {
+			l.Close()
+		}
 	}
 
-	ctl, err := transport.DialTCPLink(srvAddr, 10*time.Second)
+	ctl, ctlLinks, err := dialStores(srvAddrs, 10*time.Second)
 	if err != nil {
 		die(err)
 	}
@@ -460,10 +566,10 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		if *engineFl == "baseline" {
 			die(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
 		}
-		fmt.Println("\n--- verify: fetching remote checkpoint, rerunning the no-cache baseline locally ---")
-		remote, err := embed.RestoreServer(bytes.NewReader(ctl.Checkpoint()), *shards)
+		fmt.Println("\n--- verify: fetching remote tier checkpoints, rerunning the no-cache baseline locally ---")
+		remote, err := embed.RestoreTier(bytes.NewReader(ctl.Checkpoint()), *servers, *shards)
 		if err != nil {
-			die(fmt.Errorf("restore remote checkpoint: %w", err))
+			die(fmt.Errorf("restore remote tier checkpoint: %w", err))
 		}
 		srvBase := newServer(spec)
 		baseRes, err := train.RunBaseline(cfg, transport.NewInProcess(srvBase))
@@ -475,13 +581,23 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		if len(diff) != 0 {
 			die(fmt.Errorf("FAIL: remote embedding state differs at %d ids (first %v)", len(diff), diff[0]))
 		}
-		fmt.Printf("\nPASS: distributed %s over loopback TCP left the embedding servers bit-identical to the baseline across %d materialized rows\n",
-			*engineFl, len(remote.MaterializedIDs()))
+		fmt.Printf("\nPASS: distributed %s over loopback TCP left the %d-server embedding tier bit-identical to the baseline across %d materialized rows\n",
+			*engineFl, *servers, len(remote.MaterializedIDs()))
 	}
-	ctl.ShutdownServer()
-	ctl.Close()
-	if err := serverProc.Wait(); err != nil {
-		fatal(fmt.Errorf("embedding server: %w", err))
+	ctl.Shutdown()
+	for _, l := range ctlLinks {
+		l.Close()
+	}
+	// Wait for every server before reporting: bailing on the first bad exit
+	// would leave later servers running with no one to reap them.
+	var exitErr error
+	for s, proc := range serverProcs {
+		if err := proc.Wait(); err != nil && exitErr == nil {
+			exitErr = fmt.Errorf("embedding server %d: %w", s, err)
+		}
+	}
+	if exitErr != nil {
+		die(exitErr)
 	}
 }
 
@@ -547,8 +663,8 @@ func (p *prefixWriter) Write(b []byte) (int, error) {
 func banner(spec *data.Spec, netName string) {
 	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
 		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
-	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  shards %d  net %s\n\n",
-		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *shards, netName)
+	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  servers %d x %d shards  net %s\n\n",
+		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *servers, *shards, netName)
 }
 
 // specByName resolves the dataset flag to a Table 1 shape.
@@ -622,6 +738,15 @@ func report(r *train.Result) {
 	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",
 		st.RowsFetched, float64(st.BytesFetched)/1e6, st.Fetches,
 		st.RowsWritten, float64(st.BytesWritten)/1e6, st.Writes)
+	if *statsFl && len(r.StoreServers) > 0 {
+		iters := float64(r.Iters)
+		fmt.Printf("  tier by server (sent from this process):\n")
+		for i, ss := range r.StoreServers {
+			fmt.Printf("    server %-3d fetch %6d frames (%5.1f/iter) %10.2f KB   write %6d frames (%5.1f/iter) %10.2f KB\n",
+				i, ss.Fetches, float64(ss.Fetches)/iters, float64(ss.BytesFetched)/1e3,
+				ss.Writes, float64(ss.Writes)/iters, float64(ss.BytesWritten)/1e3)
+		}
+	}
 	if st.SimulatedDelay > 0 {
 		fmt.Printf("  simulated network delay injected: %v\n", st.SimulatedDelay.Round(time.Millisecond))
 	}

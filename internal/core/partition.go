@@ -68,6 +68,38 @@ func OwnerOf(id uint64, p int) int {
 	return int(id % uint64(p))
 }
 
+// GroupByOwner partitions the positions 0..len(ids)-1 into contiguous
+// per-owner runs using a counting sort: the returned pos holds every index
+// grouped by its owning partition OwnerOf(id, n), and bounds[o]..bounds[o+1]
+// delimits owner o's run. The owner of each id is computed once (the modulo
+// is not free at these call rates) and replayed from a scratch array on the
+// placement pass. This is the one grouping primitive behind both halves of
+// the system's hash sharding: the embedding server's shard-grouped
+// fetch/write paths and the sharded tier client's scatter.
+func GroupByOwner(ids []uint64, n int) (pos []int, bounds []int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: GroupByOwner with %d partitions", n))
+	}
+	owner := make([]int32, len(ids))
+	counts := make([]int, n+1)
+	for i, id := range ids {
+		o := int32(id % uint64(n))
+		owner[i] = o
+		counts[o+1]++
+	}
+	for o := 0; o < n; o++ {
+		counts[o+1] += counts[o]
+	}
+	bounds = append([]int(nil), counts...)
+	pos = make([]int, len(ids))
+	for i := range ids {
+		o := owner[i]
+		pos[counts[o]] = i
+		counts[o]++
+	}
+	return pos, bounds
+}
+
 // Owner resolves id's owning trainer. IDs absent from the map — ids never
 // seen in the lookahead window the map was built from — fall back to the
 // hash ownership OwnerOf, so ownership is always defined and agrees with

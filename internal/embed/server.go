@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"bagpipe/internal/core"
 )
 
 // Stats counts server traffic, used by the experiments to account bytes.
@@ -58,30 +60,12 @@ func (s *Server) ShardOf(id uint64) int { return int(id % uint64(len(s.shards)))
 const parallelMinRows = 64
 
 // shardGroups partitions the positions 0..len(ids)-1 into contiguous
-// per-shard runs using a counting sort: the returned pos holds every index
-// grouped by owning shard, and bounds[sh]..bounds[sh+1] delimits shard sh's
-// run. The shard of each id is computed once (the modulo is not free at
-// this call rate) and replayed from a scratch array on the placement pass.
+// per-shard runs (core.GroupByOwner — shard ownership is the same
+// canonical hash map the trainer partitions and the server tier use): pos
+// holds every index grouped by owning shard, and bounds[sh]..bounds[sh+1]
+// delimits shard sh's run.
 func (s *Server) shardGroups(ids []uint64) (pos []int, bounds []int) {
-	n := len(s.shards)
-	shard := make([]int32, len(ids))
-	counts := make([]int, n+1)
-	for i, id := range ids {
-		sh := int32(id % uint64(n))
-		shard[i] = sh
-		counts[sh+1]++
-	}
-	for i := 0; i < n; i++ {
-		counts[i+1] += counts[i]
-	}
-	bounds = append([]int(nil), counts...)
-	pos = make([]int, len(ids))
-	for i := range ids {
-		sh := shard[i]
-		pos[counts[sh]] = i
-		counts[sh]++
-	}
-	return pos, bounds
+	return core.GroupByOwner(ids, len(s.shards))
 }
 
 // Fetch copies the rows for ids into a freshly allocated [len(ids)][dim]
@@ -254,12 +238,31 @@ func (s *Server) MaterializedIDs() []uint64 {
 	return ids
 }
 
-// Fingerprint hashes the server's logical state — every materialized id
-// with its row bits, in id order — with FNV-1a. Two servers with equal
-// fingerprints are bit-identical with overwhelming probability; the fuzz
-// harness uses it as a cheap differential check before falling back to
-// Diff for diagnostics. Like Diff, it is sharding-independent.
+// Fingerprint hashes the server's logical state: every materialized row is
+// digested with FNV-1a over its id and row bits, and the per-row digests
+// are combined with a wrapping sum. Two servers with equal fingerprints are
+// bit-identical with overwhelming probability; the fuzz harness uses it as
+// a cheap differential check before falling back to Diff for diagnostics.
+//
+// The commutative combine makes the fingerprint independent of sharding
+// *and* of tier splitting: the S servers of a tier hold disjoint
+// materialized sets, so their fingerprints sum (wrapping) to the
+// fingerprint of the merged state. transport.ShardedStore relies on this to
+// certify an S-server tier against an S=1 reference from S cheap remote
+// fingerprints, without moving checkpoints.
 func (s *Server) Fingerprint() uint64 {
+	row := make([]float32, s.Dim)
+	var sum uint64
+	for _, id := range s.MaterializedIDs() {
+		s.shards[s.ShardOf(id)].peek(id, row)
+		sum += rowDigest(id, row)
+	}
+	return sum
+}
+
+// rowDigest is the FNV-1a hash of one (id, row) pair, the unit Fingerprint
+// sums.
+func rowDigest(id uint64, row []float32) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -271,15 +274,70 @@ func (s *Server) Fingerprint() uint64 {
 			h *= prime64
 		}
 	}
-	row := make([]float32, s.Dim)
-	for _, id := range s.MaterializedIDs() {
-		mix(id)
-		s.shards[s.ShardOf(id)].peek(id, row)
-		for _, x := range row {
-			mix(uint64(math.Float32bits(x)))
-		}
+	mix(id)
+	for _, x := range row {
+		mix(uint64(math.Float32bits(x)))
 	}
 	return h
+}
+
+// MergeTier merges the state of an S-server embedding tier into one logical
+// server comparable against an S=1 reference (the direction -verify needs:
+// every engine's sharded run must land the bits of the unsharded baseline).
+// Server s of a tier addressed through transport.ShardedStore may only hold
+// materialized rows it owns (id % S == s); a row materialized on the wrong
+// server means the sharding map was violated, and is reported rather than
+// silently merged. All servers must have been built with the same seed, so
+// untouched rows are the identical deterministic function of id on every
+// server — the property that makes tier splitting well-defined at all.
+func MergeTier(tier []*Server) (*Server, error) {
+	if len(tier) == 0 {
+		return nil, fmt.Errorf("embed: merge of an empty tier")
+	}
+	if len(tier) == 1 {
+		return tier[0], nil
+	}
+	first := tier[0]
+	merged := &Server{Dim: first.Dim, shards: make([]*Table, len(first.shards))}
+	for i, sh := range first.shards {
+		merged.shards[i] = NewTable(sh.Dim, sh.Seed, sh.InitScale)
+	}
+	row := make([]float32, first.Dim)
+	for s, srv := range tier {
+		if srv.Dim != first.Dim {
+			return nil, fmt.Errorf("embed: tier server %d has dim %d, server 0 has dim %d", s, srv.Dim, first.Dim)
+		}
+		for _, id := range srv.MaterializedIDs() {
+			if owner := core.OwnerOf(id, len(tier)); owner != s {
+				return nil, fmt.Errorf("embed: tier server %d materialized id %d owned by server %d (sharding map violated)",
+					s, id, owner)
+			}
+			srv.shards[srv.ShardOf(id)].peek(id, row)
+			merged.shards[merged.ShardOf(id)].Set(id, row)
+		}
+	}
+	return merged, nil
+}
+
+// RestoreTier reads numServers consecutive server checkpoints (numShards
+// shard tables each — the byte layout transport.Store.Checkpoint produces
+// for a tier) and merges them into one logical server. This is how the
+// driver certifies a remote multi-server run: pull every server's
+// checkpoint, rebuild the tier locally, and Diff the merged state against a
+// local baseline.
+func RestoreTier(r io.Reader, numServers, numShards int) (*Server, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("embed: restore with non-positive server count %d", numServers)
+	}
+	tier := make([]*Server, numServers)
+	for s := range tier {
+		srv, err := RestoreServer(r, numShards)
+		if err != nil {
+			return nil, fmt.Errorf("embed: restore tier server %d: %w", s, err)
+		}
+		tier[s] = srv
+	}
+	return MergeTier(tier)
 }
 
 // Diff compares the logical state of two servers and returns the ids whose

@@ -13,8 +13,10 @@ import (
 // the servers, runs the data-parallel ranks, applies the sparse updates,
 // and writes every row straight back. It is the reference the pipelined
 // engine is differentially tested against: over the same Config the two
-// must leave the embedding servers in bit-identical state.
-func RunBaseline(cfg Config, tr transport.Transport) (*Result, error) {
+// must leave the embedding tier in bit-identical state — whatever the tier
+// width: tr is the Store abstraction, so the same loop runs against one
+// server or an S-way ShardedStore unchanged.
+func RunBaseline(cfg Config, tr transport.Store) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -65,5 +67,6 @@ func RunBaseline(cfg Config, tr transport.Transport) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	res.AvgLoss = lossSum / float64(cfg.NumBatches)
 	res.Transport = tr.Stats()
+	res.StoreServers = tr.ServerStats()
 	return res, nil
 }

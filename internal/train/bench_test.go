@@ -88,7 +88,7 @@ func BenchmarkEnginesSimnet5ms(b *testing.B) {
 			cfg := benchConfig(p)
 			for i := 0; i < b.N; i++ {
 				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
-				trs := make([]transport.Transport, p)
+				trs := make([]transport.Store, p)
 				for j := range trs {
 					trs[j] = transport.NewSimNet(srv, benchLatency, benchBandwidth)
 				}
@@ -132,7 +132,7 @@ func runLRPPTCPOnce(b *testing.B, cfg Config, p int) *Result {
 	}
 	wg.Wait()
 	mesh.Shutdown()
-	links[0].ShutdownServer()
+	links[0].Shutdown()
 	for _, l := range links {
 		l.Close()
 	}
@@ -171,7 +171,7 @@ func BenchmarkLRPPTCP(b *testing.B) {
 // step). All cells run the identical workload and end in identical bits;
 // only the communication schedule differs.
 func BenchmarkCollectives(b *testing.B) {
-	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+	for _, strategy := range []string{CollRooted, CollFused, CollRing, CollTree} {
 		for _, p := range []int{2, 4} {
 			b.Run(fmt.Sprintf("%s-%dtrainers", strategy, p), func(b *testing.B) {
 				cfg := benchConfig(p)
@@ -186,6 +186,43 @@ func BenchmarkCollectives(b *testing.B) {
 	}
 }
 
+// BenchmarkLRPPServerSweep sweeps embedding-tier width × trainer count
+// over the congested simulated fabric. Each server sits behind its own
+// 5ms / 256KB/s link — its own NIC in the paper's trainer-node/server-node
+// topology — so an S-server tier is S links wide: the sharded store's
+// concurrent scatter divides each trainer's serialization load across the
+// per-server links, where S=1 pushes all bytes down one.
+func BenchmarkLRPPServerSweep(b *testing.B) {
+	for _, S := range []int{1, 2, 4} {
+		for _, p := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%dservers-%dtrainers", S, p), func(b *testing.B) {
+				cfg := benchConfig(p)
+				for i := 0; i < b.N; i++ {
+					tier := make([]*embed.Server, S)
+					for s := range tier {
+						tier[s] = embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
+					}
+					trs := make([]transport.Store, p)
+					for j := range trs {
+						children := make([]transport.Store, S)
+						for s := range children {
+							children[s] = transport.NewSimNet(tier[s], benchLatency, benchBandwidth)
+						}
+						if S == 1 {
+							trs[j] = children[0]
+						} else {
+							trs[j] = transport.NewShardedStore(children)
+						}
+					}
+					mesh := transport.NewSimMesh(p, time.Millisecond, 100e6)
+					res, err := RunLRPP(cfg, trs, mesh)
+					reportRun(b, res, err)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLRPPInproc measures the engine's own overhead with free
 // transports: the cost of plans, merges, and mesh bookkeeping.
 func BenchmarkLRPPInproc(b *testing.B) {
@@ -194,7 +231,7 @@ func BenchmarkLRPPInproc(b *testing.B) {
 			cfg := benchConfig(p)
 			for i := 0; i < b.N; i++ {
 				srv := embed.NewServer(4, cfg.Spec.EmbDim, 7, 0.05)
-				res, err := RunLRPP(cfg, newTransports(srv, p), nil)
+				res, err := RunLRPP(cfg, newStores(srv, p), nil)
 				reportRun(b, res, err)
 			}
 		})

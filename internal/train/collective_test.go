@@ -11,11 +11,11 @@ import (
 
 // TestCollectiveStrategiesBitIdentical is the collective conformance
 // matrix: every mesh all-reduce strategy (rooted per-parameter frames,
-// fused single-frame, ring) over every fabric (instant in-process,
-// reordering simulated links, real TCP sockets + codec) leaves the
-// embedding servers bit-identical to the no-cache baseline and reports its
-// exact losses. Under -race this also exercises the ring relay path in the
-// receiver goroutine.
+// fused single-frame, ring, binomial tree) over every fabric (instant
+// in-process, reordering simulated links, real TCP sockets + codec) leaves
+// the embedding servers bit-identical to the no-cache baseline and reports
+// its exact losses. Under -race this also exercises the ring and tree
+// relay paths in the receiver goroutine.
 func TestCollectiveStrategiesBitIdentical(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.NumTrainers = 3
@@ -27,7 +27,7 @@ func TestCollectiveStrategiesBitIdentical(t *testing.T) {
 		t.Fatalf("baseline: %v", err)
 	}
 
-	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+	for _, strategy := range []string{CollRooted, CollFused, CollRing, CollTree} {
 		for _, meshName := range []string{"inproc", "sim", "tcp"} {
 			t.Run(fmt.Sprintf("%s_%s", strategy, meshName), func(t *testing.T) {
 				c := cfg
@@ -47,7 +47,7 @@ func TestCollectiveStrategiesBitIdentical(t *testing.T) {
 					defer lb.Shutdown()
 					mesh = lb
 				}
-				results := runWorkers(t, c, newTransports(srv, c.NumTrainers), mesh)
+				results := runWorkers(t, c, newStores(srv, c.NumTrainers), mesh)
 
 				if d := embed.Diff(srvBase, srv); len(d) != 0 {
 					t.Fatalf("strategy %s over %s diverged at %d ids (first: %v)", strategy, meshName, len(d), d[0])
@@ -78,11 +78,11 @@ func TestFusedCollectiveFrameReduction(t *testing.T) {
 	cfg.NumBatches = 10
 
 	frames := make(map[string]int64)
-	for _, strategy := range []string{CollRooted, CollFused, CollRing} {
+	for _, strategy := range []string{CollRooted, CollFused, CollRing, CollTree} {
 		c := cfg
 		c.Collective = strategy
 		srv := newServer(c.Spec, 3)
-		results := runWorkers(t, c, newTransports(srv, c.NumTrainers), transport.NewInprocMesh(c.NumTrainers))
+		results := runWorkers(t, c, newStores(srv, c.NumTrainers), transport.NewInprocMesh(c.NumTrainers))
 		var total int64
 		for _, res := range results {
 			total += res.MeshClasses.CollMsgs
@@ -95,6 +95,17 @@ func TestFusedCollectiveFrameReduction(t *testing.T) {
 	}
 	if want := 2 * (P - 1) * iters; frames[CollFused] != want {
 		t.Errorf("fused sent %d collective frames, want 2(P-1)·iters = %d", frames[CollFused], want)
+	}
+	// Tree: every contribution is relayed popcount(r) hops up the binomial
+	// tree, and the result travels the P−1 tree edges back down.
+	var hops int64
+	for r := int64(1); r < P; r++ {
+		for v := r; v != 0; v &= v - 1 {
+			hops++
+		}
+	}
+	if want := (hops + P - 1) * iters; frames[CollTree] != want {
+		t.Errorf("tree sent %d collective frames, want (Σpopcount+P-1)·iters = %d", frames[CollTree], want)
 	}
 	if frames[CollRooted] < 5*frames[CollFused] {
 		t.Errorf("rooted sent %d frames vs fused %d: fusion saves < 5x", frames[CollRooted], frames[CollFused])
@@ -113,7 +124,7 @@ func TestLRPPSyncCompressRuns(t *testing.T) {
 	cfg.SyncCompress = true
 
 	srv := newServer(cfg.Spec, 3)
-	res, err := RunLRPP(cfg, newTransports(srv, 2), nil)
+	res, err := RunLRPP(cfg, newStores(srv, 2), nil)
 	if err != nil {
 		t.Fatalf("lrpp with sync-compress: %v", err)
 	}
@@ -121,7 +132,7 @@ func TestLRPPSyncCompressRuns(t *testing.T) {
 	exact := cfg
 	exact.SyncCompress = false
 	srvExact := newServer(cfg.Spec, 3)
-	resExact, err := RunLRPP(exact, newTransports(srvExact, 2), nil)
+	resExact, err := RunLRPP(exact, newStores(srvExact, 2), nil)
 	if err != nil {
 		t.Fatalf("lrpp lossless: %v", err)
 	}
@@ -198,16 +209,16 @@ func TestCalibrateAndAutoLookahead(t *testing.T) {
 // every engine entry point.
 func TestCollectiveConfigValidation(t *testing.T) {
 	cfg := tinyConfig()
-	cfg.Collective = "tree"
+	cfg.Collective = "butterfly"
 	srv := newServer(cfg.Spec, 1)
-	if _, err := RunLRPP(cfg, newTransports(srv, cfg.NumTrainers), nil); err == nil {
+	if _, err := RunLRPP(cfg, newStores(srv, cfg.NumTrainers), nil); err == nil {
 		t.Fatal("RunLRPP accepted unknown collective strategy")
 	}
 	if _, err := RunLRPPWorker(cfg, 0, transport.NewInProcess(srv), transport.NewInprocMesh(cfg.NumTrainers)); err == nil {
 		t.Fatal("RunLRPPWorker accepted unknown collective strategy")
 	}
 	ok := tinyConfig()
-	for _, s := range []string{"", CollRooted, CollFused, CollRing} {
+	for _, s := range []string{"", CollRooted, CollFused, CollRing, CollTree} {
 		ok.Collective = s
 		if err := ok.validate(); err != nil {
 			t.Fatalf("strategy %q rejected: %v", s, err)

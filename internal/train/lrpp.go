@@ -175,7 +175,7 @@ type lrppTrainer struct {
 		optim.Optimizer
 		optim.RowOptimizer
 	}
-	tr transport.Transport
+	tr transport.Store
 	ep transport.Endpoint
 
 	// Worker mode only (nil otherwise): the mesh-based collective reducer
@@ -210,7 +210,8 @@ type lrppTrainer struct {
 // RunLRPP trains with the multi-trainer LRPP engine (§3.3 of the paper):
 // cfg.NumTrainers independent trainer processes, each owning the cache
 // partition of the ids hashing to it (core.OwnerOf) and reaching the
-// embedding servers over its own transport trs[p]. Rows a non-owner reads
+// embedding tier over its own store trs[p] (one server or an S-way
+// ShardedStore — the engine cannot tell). Rows a non-owner reads
 // are pushed to it as per-iteration replicas over the mesh; gradient
 // updates to remote-owned rows are queued and flushed by a background
 // delayed-sync goroutine — batched per owner, contributions the next
@@ -227,7 +228,7 @@ type lrppTrainer struct {
 // per-trainer windows compose into the global guarantee.
 //
 // mesh may be nil, which wires the trainers over an in-process mesh.
-func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Result, error) {
+func RunLRPP(cfg Config, trs []transport.Store, mesh transport.Mesh) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -236,7 +237,7 @@ func RunLRPP(cfg Config, trs []transport.Transport, mesh transport.Mesh) (*Resul
 	}
 	P := cfg.NumTrainers
 	if len(trs) != P {
-		return nil, fmt.Errorf("train: %d trainers need %d transports, got %d", P, P, len(trs))
+		return nil, fmt.Errorf("train: %d trainers need %d stores, got %d", P, P, len(trs))
 	}
 	if mesh == nil {
 		mesh = transport.NewInprocMesh(P)
@@ -317,7 +318,7 @@ func newLRPPEngine(cfg *Config, mesh transport.Mesh, coll lrppColl) *lrppEngine 
 
 // newLRPPTrainer builds trainer p: its model replica, optimizers, cache
 // partition, and pipeline plumbing.
-func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Transport, ep transport.Endpoint) (*lrppTrainer, error) {
+func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Store, ep transport.Endpoint) (*lrppTrainer, error) {
 	cfg := eng.cfg
 	mcfg := model.Config{
 		NumCategorical: cfg.Spec.NumCategorical,
@@ -386,14 +387,13 @@ func (eng *lrppEngine) collectResult(trainers []*lrppTrainer, stats []core.IterS
 		}
 		res.Evicted += t.evictedRows
 		res.PeakCache += t.cache.PeakRows()
-		st := t.tr.Stats()
-		res.Transport.Fetches += st.Fetches
-		res.Transport.Writes += st.Writes
-		res.Transport.RowsFetched += st.RowsFetched
-		res.Transport.RowsWritten += st.RowsWritten
-		res.Transport.BytesFetched += st.BytesFetched
-		res.Transport.BytesWritten += st.BytesWritten
-		res.Transport.SimulatedDelay += st.SimulatedDelay
+		res.Transport.Add(t.tr.Stats())
+		for i, st := range t.tr.ServerStats() {
+			if i == len(res.StoreServers) {
+				res.StoreServers = append(res.StoreServers, transport.Stats{})
+			}
+			res.StoreServers[i].Add(st)
+		}
 	}
 	res.Examples = int64(cfg.NumBatches) * int64(cfg.BatchSize)
 	res.Elapsed = time.Since(start)

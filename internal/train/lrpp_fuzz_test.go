@@ -202,7 +202,7 @@ func FuzzLRPPDifferential(f *testing.F) {
 		aud := newAuditor(p, cfg.LookAhead)
 		cfg.Hooks = aud.hooks()
 		srvLRPP := embed.NewServer(2, cfg.Spec.EmbDim, seed^0xBEEF, 0.05)
-		res, err := RunLRPP(cfg, newTransports(srvLRPP, p), nil)
+		res, err := RunLRPP(cfg, newStores(srvLRPP, p), nil)
 		if err != nil {
 			t.Fatalf("lrpp: %v", err)
 		}

@@ -6,18 +6,44 @@ import (
 	"time"
 
 	"bagpipe/internal/core"
+	"bagpipe/internal/data"
 	"bagpipe/internal/embed"
 	"bagpipe/internal/transport"
 )
 
-// newTransports returns p independent transports onto one server, one per
-// LRPP trainer process.
-func newTransports(srv *embed.Server, p int) []transport.Transport {
-	trs := make([]transport.Transport, p)
+// newStores returns p independent stores onto one server, one per LRPP
+// trainer process.
+func newStores(srv *embed.Server, p int) []transport.Store {
+	trs := make([]transport.Store, p)
 	for i := range trs {
 		trs[i] = transport.NewInProcess(srv)
 	}
 	return trs
+}
+
+// newShardedStores returns p independent S-way sharded stores onto the
+// tier srvs, one per LRPP trainer process (each trainer gets its own
+// per-server transports, so traffic counters stay per-trainer).
+func newShardedStores(srvs []*embed.Server, p int) []transport.Store {
+	trs := make([]transport.Store, p)
+	for i := range trs {
+		children := make([]transport.Store, len(srvs))
+		for s, srv := range srvs {
+			children[s] = transport.NewInProcess(srv)
+		}
+		trs[i] = transport.NewShardedStore(children)
+	}
+	return trs
+}
+
+// newTier returns an S-server tier with identical seeds (tier splitting is
+// deterministic, so the merged state is comparable to a one-server run).
+func newTier(spec *data.Spec, S, shards int) []*embed.Server {
+	srvs := make([]*embed.Server, S)
+	for i := range srvs {
+		srvs[i] = newServer(spec, shards)
+	}
+	return srvs
 }
 
 // TestLRPPMatchesBaselineAcrossTrainersAndPartitioners is the PR's central
@@ -43,7 +69,7 @@ func TestLRPPMatchesBaselineAcrossTrainersAndPartitioners(t *testing.T) {
 					t.Fatalf("baseline: %v", err)
 				}
 				srvLRPP := newServer(cfg.Spec, 3)
-				res, err := RunLRPP(cfg, newTransports(srvLRPP, p), nil)
+				res, err := RunLRPP(cfg, newStores(srvLRPP, p), nil)
 				if err != nil {
 					t.Fatalf("lrpp: %v", err)
 				}
@@ -84,13 +110,13 @@ func TestLRPPEagerAndDelayedSyncAgree(t *testing.T) {
 	cfg.NumBatches = 24
 
 	delayed := newServer(cfg.Spec, 2)
-	resDelayed, err := RunLRPP(cfg, newTransports(delayed, 3), nil)
+	resDelayed, err := RunLRPP(cfg, newStores(delayed, 3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.SyncEager = true
 	eager := newServer(cfg.Spec, 2)
-	resEager, err := RunLRPP(cfg, newTransports(eager, 3), nil)
+	resEager, err := RunLRPP(cfg, newStores(eager, 3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +141,7 @@ func TestLRPPLookaheadInvariance(t *testing.T) {
 		cfg.NumBatches = 20
 		cfg.LookAhead = L
 		srv := newServer(cfg.Spec, 2)
-		if _, err := RunLRPP(cfg, newTransports(srv, 2), nil); err != nil {
+		if _, err := RunLRPP(cfg, newStores(srv, 2), nil); err != nil {
 			t.Fatalf("L=%d: %v", L, err)
 		}
 		if ref == nil {
@@ -144,7 +170,7 @@ func TestLRPPOverSimulatedFabric(t *testing.T) {
 	}
 
 	srv := newServer(cfg.Spec, 2)
-	trs := make([]transport.Transport, cfg.NumTrainers)
+	trs := make([]transport.Store, cfg.NumTrainers)
 	for i := range trs {
 		trs[i] = transport.NewSimNet(srv, time.Millisecond, 0)
 	}
@@ -176,13 +202,13 @@ func TestLRPPValidation(t *testing.T) {
 
 	bad := cfg
 	bad.LookAhead = 0
-	if _, err := RunLRPP(bad, newTransports(srv, 2), nil); err == nil {
+	if _, err := RunLRPP(bad, newStores(srv, 2), nil); err == nil {
 		t.Fatal("lookahead 0 accepted")
 	}
-	if _, err := RunLRPP(cfg, newTransports(srv, 1), nil); err == nil {
+	if _, err := RunLRPP(cfg, newStores(srv, 1), nil); err == nil {
 		t.Fatal("transport/trainer count mismatch accepted")
 	}
-	if _, err := RunLRPP(cfg, newTransports(srv, 2), transport.NewInprocMesh(3)); err == nil {
+	if _, err := RunLRPP(cfg, newStores(srv, 2), transport.NewInprocMesh(3)); err == nil {
 		t.Fatal("mesh size mismatch accepted")
 	}
 }

@@ -27,6 +27,15 @@ import (
 //     locally in rank order. P(P−1) smaller-haul frames per iteration, but
 //     no rank-0 incast: every link carries exactly P−1 frames, where the
 //     rooted strategies put all 2(P−1) on rank 0's links.
+//   - tree: rank-pairing over a binomial tree of depth ⌈log₂P⌉ (parent of
+//     rank r is r with its lowest set bit cleared). Contributions are
+//     relayed up the tree *unfolded* — partial sums at interior nodes would
+//     change the float summation order and break bit-identity — so rank 0
+//     still folds all P frames in rank order; the result then travels the
+//     P−1 tree edges back down. Σ popcount(r) + (P−1) frames per
+//     iteration, and rank 0's broadcast fanout drops from P−1 sends to
+//     ⌈log₂P⌉ — the per-endpoint send pressure a large-P rooted broadcast
+//     concentrates on rank 0 is spread over the tree.
 //
 // Every call is tagged with a sequence number (all ranks make the same
 // sequence of collective calls, as with MPI communicators), so arbitrarily
@@ -38,7 +47,26 @@ const (
 	CollRooted = "rooted"
 	CollFused  = "fused"
 	CollRing   = "ring"
+	CollTree   = "tree"
 )
+
+// treeParent returns rank r's parent in the binomial tree: r with its
+// lowest set bit cleared (undefined for the root, which never sends up).
+func treeParent(r int) int { return r & (r - 1) }
+
+// treeChildren returns rank r's children in the binomial tree over n
+// ranks: r + 2^j for every power of two below r's lowest set bit (every
+// power for the root), bounded by n.
+func treeChildren(r, n int) []int {
+	var out []int
+	for bit := 1; r+bit < n; bit <<= 1 {
+		if r != 0 && bit >= r&-r {
+			break
+		}
+		out = append(out, r+bit)
+	}
+	return out
+}
 
 // meshColl implements collective.Collective over a mesh endpoint.
 type meshColl struct {
@@ -46,6 +74,14 @@ type meshColl struct {
 	ep       transport.Endpoint
 	strategy string
 	eng      *lrppEngine // per-class traffic accounting
+
+	// Fixed topology, computed once: this rank's parent and children in
+	// the binomial tree (tree strategy), and the root's result fanout for
+	// the strategy (all peers under fused, rank 0's children under tree;
+	// only rank 0 reads it).
+	parent     int
+	kids       []int
+	rootFanout []int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -59,10 +95,21 @@ type meshColl struct {
 func newMeshColl(rank, n int, ep transport.Endpoint, strategy string, eng *lrppEngine) *meshColl {
 	c := &meshColl{
 		rank: rank, n: n, ep: ep, strategy: strategy, eng: eng,
+		parent:  treeParent(rank),
+		kids:    treeChildren(rank, n),
 		contrib: make(map[uint64]map[int]transport.CollMsg),
 		result:  make(map[uint64]transport.CollMsg),
 		fused:   make(map[uint64]map[int]transport.FusedCollMsg),
 		fresult: make(map[uint64]transport.FusedCollMsg),
+	}
+	if rank == 0 {
+		if strategy == CollTree {
+			c.rootFanout = c.kids
+		} else {
+			for r := 1; r < n; r++ {
+				c.rootFanout = append(c.rootFanout, r)
+			}
+		}
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -95,15 +142,33 @@ func (c *meshColl) deliver(from int, m transport.CollMsg) {
 	c.mu.Unlock()
 }
 
-// deliverFused routes one inbound fused frame. Under the ring strategy the
-// receiver is also a relay: a contribution is forwarded to the next rank
-// unless that rank is its origin (the frame has then completed its P−1
-// hops). Forwarding happens before the local deposit so the frame's next
-// hop never waits on this rank's fold.
+// deliverFused routes one inbound fused frame. Under the ring and tree
+// strategies the receiver is also a relay — ring: a contribution is
+// forwarded to the next rank unless that rank is its origin (the frame has
+// then completed its P−1 hops); tree: a contribution climbing through a
+// non-root rank is relayed to the parent untouched (folding here would
+// change the summation order), and the root's descending result is
+// forwarded to this rank's children. Forwarding happens before the local
+// deposit so a frame's next hop never waits on this rank's fold.
 func (c *meshColl) deliverFused(m transport.FusedCollMsg, bytes int64) {
-	if c.strategy == CollRing {
+	switch c.strategy {
+	case CollRing:
 		if next := (c.rank + 1) % c.n; next != m.Origin {
 			c.send(next, bytes, m)
+		}
+	case CollTree:
+		if m.Origin != 0 && c.rank != 0 {
+			// a contribution passing through on its way to the root: pure
+			// relay, nothing to deposit here.
+			c.send(c.parent, bytes, m)
+			return
+		}
+		if m.Origin == 0 {
+			// the root's result descending: hand it to this rank's subtree
+			// first, then deposit the local copy.
+			for _, ch := range c.kids {
+				c.send(ch, bytes, m)
+			}
 		}
 	}
 	c.mu.Lock()
@@ -199,6 +264,8 @@ func (c *meshColl) FusedAllReduce(rank int, segs [][]float32, loss []float64) {
 		c.allReduceSum64(loss)
 	case CollRing:
 		c.fusedRing(segs, loss)
+	case CollTree:
+		c.fusedTree(segs, loss)
 	default: // CollFused
 		c.fusedRooted(segs, loss)
 	}
@@ -232,9 +299,30 @@ func (c *meshColl) checkFused(m transport.FusedCollMsg, segs [][]float32, loss [
 	}
 }
 
-// fusedRooted is the fused strategy: rank 0 folds everyone's single frame
-// in rank order and broadcasts the result — 2(P−1) frames per iteration.
+// fusedRooted is the fused strategy: every rank sends its frame straight to
+// rank 0, which folds and broadcasts to everyone — 2(P−1) frames per
+// iteration.
 func (c *meshColl) fusedRooted(segs [][]float32, loss []float64) {
+	c.fusedViaRoot(segs, loss, 0, c.rootFanout)
+}
+
+// fusedTree is the rank-pairing strategy: contributions climb the binomial
+// tree (relayed unfolded by deliverFused), rank 0 folds all P frames in
+// rank order, and the result descends the same tree edges (non-root ranks
+// forward it to their children in deliverFused). Σ popcount(r) + (P−1)
+// frames per iteration; rank 0 sends only to its ⌈log₂P⌉ children.
+func (c *meshColl) fusedTree(segs [][]float32, loss []float64) {
+	c.fusedViaRoot(segs, loss, c.parent, c.rootFanout)
+}
+
+// fusedViaRoot is the reduce-through-rank-0 core behind the fused and tree
+// strategies: every contribution reaches rank 0 (directly, or relayed up
+// the tree by deliverFused), rank 0 folds all P frames in rank order from
+// zero — the bit-identity contract — and sends the result to fanout; every
+// other rank sends its own frame to parent and blocks for the result
+// (parent is 0 under fused, the tree parent under tree; fanout is only
+// read by rank 0).
+func (c *meshColl) fusedViaRoot(segs [][]float32, loss []float64, parent int, fanout []int) {
 	seq := c.nextSeq()
 	bytes := fusedCollBytes(segs, len(loss))
 	if c.rank == 0 {
@@ -258,12 +346,12 @@ func (c *meshColl) fusedRooted(segs [][]float32, loss []float64) {
 			}
 		}
 		out := snapshotFused(seq, 0, segs, loss)
-		for r := 1; r < c.n; r++ {
+		for _, r := range fanout {
 			c.send(r, bytes, out)
 		}
 		return
 	}
-	c.send(0, bytes, snapshotFused(seq, c.rank, segs, loss))
+	c.send(parent, bytes, snapshotFused(seq, c.rank, segs, loss))
 	m := c.awaitFused(seq)
 	c.checkFused(m, segs, loss)
 	for i := range segs {

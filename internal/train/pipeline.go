@@ -45,7 +45,7 @@ type maintJob struct {
 // servers cannot serve a stale row. The cache itself is touched only by
 // the trainer goroutine, so it needs no locking, exactly as the paper's
 // disjointness argument promises.
-func RunPipelined(cfg Config, tr transport.Transport) (*Result, error) {
+func RunPipelined(cfg Config, tr transport.Store) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -236,5 +236,6 @@ func RunPipelined(cfg Config, tr transport.Transport) (*Result, error) {
 	res.OverlapPrefetchTrain = overlapPT.Load()
 	res.OverlapMaintTrain = overlapMT.Load()
 	res.Transport = tr.Stats()
+	res.StoreServers = tr.ServerStats()
 	return res, nil
 }

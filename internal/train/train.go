@@ -85,11 +85,13 @@ type Config struct {
 	// Collective selects the mesh all-reduce strategy for multi-process
 	// worker runs: "rooted" (one frame per dense parameter, reduced through
 	// rank 0 — the PR-3 wire behavior), "fused" (the default: every
-	// parameter segment plus the loss in a single frame through rank 0), or
-	// "ring" (fused frames forwarded around the ring, folded locally). All
-	// three fold in rank order from zero and are therefore bit-identical;
-	// they differ only in frame count and topology. Single-process engines
-	// always use the in-process collective.Group.
+	// parameter segment plus the loss in a single frame through rank 0),
+	// "ring" (fused frames forwarded around the ring, folded locally), or
+	// "tree" (fused frames relayed up a log₂P binomial tree to rank 0 and
+	// the result sent back down it). All strategies fold in rank order from
+	// zero and are therefore bit-identical; they differ only in frame count
+	// and topology. Single-process engines always use the in-process
+	// collective.Group.
 	Collective string
 	// SyncCompress quantizes replica row pushes to float16 on the mesh,
 	// halving replica bytes. Lossy: the final state is no longer
@@ -112,9 +114,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("train: need at least one trainer, got %d", c.NumTrainers)
 	}
 	switch c.Collective {
-	case "", CollRooted, CollFused, CollRing:
+	case "", CollRooted, CollFused, CollRing, CollTree:
 	default:
-		return fmt.Errorf("train: unknown collective strategy %q (rooted, fused, ring)", c.Collective)
+		return fmt.Errorf("train: unknown collective strategy %q (rooted, fused, ring, tree)", c.Collective)
 	}
 	return nil
 }
@@ -196,6 +198,14 @@ type Result struct {
 	MeshClasses MeshTraffic
 
 	Transport transport.Stats
+	// StoreServers splits the embedding-tier traffic by backend server:
+	// fetch/write frames (per-server sub-batch RPCs) and payload bytes,
+	// one entry per server in tier order, summed across this process's
+	// trainers. The per-server counterpart of MeshClasses: it is what
+	// proves — from counters, not assertions — that a -servers S run
+	// actually fanned its traffic out S ways. Transport is the field-wise
+	// sum of these entries.
+	StoreServers []transport.Stats
 }
 
 // MeshTraffic is per-phase mesh accounting: frames and declared bytes,

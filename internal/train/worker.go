@@ -14,7 +14,8 @@ import (
 // trainer of a P-trainer run in the calling process, connected to its peers
 // over any transport.Mesh (in production a TCPMesh, in tests also the
 // in-process and simulated fabrics) and to the embedding tier over any
-// Transport (a TCPLink against a remote embedding-server process).
+// Store (TCPLinks against remote embedding-server processes, sharded
+// across S of them by ShardedStore when the tier is multi-server).
 //
 // Three things that are free in the single-process engine must cross the
 // mesh here, each as a codec wire type:
@@ -99,7 +100,9 @@ func planMsgBytes(pl *core.TrainerPlan) int64 {
 }
 
 // RunLRPPWorker runs trainer `rank` of a cfg.NumTrainers-trainer LRPP run
-// in this process. The peers run the same Config (workloads are
+// in this process, reaching the embedding tier through tr (in production a
+// TCPLink for a one-server tier, or a ShardedStore of TCPLinks for an
+// S-server one). The peers run the same Config (workloads are
 // deterministic functions of it, so no configuration crosses the wire) in
 // their own processes — or goroutines, in tests — sharing the mesh fabric;
 // rank 0 additionally hosts the Oracle Cacher and streams everyone their
@@ -110,7 +113,7 @@ func planMsgBytes(pl *core.TrainerPlan) int64 {
 // The caller owns tr and mesh: quiesce/shutdown them after the result
 // returns (a TCPMesh still carries peers' teardown traffic when this
 // trainer finishes first).
-func RunLRPPWorker(cfg Config, rank int, tr transport.Transport, mesh transport.Mesh) (*Result, error) {
+func RunLRPPWorker(cfg Config, rank int, tr transport.Store, mesh transport.Mesh) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -13,7 +13,7 @@ import (
 
 // runWorkers runs one LRPP worker per rank as goroutines sharing mesh, each
 // with its own transport, and returns the per-rank results.
-func runWorkers(t *testing.T, cfg Config, trs []transport.Transport, mesh transport.Mesh) []*Result {
+func runWorkers(t *testing.T, cfg Config, trs []transport.Store, mesh transport.Mesh) []*Result {
 	t.Helper()
 	P := cfg.NumTrainers
 	results := make([]*Result, P)
@@ -75,7 +75,7 @@ func TestLRPPWorkersMatchBaseline(t *testing.T) {
 					defer lb.Shutdown()
 					mesh = lb
 				}
-				results := runWorkers(t, cfg, newTransports(srv, P), mesh)
+				results := runWorkers(t, cfg, newStores(srv, P), mesh)
 
 				if d := embed.Diff(srvBase, srv); len(d) != 0 {
 					t.Fatalf("embedding state diverged at %d ids (first: %v)", len(d), d[0])
@@ -119,7 +119,7 @@ func TestLRPPWorkersOverTCPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mesh.Shutdown()
-	trs := make([]transport.Transport, cfg.NumTrainers)
+	trs := make([]transport.Store, cfg.NumTrainers)
 	links := make([]*transport.TCPLink, cfg.NumTrainers)
 	for i := range trs {
 		link, err := transport.DialTCPLink(lis.Addr().String(), 5*time.Second)
@@ -147,7 +147,7 @@ func TestLRPPWorkersOverTCPEndToEnd(t *testing.T) {
 			t.Fatalf("worker %d fetched nothing over its link", p)
 		}
 	}
-	links[0].ShutdownServer()
+	links[0].Shutdown()
 	for _, l := range links {
 		l.Close()
 	}

@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"bagpipe/internal/core"
+)
+
+// Store is the trainer's client API to the embedding tier. It extends the
+// point-to-point Transport data path (Fetch/Write/Dim/Stats/Name) with the
+// tier operations every engine and the verification drivers need — state
+// fingerprinting, checkpointing, and remote shutdown — so callers program
+// against *the tier*, never against an individual server. The single-server
+// transports (InProcess, SimNet, TCPLink) are degenerate one-server tiers;
+// ShardedStore composes S of them into a real one. Engines take a Store and
+// cannot tell the difference: sharding is a property of the tier client,
+// not of the training logic.
+type Store interface {
+	Transport
+
+	// Fingerprint returns the tier's state certificate: the wrapping sum of
+	// every backend server's embed.Server.Fingerprint. The combine is
+	// order-independent and the servers' materialized sets are disjoint, so
+	// an S-server tier fingerprints identically to the equivalent S=1
+	// server — distributed verification needs S cheap RPCs, not checkpoints.
+	Fingerprint() uint64
+	// Checkpoint returns the serialized state of every backend server, in
+	// server order; embed.RestoreTier rebuilds the merged logical state.
+	Checkpoint() []byte
+	// Shutdown asks every remote server process behind the store to stop
+	// serving once in-flight requests complete. A no-op for in-process
+	// stores, whose servers the caller owns directly.
+	Shutdown()
+	// ServerStats returns one traffic snapshot per backend server, in
+	// server order. Stats() is their field-wise sum (Stats.Add).
+	ServerStats() []Stats
+}
+
+// ShardedStore is the multi-server tier client: ids are partitioned across
+// S backend stores by the canonical hash ownership core.OwnerOf(id, S) —
+// the same total map the LRPP cache uses for trainer ownership — and every
+// Fetch/Write is split into per-server sub-batches issued concurrently
+// (scatter), with fetched rows reassembled in request order regardless of
+// the order the servers reply in (gather). Like every transport, it is a
+// carrier, not a semantic layer: over the same request stream an S-server
+// tier lands bit-identical state to the S=1 reference, which is what lets
+// -verify certify sharded runs against the unsharded baseline.
+type ShardedStore struct {
+	children []Store
+	dim      int
+}
+
+// NewShardedStore builds the tier client over children, one per embedding
+// server, in server order. All children must serve the same row width. A
+// single-child store is a valid (degenerate) tier; callers that want to
+// skip the fan-out bookkeeping entirely for S=1 may use the child directly,
+// as cmd/bagpipe does.
+func NewShardedStore(children []Store) *ShardedStore {
+	if len(children) == 0 {
+		panic("transport: sharded store over zero servers")
+	}
+	dim := children[0].Dim()
+	for i, c := range children {
+		if c.Dim() != dim {
+			panic(fmt.Sprintf("transport: sharded store server %d serves dim %d, server 0 serves %d", i, c.Dim(), dim))
+		}
+	}
+	return &ShardedStore{children: children, dim: dim}
+}
+
+// Name implements Store.
+func (t *ShardedStore) Name() string {
+	return fmt.Sprintf("sharded-%d/%s", len(t.children), t.children[0].Name())
+}
+
+// Dim implements Store.
+func (t *ShardedStore) Dim() int { return t.dim }
+
+// Servers returns the tier width S.
+func (t *ShardedStore) Servers() int { return len(t.children) }
+
+// scatter partitions the positions 0..len(ids)-1 into contiguous per-server
+// runs (core.GroupByOwner over the canonical OwnerOf map): pos holds every
+// index grouped by owning server, and bounds[s]..bounds[s+1] delimits
+// server s's run. The original position of each id rides along, which is
+// what makes the gather order-preserving for free.
+func (t *ShardedStore) scatter(ids []uint64) (pos []int, bounds []int) {
+	return core.GroupByOwner(ids, len(t.children))
+}
+
+// forEachServer runs fn for every server with a non-empty run in bounds —
+// concurrently when more than one server is involved. Sub-batches wait on
+// their server's link, not on CPU, so overlapping them is what makes an
+// S-server tier S links wide instead of one link S times as long (each
+// backend is its own NIC in the paper's trainer-node/server-node topology).
+func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
+	active, only := 0, -1
+	for s := range t.children {
+		if bounds[s] != bounds[s+1] {
+			active++
+			only = s
+		}
+	}
+	if active == 0 {
+		return
+	}
+	if active == 1 {
+		fn(only)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range t.children {
+		if bounds[s] == bounds[s+1] {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Fetch implements Store: one sub-batch per owning server, issued
+// concurrently, rows delivered in request order no matter which order the
+// servers reply in.
+func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
+	out := make([][]float32, len(ids))
+	pos, bounds := t.scatter(ids)
+	t.forEachServer(bounds, func(s int) {
+		run := pos[bounds[s]:bounds[s+1]]
+		sub := make([]uint64, len(run))
+		for i, p := range run {
+			sub[i] = ids[p]
+		}
+		rows := t.children[s].Fetch(sub)
+		for i, p := range run {
+			out[p] = rows[i]
+		}
+	})
+	return out
+}
+
+// Write implements Store: the scatter half of Fetch, one concurrent
+// sub-batch of (id, row) pairs per owning server. It returns once every
+// server acked its sub-batch — the write-durability contract the ℒ-window
+// retirement depends on holds per server, so it holds for the tier.
+func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
+	if len(ids) != len(rows) {
+		panic("transport: Write ids/rows length mismatch")
+	}
+	pos, bounds := t.scatter(ids)
+	t.forEachServer(bounds, func(s int) {
+		run := pos[bounds[s]:bounds[s+1]]
+		sub := make([]uint64, len(run))
+		subRows := make([][]float32, len(run))
+		for i, p := range run {
+			sub[i] = ids[p]
+			subRows[i] = rows[p]
+		}
+		t.children[s].Write(sub, subRows)
+	})
+}
+
+// Stats implements Store: the field-wise sum over the tier. Fetches/Writes
+// count per-server sub-batch RPCs — the frames the fan-out actually put on
+// the wire — so an S-way scatter of one logical fetch reports up to S
+// calls, and SimulatedDelay sums the per-link serialization charges even
+// though concurrent sub-batches overlap in wall-clock time.
+func (t *ShardedStore) Stats() Stats {
+	var sum Stats
+	for _, c := range t.children {
+		sum.Add(c.Stats())
+	}
+	return sum
+}
+
+// ServerStats implements Store: per-server snapshots, flattened in server
+// order (a nested sharded child contributes its own per-server entries).
+func (t *ShardedStore) ServerStats() []Stats {
+	out := make([]Stats, 0, len(t.children))
+	for _, c := range t.children {
+		out = append(out, c.ServerStats()...)
+	}
+	return out
+}
+
+// Fingerprint implements Store: the order-independent combine of the
+// per-server certificates (see Store.Fingerprint for why a wrapping sum of
+// disjoint servers equals the merged state's fingerprint). The per-server
+// RPCs fan out concurrently — the call completes when the slowest server
+// answers, which keeps it an honest one-round-trip probe (the driver's
+// -auto-lookahead pings time it to size the ℒ window).
+func (t *ShardedStore) Fingerprint() uint64 {
+	fps := make([]uint64, len(t.children))
+	var wg sync.WaitGroup
+	for s, c := range t.children {
+		wg.Add(1)
+		go func(s int, c Store) {
+			defer wg.Done()
+			fps[s] = c.Fingerprint()
+		}(s, c)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, fp := range fps {
+		sum += fp
+	}
+	return sum
+}
+
+// Checkpoint implements Store: every server's checkpoint concatenated in
+// server order, the layout embed.RestoreTier consumes. Like Fingerprint,
+// the per-server RPCs fan out concurrently — these move full server
+// states, so the tier checkpoint costs the slowest server, not the sum.
+func (t *ShardedStore) Checkpoint() []byte {
+	parts := make([][]byte, len(t.children))
+	var wg sync.WaitGroup
+	for s, c := range t.children {
+		wg.Add(1)
+		go func(s int, c Store) {
+			defer wg.Done()
+			parts[s] = c.Checkpoint()
+		}(s, c)
+	}
+	wg.Wait()
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Shutdown implements Store.
+func (t *ShardedStore) Shutdown() {
+	for _, c := range t.children {
+		c.Shutdown()
+	}
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"bagpipe/internal/core"
+	"bagpipe/internal/embed"
+)
+
+// The Store conformance suite: the tier client is a carrier, never a
+// semantic layer. Whatever the fabric (inproc, sim, tcp) and whatever the
+// tier width S, the same request stream must return the same rows in the
+// same order and leave the same logical state — so an S-server ShardedStore
+// is certified against a plain one-server reference, exactly the way the
+// engines' differential tests certify fabrics against the baseline.
+
+// storeCase builds one S-server tier and a Store onto it. cleanup tears
+// down any real resources (sockets, server loops) behind it.
+type storeCase struct {
+	name  string
+	build func(t *testing.T, S int) (store Store, tier []*embed.Server, cleanup func())
+}
+
+// testTier builds S identically-seeded servers (deterministic splitting).
+func testTier(S int) []*embed.Server {
+	tier := make([]*embed.Server, S)
+	for i := range tier {
+		tier[i] = embed.NewServer(3, 4, 11, 0.1)
+	}
+	return tier
+}
+
+// storeOverTier wraps each server of tier in child and assembles the store.
+func storeOverTier(tier []*embed.Server, child func(*embed.Server) Store) Store {
+	children := make([]Store, len(tier))
+	for i, srv := range tier {
+		children[i] = child(srv)
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return NewShardedStore(children)
+}
+
+func storeCases() []storeCase {
+	return []storeCase{
+		{"inproc", func(t *testing.T, S int) (Store, []*embed.Server, func()) {
+			tier := testTier(S)
+			return storeOverTier(tier, func(s *embed.Server) Store { return NewInProcess(s) }), tier, func() {}
+		}},
+		{"sim", func(t *testing.T, S int) (Store, []*embed.Server, func()) {
+			tier := testTier(S)
+			return storeOverTier(tier, func(s *embed.Server) Store {
+				return NewSimNet(s, 200*time.Microsecond, 0)
+			}), tier, func() {}
+		}},
+		{"tcp", func(t *testing.T, S int) (Store, []*embed.Server, func()) {
+			tier := testTier(S)
+			children := make([]Store, S)
+			links := make([]*TCPLink, S)
+			joins := make([]func(), S)
+			for i, srv := range tier {
+				addr, join := startEmbedServer(t, srv)
+				joins[i] = join
+				link, err := DialTCPLink(addr, 5*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				links[i] = link
+				children[i] = link
+			}
+			var store Store = children[0]
+			if S > 1 {
+				store = NewShardedStore(children)
+			}
+			return store, tier, func() {
+				store.Shutdown()
+				for _, l := range links {
+					l.Close()
+				}
+				for _, join := range joins {
+					join()
+				}
+			}
+		}},
+	}
+}
+
+// TestStatsAdd pins the field-wise accumulator every aggregation path uses.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Fetches: 1, Writes: 2, RowsFetched: 3, RowsWritten: 4,
+		BytesFetched: 5, BytesWritten: 6, SimulatedDelay: 7 * time.Millisecond}
+	b := Stats{Fetches: 10, Writes: 20, RowsFetched: 30, RowsWritten: 40,
+		BytesFetched: 50, BytesWritten: 60, SimulatedDelay: 70 * time.Millisecond}
+	a.Add(b)
+	want := Stats{Fetches: 11, Writes: 22, RowsFetched: 33, RowsWritten: 44,
+		BytesFetched: 55, BytesWritten: 66, SimulatedDelay: 77 * time.Millisecond}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+// TestStoreConformance runs the full tier contract over every fabric × tier
+// width: fetched rows arrive in request order with reference values, writes
+// land on the owning server only, and the tier operations (fingerprint,
+// checkpoint, per-server stats) certify the merged state against the S=1
+// reference.
+func TestStoreConformance(t *testing.T) {
+	// ids span all owners of every S in the sweep, interleaved so no
+	// sub-batch is contiguous in the request.
+	ids := []uint64{7, 0, 13, 2, 9, 4, 1, 18, 3, 6, 11, 5}
+	for _, tc := range storeCases() {
+		for _, S := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s_S%d", tc.name, S), func(t *testing.T) {
+				store, tier, cleanup := tc.build(t, S)
+				defer cleanup()
+
+				ref := embed.NewServer(3, 4, 11, 0.1)
+				refStore := NewInProcess(ref)
+
+				rows := store.Fetch(ids)
+				refRows := refStore.Fetch(ids)
+				if len(rows) != len(ids) {
+					t.Fatalf("fetch returned %d rows for %d ids", len(rows), len(ids))
+				}
+				for i := range rows {
+					for j := range rows[i] {
+						if rows[i][j] != refRows[i][j] {
+							t.Fatalf("row %d (id %d) differs from reference at col %d", i, ids[i], j)
+						}
+					}
+					rows[i][0] = float32(i) + 100
+					refRows[i][0] = float32(i) + 100
+				}
+				store.Write(ids, rows)
+				refStore.Write(ids, refRows)
+
+				// Tier state merges back to the reference, both live and
+				// through the checkpoint protocol.
+				merged, err := embed.MergeTier(tier)
+				if err != nil {
+					t.Fatalf("merge tier: %v", err)
+				}
+				if d := embed.Diff(ref, merged); len(d) != 0 {
+					t.Fatalf("tier state diverged from reference at ids %v", d)
+				}
+				restored, err := embed.RestoreTier(bytes.NewReader(store.Checkpoint()), S, ref.NumShards())
+				if err != nil {
+					t.Fatalf("restore tier checkpoint: %v", err)
+				}
+				if d := embed.Diff(ref, restored); len(d) != 0 {
+					t.Fatalf("restored tier checkpoint diverged at ids %v", d)
+				}
+				if fp, want := store.Fingerprint(), ref.Fingerprint(); fp != want {
+					t.Fatalf("tier fingerprint %x != reference %x", fp, want)
+				}
+
+				// Rows must land only on their owning server.
+				for s, srv := range tier {
+					for _, id := range srv.MaterializedIDs() {
+						if core.OwnerOf(id, S) != s {
+							t.Fatalf("server %d materialized id %d owned by server %d", s, id, core.OwnerOf(id, S))
+						}
+					}
+				}
+
+				// Aggregate row accounting is fabric- and width-independent;
+				// per-server snapshots cover the tier and sum to the total.
+				st := store.Stats()
+				if st.RowsFetched != int64(len(ids)) || st.RowsWritten != int64(len(ids)) {
+					t.Fatalf("row accounting: %+v", st)
+				}
+				perServer := store.ServerStats()
+				if len(perServer) != S {
+					t.Fatalf("ServerStats has %d entries for %d servers", len(perServer), S)
+				}
+				var sum Stats
+				for s, ss := range perServer {
+					if S > 1 && ss.Fetches == 0 {
+						t.Fatalf("server %d saw no fetches; the scatter never reached it", s)
+					}
+					sum.Add(ss)
+				}
+				if sum != st {
+					t.Fatalf("per-server stats sum %+v != aggregate %+v", sum, st)
+				}
+			})
+		}
+	}
+}
+
+// laggyStore delays every data-path call by a fixed amount — a slow server
+// in an otherwise fast tier.
+type laggyStore struct {
+	Store
+	delay time.Duration
+}
+
+func (l *laggyStore) Fetch(ids []uint64) [][]float32 {
+	time.Sleep(l.delay)
+	return l.Store.Fetch(ids)
+}
+
+func (l *laggyStore) Write(ids []uint64, rows [][]float32) {
+	time.Sleep(l.delay)
+	l.Store.Write(ids, rows)
+}
+
+// TestShardedStoreGatherOrder pins the gather half of the contract under
+// deliberately reordered shard replies: server 0 answers last by a wide
+// margin, so sub-batch completions arrive in reverse shard order — the
+// assembled rows must still be in request order with per-id values.
+func TestShardedStoreGatherOrder(t *testing.T) {
+	const S = 4
+	tier := testTier(S)
+	children := make([]Store, S)
+	for i, srv := range tier {
+		// Server 0 is slowest, server S-1 fastest: completions reverse.
+		children[i] = &laggyStore{Store: NewInProcess(srv), delay: time.Duration(S-i) * 10 * time.Millisecond}
+	}
+	store := NewShardedStore(children)
+
+	// Stamp every row with its id so misplacement is detectable.
+	var ids []uint64
+	for id := uint64(0); id < 32; id++ {
+		ids = append(ids, id)
+	}
+	rows := store.Fetch(ids)
+	for i, id := range ids {
+		rows[i][0] = float32(id) + 0.5
+	}
+	store.Write(ids, rows)
+
+	// Re-fetch in a scrambled order; each row must carry its own stamp.
+	scrambled := []uint64{31, 2, 17, 0, 25, 6, 3, 12, 9, 30, 1, 23, 4, 19}
+	got := store.Fetch(scrambled)
+	for i, id := range scrambled {
+		if got[i][0] != float32(id)+0.5 {
+			t.Fatalf("position %d (id %d) carries stamp %v — shard replies were gathered out of order",
+				i, id, got[i][0])
+		}
+	}
+}
+
+// TestShardedStoreValidation: construction rejects width mismatches and
+// empty tiers.
+func TestShardedStoreValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty tier", func() { NewShardedStore(nil) })
+	a := NewInProcess(embed.NewServer(1, 4, 1, 0.1))
+	b := NewInProcess(embed.NewServer(1, 8, 1, 0.1))
+	mustPanic("dim mismatch", func() { NewShardedStore([]Store{a, b}) })
+	mustPanic("write length mismatch", func() {
+		NewShardedStore([]Store{a}).Write([]uint64{1}, nil)
+	})
+}
+
+// TestShardedStoreOverServeEmbed is the fully remote tier in one test: S
+// server loops over real listeners, the sharded store over S TCPLinks, and
+// a shutdown that stops every server process loop.
+func TestShardedStoreOverServeEmbed(t *testing.T) {
+	const S = 2
+	tier := testTier(S)
+	children := make([]Store, S)
+	links := make([]*TCPLink, S)
+	serveDone := make([]chan error, S)
+	for i, srv := range tier {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		serveDone[i] = done
+		go func(srv *embed.Server) { done <- ServeEmbed(lis, srv) }(srv)
+		if links[i], err = DialTCPLink(lis.Addr().String(), 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		children[i] = links[i]
+	}
+	store := NewShardedStore(children)
+	rows := store.Fetch([]uint64{0, 1, 2, 3})
+	rows[0][0] = 42
+	store.Write([]uint64{0}, rows[:1])
+	if got := tier[0].Get(0); got[0] != 42 {
+		t.Fatalf("write did not land on owning server: %v", got)
+	}
+	store.Shutdown()
+	for _, l := range links {
+		l.Close()
+	}
+	for i, done := range serveDone {
+		if err := <-done; err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+	}
+}

@@ -320,11 +320,14 @@ func (t *TCPLink) Checkpoint() []byte {
 	return t.call(opCheckpoint, nil)
 }
 
-// ShutdownServer asks the serving process to stop accepting and return
-// from ServeEmbed once the ack is on the wire.
-func (t *TCPLink) ShutdownServer() {
+// Shutdown implements Store: ask the serving process to stop accepting and
+// return from ServeEmbed once the ack is on the wire.
+func (t *TCPLink) Shutdown() {
 	t.call(opShutdown, nil)
 }
+
+// ServerStats implements Store (a one-server tier).
+func (t *TCPLink) ServerStats() []Stats { return []Stats{t.Stats()} }
 
 // Close tears the connection down. In-flight calls panic, so quiesce
 // callers first.

@@ -80,7 +80,7 @@ func TestTCPLinkRoundTrip(t *testing.T) {
 		t.Fatalf("write stats %+v", st)
 	}
 
-	tr.ShutdownServer()
+	tr.Shutdown()
 	tr.Close()
 	join()
 }
@@ -210,7 +210,7 @@ func TestTCPLinkPipelined(t *testing.T) {
 	if want := int64(workers * 3); st.RowsFetched != want || st.RowsWritten != want {
 		t.Fatalf("row accounting lost under concurrency: %+v", st)
 	}
-	tr.ShutdownServer()
+	tr.Shutdown()
 	tr.Close()
 	join()
 }

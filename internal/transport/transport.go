@@ -1,6 +1,8 @@
-// Package transport is the system's wire layer: the trainer↔embedding-
-// server link (Transport) and the trainer↔trainer fabric (Mesh), each with
-// three interchangeable implementations —
+// Package transport is the system's wire layer: the trainer↔embedding-tier
+// client (Store, extending the point-to-point Transport data path with tier
+// operations, and fanning out over S servers via ShardedStore) and the
+// trainer↔trainer fabric (Mesh), each with three interchangeable
+// implementations —
 //
 //   - in-process (InProcess, InprocMesh): direct calls, zero cost; the
 //     fabric the functional tests run on;
@@ -30,6 +32,7 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -55,8 +58,27 @@ type Stats struct {
 	SimulatedDelay time.Duration
 }
 
-// Transport carries embedding fetches and write-backs between a trainer and
-// the embedding-server tier.
+// Add accumulates o into s field-wise. Every place the system folds traffic
+// snapshots — per-trainer aggregation into train.Result, the sharded
+// store's tier totals, per-server -stats accounting — goes through this one
+// method, so a field added to Stats cannot be silently dropped from one of
+// several hand-rolled summations.
+func (s *Stats) Add(o Stats) {
+	s.Fetches += o.Fetches
+	s.Writes += o.Writes
+	s.RowsFetched += o.RowsFetched
+	s.RowsWritten += o.RowsWritten
+	s.BytesFetched += o.BytesFetched
+	s.BytesWritten += o.BytesWritten
+	s.SimulatedDelay += o.SimulatedDelay
+}
+
+// Transport is the embedding data path: fetches and write-backs between a
+// trainer and one embedding server. It is the carrier half of the tier
+// contract — engines consume the full Store interface (store.go), which
+// extends Transport with the tier operations (fingerprint, checkpoint,
+// shutdown, per-server stats) that make S-server tiers interchangeable
+// with a single server.
 type Transport interface {
 	// Fetch returns freshly allocated rows for ids, in order.
 	Fetch(ids []uint64) [][]float32
@@ -119,6 +141,31 @@ func (t *InProcess) Stats() Stats {
 		BytesFetched: t.bytesFetched.Load(),
 		BytesWritten: t.bytesWritten.Load(),
 	}
+}
+
+// Fingerprint implements Store (a one-server tier: the server's own
+// certificate).
+func (t *InProcess) Fingerprint() uint64 { return t.Server.Fingerprint() }
+
+// Checkpoint implements Store.
+func (t *InProcess) Checkpoint() []byte { return checkpointBytes(t.Server) }
+
+// Shutdown implements Store: the in-process server's lifetime belongs to
+// whoever built it.
+func (t *InProcess) Shutdown() {}
+
+// ServerStats implements Store.
+func (t *InProcess) ServerStats() []Stats { return []Stats{t.Stats()} }
+
+// checkpointBytes serializes srv. Checkpointing to memory cannot fail; an
+// encoder error means corrupted in-process state and dies loudly like every
+// other errorless-path failure.
+func checkpointBytes(srv *embed.Server) []byte {
+	var buf bytes.Buffer
+	if err := srv.Checkpoint(&buf); err != nil {
+		panic(fmt.Sprintf("transport: checkpoint: %v", err))
+	}
+	return buf.Bytes()
 }
 
 // payloadBytes is the wire size of a fetch or write touching n rows.
@@ -203,3 +250,16 @@ func (t *SimNet) Stats() Stats {
 		SimulatedDelay: time.Duration(t.delayNs.Load()),
 	}
 }
+
+// Fingerprint implements Store. Tier control ops are verification plumbing,
+// off the measured data path, so the simulated link charges them nothing.
+func (t *SimNet) Fingerprint() uint64 { return t.Server.Fingerprint() }
+
+// Checkpoint implements Store.
+func (t *SimNet) Checkpoint() []byte { return checkpointBytes(t.Server) }
+
+// Shutdown implements Store (no remote process behind a simulated link).
+func (t *SimNet) Shutdown() {}
+
+// ServerStats implements Store.
+func (t *SimNet) ServerStats() []Stats { return []Stats{t.Stats()} }
