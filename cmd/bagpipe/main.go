@@ -35,6 +35,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 
@@ -46,28 +47,29 @@ import (
 )
 
 var (
-	dataset  = flag.String("dataset", "criteo-kaggle", "dataset shape: criteo-kaggle, avazu, criteo-terabyte, alibaba")
-	scale    = flag.Int64("scale", 10_000, "divide dataset example count and table sizes by this factor")
-	modelFl  = flag.String("model", "wd", "model: dlrm, wd, dc, deepfm")
-	optFl    = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
-	lr       = flag.Float64("lr", 0.05, "learning rate")
-	batchSz  = flag.Int("batch-size", 256, "examples per batch")
-	batches  = flag.Int("batches", 50, "number of iterations to train")
-	lookahd  = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
-	trainers = flag.Int("trainers", 2, "trainer processes (LRPP cache partitions / data-parallel ranks)")
-	engineFl = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
-	partFl   = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
-	eager    = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
-	collFl   = flag.String("collective", "fused", "mesh all-reduce strategy (worker mode): rooted (one frame per dense param), fused (one frame per step), ring (fused frames around the ring), tree (fused frames up/down a log2-P binomial tree); all bit-identical")
-	syncComp = flag.Bool("sync-compress", false, "lrpp: float16-quantize replica pushes on the mesh (lossy; incompatible with -verify)")
-	autoLook = flag.Bool("auto-lookahead", false, "pick ℒ at startup from measured iteration time, link RTT, and -cache-rows (overrides -lookahead)")
-	cacheRws = flag.Int("cache-rows", 0, "auto-lookahead: trainer cache budget in rows (0 = 1/4 of the scaled table rows)")
-	statsFl  = flag.Bool("stats", false, "print per-phase mesh traffic (frames + bytes split by replica/sync/collective/plan)")
-	workers  = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
-	servers  = flag.Int("servers", 1, "embedding servers in the tier (rows sharded across them by id, one process each in TCP mode)")
-	shards   = flag.Int("shards", 4, "shard count within each embedding server")
-	embDim   = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
-	seed     = flag.Uint64("seed", 42, "experiment seed")
+	dataset      = flag.String("dataset", "criteo-kaggle", "dataset shape: criteo-kaggle, avazu, criteo-terabyte, alibaba")
+	scale        = flag.Int64("scale", 10_000, "divide dataset example count and table sizes by this factor")
+	modelFl      = flag.String("model", "wd", "model: dlrm, wd, dc, deepfm")
+	optFl        = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+	lr           = flag.Float64("lr", 0.05, "learning rate")
+	batchSz      = flag.Int("batch-size", 256, "examples per batch")
+	batches      = flag.Int("batches", 50, "number of iterations to train")
+	lookahd      = flag.Int("lookahead", 32, "oracle lookahead window in batches (paper default 200)")
+	trainers     = flag.Int("trainers", 2, "trainer processes (LRPP cache partitions / data-parallel ranks)")
+	engineFl     = flag.String("engine", "lrpp", "training engine: lrpp, pipelined, baseline")
+	partFl       = flag.String("partitioner", "hash", "batch partitioner: hash (contiguous split over hash-partitioned caches), roundrobin, comm-aware")
+	eager        = flag.Bool("eager-sync", false, "lrpp: flush all cross-trainer sync on the critical path instead of delaying it")
+	collFl       = flag.String("collective", "fused", "mesh all-reduce strategy (worker mode): rooted (one frame per dense param), fused (one frame per step), ring (fused frames around the ring), tree (fused frames up/down a log2-P binomial tree); all bit-identical")
+	syncComp     = flag.Bool("sync-compress", false, "lrpp: float16-quantize replica pushes on the mesh (lossy; incompatible with -verify)")
+	syncCompGrad = flag.Bool("sync-compress-grad", false, "lrpp: float16-quantize delayed-sync gradient flushes, carrying the rounding error per (owner,row) as error feedback (lossy; incompatible with -verify)")
+	autoLook     = flag.Bool("auto-lookahead", false, "pick ℒ at startup from measured iteration time, link RTT, and -cache-rows (overrides -lookahead)")
+	cacheRws     = flag.Int("cache-rows", 0, "auto-lookahead: trainer cache budget in rows (0 = 1/4 of the scaled table rows)")
+	statsFl      = flag.Bool("stats", false, "print per-phase mesh traffic (frames + bytes split by replica/sync/collective/plan)")
+	workers      = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
+	servers      = flag.Int("servers", 1, "embedding servers in the tier (rows sharded across them by id, one process each in TCP mode)")
+	shards       = flag.Int("shards", 4, "shard count within each embedding server")
+	embDim       = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
+	seed         = flag.Uint64("seed", 42, "experiment seed")
 
 	netFl    = flag.String("net", "", "fabric: inproc, sim, tcp (default: the -transport value)")
 	transpFl = flag.String("transport", "inproc", "deprecated alias of -net (values: inproc, simnet)")
@@ -119,23 +121,24 @@ func main() {
 	}
 
 	cfg := train.Config{
-		Spec:            spec,
-		Seed:            *seed,
-		Model:           *modelFl,
-		Optimizer:       *optFl,
-		LR:              float32(*lr),
-		BatchSize:       *batchSz,
-		NumBatches:      *batches,
-		LookAhead:       *lookahd,
-		NumTrainers:     *trainers,
-		PrefetchWorkers: *workers,
-		Partitioner:     part,
-		SyncEager:       *eager,
-		Collective:      *collFl,
-		SyncCompress:    *syncComp,
+		Spec:             spec,
+		Seed:             *seed,
+		Model:            *modelFl,
+		Optimizer:        *optFl,
+		LR:               float32(*lr),
+		BatchSize:        *batchSz,
+		NumBatches:       *batches,
+		LookAhead:        *lookahd,
+		NumTrainers:      *trainers,
+		PrefetchWorkers:  *workers,
+		Partitioner:      part,
+		SyncEager:        *eager,
+		Collective:       *collFl,
+		SyncCompress:     *syncComp,
+		SyncCompressGrad: *syncCompGrad,
 	}
-	if *verify && *syncComp {
-		fatal(fmt.Errorf("-sync-compress is lossy (float16 replicas); -verify pins the lossless path — drop one of them"))
+	if *verify && (*syncComp || *syncCompGrad) {
+		fatal(fmt.Errorf("-sync-compress/-sync-compress-grad are lossy (float16 wire values); -verify pins the lossless path — drop one of them"))
 	}
 
 	switch {
@@ -279,6 +282,57 @@ func resolveAutoLookahead(cfg *train.Config, rtt time.Duration) {
 	*lookahd = l
 }
 
+// memDelta snapshots runtime.MemStats around an engine run so -stats can
+// report the hot loop's allocation behavior per iteration — the field
+// observation matching the steady-state benchmark's 0 allocs/op gate. The
+// per-iteration numbers are dominated by the steady loop but include the
+// run's setup (oracle, caches, pools warming), so they are an upper bound.
+type memDelta struct{ before runtime.MemStats }
+
+func startMemDelta() *memDelta {
+	d := &memDelta{}
+	runtime.ReadMemStats(&d.before)
+	return d
+}
+
+func (d *memDelta) report(iters int) {
+	if iters <= 0 {
+		return
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - d.before.Mallocs
+	alloced := after.TotalAlloc - d.before.TotalAlloc
+	gcs := after.NumGC - d.before.NumGC
+	pause := time.Duration(after.PauseTotalNs - d.before.PauseTotalNs)
+	fmt.Printf("  mem: %.0f allocs/iter, %.1f KB/iter, %d GC cycles, %v total pause\n",
+		float64(allocs)/float64(iters), float64(alloced)/1e3/float64(iters), gcs, pause.Round(10*time.Microsecond))
+}
+
+// reportLossDeviation reruns the experiment losslessly in-process and
+// prints how far the compressed run's loss curve drifted — the observable
+// accuracy cost of the float16 sync/replica modes, which -verify refuses
+// to certify bit-for-bit. Worker mode calls this on rank 0 only: the twin
+// reproduces the whole multi-trainer run, whose lossless loss is fabric-
+// independent by the engine's bit-identity guarantee.
+func reportLossDeviation(cfg train.Config, spec *data.Spec, res *train.Result) {
+	lossless := cfg
+	lossless.SyncCompress = false
+	lossless.SyncCompressGrad = false
+	srvs := newServers(spec)
+	trs := make([]transport.Store, cfg.NumTrainers)
+	for i := range trs {
+		trs[i] = storeOver(srvs, "inproc")
+	}
+	ref, err := train.RunLRPP(lossless, trs, nil)
+	if err != nil {
+		fmt.Printf("  loss-deviation: lossless twin run failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  loss-deviation vs lossless: first %+.3e  last %+.3e  avg %+.3e\n",
+		res.FirstLoss-ref.FirstLoss, res.LastLoss-ref.LastLoss, res.AvgLoss-ref.AvgLoss)
+}
+
 // runLocal is the single-process driver: every engine and the inproc/sim
 // fabrics against an in-process -servers S tier, plus in-process -verify
 // (the merged tier state against an unsharded no-cache baseline).
@@ -314,11 +368,18 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 	}
 
 	srvs := newServers(spec)
+	md := startMemDelta()
 	res, err := runEngine(srvs)
 	if err != nil {
 		fatal(err)
 	}
 	report(res)
+	if *statsFl {
+		md.report(res.Iters)
+		if *engineFl == "lrpp" && (cfg.SyncCompress || cfg.SyncCompressGrad) {
+			reportLossDeviation(cfg, spec, res)
+		}
+	}
 
 	if *verify {
 		if *engineFl == "baseline" {
@@ -399,12 +460,19 @@ func runWorker(cfg train.Config) {
 		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
 		fatal(err)
 	}
+	md := startMemDelta()
 	res, err := train.RunLRPPWorker(cfg, *rank, store, mesh)
 	if err != nil {
 		mesh.Shutdown()
 		fatal(err)
 	}
 	report(res)
+	if *statsFl {
+		md.report(res.Iters)
+		if *rank == 0 && (cfg.SyncCompress || cfg.SyncCompressGrad) {
+			reportLossDeviation(cfg, cfg.Spec, res)
+		}
+	}
 	mesh.Shutdown()
 	for _, l := range links {
 		l.Close()
@@ -447,6 +515,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			fmt.Sprintf("-eager-sync=%v", *eager),
 			"-collective", *collFl,
 			fmt.Sprintf("-sync-compress=%v", *syncComp),
+			fmt.Sprintf("-sync-compress-grad=%v", *syncCompGrad),
 			fmt.Sprintf("-stats=%v", *statsFl),
 			"-servers", fmt.Sprint(*servers),
 			"-shards", fmt.Sprint(*shards),

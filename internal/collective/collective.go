@@ -36,6 +36,39 @@ type Collective interface {
 	FusedAllReduce(rank int, segs [][]float32, loss []float64)
 }
 
+// AddF32 folds src into dst element-wise (dst[i] += src[i]). This is THE
+// fold kernel of every rank-ordered reduction in the system — collective
+// rounds, mesh reducer strategies, delayed-sync gradient merges — written
+// so the compiler eliminates the bounds checks and can vectorize: one
+// length assertion up front, then a 4-way unrolled body over full slices.
+// Element-wise independence means using it preserves any caller's
+// summation order exactly.
+func AddF32(dst, src []float32) { addVec(dst, src) }
+
+// AddF64 is AddF32 for float64 vectors (loss terms).
+func AddF64(dst, src []float64) { addVec(dst, src) }
+
+// addVec is the shared kernel: one length assertion, then a 4-way unrolled
+// body over full-slice windows so the compiler drops the per-element bounds
+// checks.
+func addVec[T float32 | float64](dst, src []T) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("collective: fold length mismatch %d != %d", len(src), len(dst)))
+	}
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
 // Group coordinates a fixed set of n ranks performing collectives. A Group
 // is reusable: ranks may call the same collective repeatedly, but all ranks
 // must make the same sequence of calls (as with MPI communicators).
@@ -50,6 +83,13 @@ type Group struct {
 	complete bool
 	gen      uint64
 	a2a      [][][]float32
+
+	// fused holds each rank's persistent snapshot buffers for
+	// FusedAllReduce, reused round over round. Safe without extra locking:
+	// rank r writes only fused[r], peers read it strictly between that
+	// rank's arrive and the phase's depart barrier (both under mu), and no
+	// rank can start the next round before every rank has departed.
+	fused []fusedContrib
 }
 
 // NewGroup returns a group of n ranks.
@@ -57,7 +97,7 @@ func NewGroup(n int) *Group {
 	if n <= 0 {
 		panic(fmt.Sprintf("collective: group size %d", n))
 	}
-	g := &Group{n: n, slots: make([]any, n)}
+	g := &Group{n: n, slots: make([]any, n), fused: make([]fusedContrib, n)}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
@@ -108,7 +148,7 @@ func (g *Group) depart() {
 	if g.departed == g.n {
 		g.joined, g.departed = 0, 0
 		g.complete = false
-		g.slots = make([]any, g.n)
+		clear(g.slots)
 		g.gen++
 		g.cond.Broadcast()
 		return
@@ -128,12 +168,12 @@ func allReduceSum[T float32 | float64](g *Group, rank int, x []T) {
 	}
 	contrib := append([]T(nil), x...)
 	slots := g.arrive(rank, contrib)
-	for i := range x {
-		var s T
-		for r := 0; r < g.n; r++ {
-			s += slots[r].([]T)[i]
-		}
-		x[i] = s
+	// Rank-order fold via the vector kernel: copy rank 0's contribution,
+	// add ranks 1..n−1 — element-independent, so the per-element summation
+	// order (and therefore the bits) match the old per-element loop.
+	copy(x, slots[0].([]T))
+	for r := 1; r < g.n; r++ {
+		addVec(x, slots[r].([]T))
 	}
 	g.depart()
 }
@@ -149,33 +189,48 @@ type fusedContrib struct {
 }
 
 // FusedAllReduce implements Collective: one arrive/depart round reduces
-// every segment and the loss together, folding slot r of each segment in
-// rank order from zero — bit-identical to per-segment AllReduceSum calls,
-// at one synchronization instead of len(segs)+1.
+// every segment and the loss together, folding whole segments in rank
+// order from zero — copy rank 0's segment, then AddF32 each later rank's —
+// which is the identical left-to-right per-element summation as
+// per-segment AllReduceSum calls, at one synchronization instead of
+// len(segs)+1 and without the per-element slot type assertions the old
+// triple loop paid. Each rank's contribution snapshot lives in a
+// per-rank buffer reused across rounds (see Group.fused), so the steady
+// state allocates nothing.
 func (g *Group) FusedAllReduce(rank int, segs [][]float32, loss []float64) {
 	if g.n == 1 {
 		return
 	}
-	contrib := fusedContrib{segs: make([][]float32, len(segs)), loss: append([]float64(nil), loss...)}
+	if rank < 0 || rank >= g.n {
+		panic(fmt.Sprintf("collective: rank %d out of [0,%d)", rank, g.n))
+	}
+	c := &g.fused[rank]
+	if cap(c.segs) < len(segs) {
+		c.segs = make([][]float32, len(segs))
+	}
+	c.segs = c.segs[:len(segs)]
 	for i, s := range segs {
-		contrib.segs[i] = append([]float32(nil), s...)
+		buf := c.segs[i]
+		if cap(buf) < len(s) {
+			buf = make([]float32, len(s))
+		}
+		buf = buf[:len(s)]
+		copy(buf, s)
+		c.segs[i] = buf
 	}
-	slots := g.arrive(rank, contrib)
+	c.loss = append(c.loss[:0], loss...)
+	slots := g.arrive(rank, c)
+	first := slots[0].(*fusedContrib)
 	for i, x := range segs {
-		for k := range x {
-			var s float32
-			for r := 0; r < g.n; r++ {
-				s += slots[r].(fusedContrib).segs[i][k]
-			}
-			x[k] = s
-		}
+		copy(x, first.segs[i][:len(x)])
 	}
-	for k := range loss {
-		var s float64
-		for r := 0; r < g.n; r++ {
-			s += slots[r].(fusedContrib).loss[k]
+	copy(loss, first.loss)
+	for r := 1; r < g.n; r++ {
+		peer := slots[r].(*fusedContrib)
+		for i, x := range segs {
+			AddF32(x, peer.segs[i][:len(x)])
 		}
-		loss[k] = s
+		AddF64(loss, peer.loss)
 	}
 	g.depart()
 }

@@ -31,10 +31,18 @@ type Cache struct {
 	Dim int
 
 	entries map[uint64]*Entry
-	peak    int
-	hits    int64
-	misses  int64
-	evicted int64
+	// freeEntries recycles Entry records across insert/evict cycles so the
+	// steady-state fill→train→evict loop stops allocating one Entry per
+	// insert. Entries are only ever handled under the cache owner's
+	// synchronization (the cache itself is not internally synchronized), so
+	// a plain slice suffices. Callers must not retain an *Entry across the
+	// eviction of its id — after Remove/EvictExpired the record may be
+	// reissued for a different row.
+	freeEntries []*Entry
+	peak        int
+	hits        int64
+	misses      int64
+	evicted     int64
 }
 
 // NewCache returns an empty cache for width-dim rows.
@@ -48,10 +56,26 @@ func (c *Cache) Insert(id uint64, row []float32, ttl int) {
 	if len(row) != c.Dim {
 		panic(fmt.Sprintf("core: cache insert row len %d != dim %d", len(row), c.Dim))
 	}
-	c.entries[id] = &Entry{Row: row, TTL: ttl}
+	var e *Entry
+	if n := len(c.freeEntries); n > 0 {
+		e = c.freeEntries[n-1]
+		c.freeEntries[n-1] = nil
+		c.freeEntries = c.freeEntries[:n-1]
+	} else {
+		e = new(Entry)
+	}
+	e.Row, e.TTL, e.Dirty = row, ttl, false
+	c.entries[id] = e
 	if len(c.entries) > c.peak {
 		c.peak = len(c.entries)
 	}
+}
+
+// release recycles an evicted entry after its Row reference has been
+// extracted.
+func (c *Cache) release(e *Entry) {
+	e.Row = nil
+	c.freeEntries = append(c.freeEntries, e)
 }
 
 // Get returns the live entry for id. The second result reports presence;
@@ -90,6 +114,7 @@ func (c *Cache) EvictExpired(iter int) []Eviction {
 				out = append(out, Eviction{ID: id, Row: e.Row})
 			}
 			delete(c.entries, id)
+			c.release(e)
 			c.evicted++
 		}
 	}
@@ -107,10 +132,12 @@ func (c *Cache) Remove(id uint64) (Eviction, bool) {
 	}
 	delete(c.entries, id)
 	c.evicted++
-	if !e.Dirty {
+	row, dirty := e.Row, e.Dirty
+	c.release(e)
+	if !dirty {
 		return Eviction{}, false
 	}
-	return Eviction{ID: id, Row: e.Row}, true
+	return Eviction{ID: id, Row: row}, true
 }
 
 // Len returns the current number of cached rows.

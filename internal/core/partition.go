@@ -77,11 +77,41 @@ func OwnerOf(id uint64, p int) int {
 // the system's hash sharding: the embedding server's shard-grouped
 // fetch/write paths and the sharded tier client's scatter.
 func GroupByOwner(ids []uint64, n int) (pos []int, bounds []int) {
+	var g GroupScratch
+	return g.GroupByOwner(ids, n)
+}
+
+// GroupScratch holds the counting-sort work arrays of GroupByOwner so a
+// caller that groups every batch (the sharded tier's scatter, the embedding
+// server's shard split) reuses them instead of reallocating four slices per
+// call. The returned pos/bounds alias the scratch: they are valid until the
+// next GroupByOwner call on the same scratch, and a scratch must not be
+// shared by concurrent callers (pool per call site instead).
+type GroupScratch struct {
+	owner  []int32
+	counts []int
+	pos    []int
+	bounds []int
+}
+
+// GroupByOwner is the scratch-reusing form of the package-level
+// GroupByOwner; see that function for the grouping contract.
+func (g *GroupScratch) GroupByOwner(ids []uint64, n int) (pos []int, bounds []int) {
 	if n <= 0 {
 		panic(fmt.Sprintf("core: GroupByOwner with %d partitions", n))
 	}
-	owner := make([]int32, len(ids))
-	counts := make([]int, n+1)
+	if cap(g.owner) < len(ids) {
+		g.owner = make([]int32, len(ids))
+		g.pos = make([]int, len(ids))
+	}
+	if cap(g.counts) < n+1 {
+		g.counts = make([]int, n+1)
+		g.bounds = make([]int, n+1)
+	}
+	owner, counts := g.owner[:len(ids)], g.counts[:n+1]
+	for o := range counts {
+		counts[o] = 0
+	}
 	for i, id := range ids {
 		o := int32(id % uint64(n))
 		owner[i] = o
@@ -90,8 +120,9 @@ func GroupByOwner(ids []uint64, n int) (pos []int, bounds []int) {
 	for o := 0; o < n; o++ {
 		counts[o+1] += counts[o]
 	}
-	bounds = append([]int(nil), counts...)
-	pos = make([]int, len(ids))
+	bounds = g.bounds[:n+1]
+	copy(bounds, counts)
+	pos = g.pos[:len(ids)]
 	for i := range ids {
 		o := owner[i]
 		pos[counts[o]] = i

@@ -33,6 +33,32 @@ type Server struct {
 	rowsWritten atomic.Int64
 	fetches     atomic.Int64
 	writes      atomic.Int64
+
+	// groupScratch pools the counting-sort work arrays of shardGroups so the
+	// shard-grouped fetch/write paths stop reallocating them per batch.
+	// Pooled (not a single field) because trainers issue concurrent RPCs.
+	groupMu      sync.Mutex
+	groupScratch []*core.GroupScratch
+}
+
+// getGroupScratch pops (or creates) a grouping scratch; putGroupScratch
+// returns it once the pos/bounds views are no longer referenced.
+func (s *Server) getGroupScratch() *core.GroupScratch {
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
+	if n := len(s.groupScratch); n > 0 {
+		g := s.groupScratch[n-1]
+		s.groupScratch[n-1] = nil
+		s.groupScratch = s.groupScratch[:n-1]
+		return g
+	}
+	return new(core.GroupScratch)
+}
+
+func (s *Server) putGroupScratch(g *core.GroupScratch) {
+	s.groupMu.Lock()
+	s.groupScratch = append(s.groupScratch, g)
+	s.groupMu.Unlock()
 }
 
 // NewServer returns a server with numShards shards of width-dim rows.
@@ -59,40 +85,44 @@ func (s *Server) ShardOf(id uint64) int { return int(id % uint64(len(s.shards)))
 // than it saves; smaller requests take the row-at-a-time path.
 const parallelMinRows = 64
 
-// shardGroups partitions the positions 0..len(ids)-1 into contiguous
-// per-shard runs (core.GroupByOwner — shard ownership is the same
-// canonical hash map the trainer partitions and the server tier use): pos
-// holds every index grouped by owning shard, and bounds[sh]..bounds[sh+1]
-// delimits shard sh's run.
-func (s *Server) shardGroups(ids []uint64) (pos []int, bounds []int) {
-	return core.GroupByOwner(ids, len(s.shards))
-}
-
 // Fetch copies the rows for ids into a freshly allocated [len(ids)][dim]
 // block and returns per-row slices into it. This is the prefetch RPC.
-// Requests are grouped by shard — one batched call per shard instead of one
-// lock acquisition per row — and when more than one CPU is available the
-// shards (separate machines in the disaggregated deployment) serve their
-// slices concurrently.
+// Callers that manage their own row memory use FetchInto instead.
 func (s *Server) Fetch(ids []uint64) [][]float32 {
 	flat := make([]float32, len(ids)*s.Dim)
 	out := make([][]float32, len(ids))
 	for i := range out {
 		out[i] = flat[i*s.Dim : (i+1)*s.Dim]
 	}
+	s.FetchInto(ids, out)
+	return out
+}
+
+// FetchInto copies the rows for ids into the caller-provided dsts (one
+// width-Dim slice per id) — the allocation-free form of Fetch that lets
+// transports serve fetches out of the pooled row arena. Requests are
+// grouped by shard — one batched call per shard instead of one lock
+// acquisition per row — and when more than one CPU is available the shards
+// (separate machines in the disaggregated deployment) serve their slices
+// concurrently.
+func (s *Server) FetchInto(ids []uint64, dsts [][]float32) {
+	if len(ids) != len(dsts) {
+		panic(fmt.Sprintf("embed: FetchInto %d ids, %d dsts", len(ids), len(dsts)))
+	}
 	if len(s.shards) == 1 || len(ids) < parallelMinRows {
 		for i, id := range ids {
-			s.shards[s.ShardOf(id)].Get(id, out[i])
+			s.shards[s.ShardOf(id)].Get(id, dsts[i])
 		}
 	} else {
-		pos, bounds := s.shardGroups(ids)
+		g := s.getGroupScratch()
+		pos, bounds := g.GroupByOwner(ids, len(s.shards))
 		s.forEachShard(bounds, func(sh int) {
-			s.shards[sh].GetMany(ids, pos[bounds[sh]:bounds[sh+1]], out)
+			s.shards[sh].GetMany(ids, pos[bounds[sh]:bounds[sh+1]], dsts)
 		})
+		s.putGroupScratch(g)
 	}
 	s.rowsFetched.Add(int64(len(ids)))
 	s.fetches.Add(1)
-	return out
 }
 
 // forEachShard runs fn for every shard with a non-empty run in bounds,
@@ -149,10 +179,12 @@ func (s *Server) Write(ids []uint64, rows [][]float32) {
 			s.shards[s.ShardOf(id)].Set(id, rows[i])
 		}
 	} else {
-		pos, bounds := s.shardGroups(ids)
+		g := s.getGroupScratch()
+		pos, bounds := g.GroupByOwner(ids, len(s.shards))
 		s.forEachShard(bounds, func(sh int) {
 			s.shards[sh].SetMany(ids, pos[bounds[sh]:bounds[sh+1]], rows)
 		})
+		s.putGroupScratch(g)
 	}
 	s.rowsWritten.Add(int64(len(ids)))
 	s.writes.Add(1)

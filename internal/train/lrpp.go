@@ -2,7 +2,7 @@ package train
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,10 +51,19 @@ type LRPPHooks struct {
 // through the little-endian codec.
 type contribEntry = transport.Contrib
 
-func syncMsgBytes(entries map[uint64][]contribEntry, dim int) int64 {
+// syncElem is the declared per-gradient-element wire cost: 4 bytes for
+// float32 entries, 2 once -sync-compress-grad quantized the flush to f16.
+func syncElem(f16 bool) int64 {
+	if f16 {
+		return 2
+	}
+	return 4
+}
+
+func syncMsgBytes(entries map[uint64][]contribEntry, dim int, elem int64) int64 {
 	b := int64(8) // iteration header
 	for _, es := range entries {
-		b += 8 + int64(len(es))*int64(4+4*dim)
+		b += 8 + int64(len(es))*(4+elem*int64(dim))
 	}
 	return b
 }
@@ -64,7 +73,7 @@ func syncMsgBytes(entries map[uint64][]contribEntry, dim int) int64 {
 func syncBatchBytes(flushes []transport.SyncMsg, dim int) int64 {
 	b := int64(4)
 	for _, f := range flushes {
-		b += syncMsgBytes(f.Entries, dim)
+		b += syncMsgBytes(f.Entries, dim, syncElem(f.F16))
 	}
 	return b
 }
@@ -133,19 +142,38 @@ func (eng *lrppEngine) countSend(class int, bytes int64) {
 	eng.classBytes[class].Add(bytes)
 }
 
+// rankBits is a trainer-set bitmask. The LRPP engine caps at 64 ranks
+// (newLRPPTrainer enforces it), which lets the per-(id, iteration)
+// contributor bookkeeping and the per-iteration replica-arrival set live in
+// one machine word each instead of a map allocated per merge.
+type rankBits uint64
+
+func (b rankBits) has(r int) bool { return b&(1<<uint(r)) != 0 }
+func (b *rankBits) set(r int)     { *b |= 1 << uint(r) }
+
+// clearBit drops rank r's bit and reports whether it was set.
+func (b *rankBits) clearBit(r int) bool {
+	was := b.has(r)
+	*b &^= 1 << uint(r)
+	return was
+}
+
 // idMergeQueue sequences one owned id's pending per-iteration merges.
 // Iterations are appended in order by the owner's registration and applied
 // strictly in that order, so the row replays the exact update sequence the
-// single-process engines produce.
+// single-process engines produce. Queues and their iterMerge records are
+// pooled on the trainer: an id's queue returns to the free list when its
+// last merge drains, so the steady state recycles instead of allocating.
 type idMergeQueue struct {
 	iters  []int
 	byIter map[int]*iterMerge
 }
 
 // iterMerge accumulates one (id, iteration)'s contributions until every
-// expected trainer has reported.
+// expected trainer has reported (expectN bits still set in expect).
 type iterMerge struct {
-	expect  map[int]struct{}
+	expect  rankBits
+	expectN int
 	entries []contribEntry
 }
 
@@ -194,8 +222,20 @@ type lrppTrainer struct {
 	evbatch     map[int][]core.Eviction      // iter → collected write-backs
 	computeDone map[int]bool                 // iter → trainer loop finished it
 	emitted     map[int]bool                 // iter → eviction batch sent to maintenance
-	repRows     map[int]map[uint64][]float32 // iter → replica rows received
-	repFrom     map[int]map[int]struct{}     // iter → owners heard from
+	repRows     map[int]map[uint64][]float32 // iter → replica rows received (pooled maps/rows, owned here)
+	repFrom     map[int]rankBits             // iter → owners heard from
+
+	// Hot-path scratch, all guarded by mu (or touched only by the single
+	// trainer-loop goroutine where noted): the arena rows and pooled maps
+	// every fetch/replica/write-back recycles through, the shared gradient
+	// fold buffer, the reusable gather map (trainer loop only), and the
+	// merge-record and eviction-batch free lists.
+	arena    *transport.RowArena
+	foldBuf  []float32
+	gathered map[uint64][]float32
+	freeIM   []*iterMerge
+	freeQ    []*idMergeQueue
+	evFree   [][]core.Eviction
 
 	evictedRows int64
 
@@ -320,6 +360,9 @@ func newLRPPEngine(cfg *Config, mesh transport.Mesh, coll lrppColl) *lrppEngine 
 // partition, and pipeline plumbing.
 func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Store, ep transport.Endpoint) (*lrppTrainer, error) {
 	cfg := eng.cfg
+	if eng.P > 64 {
+		return nil, fmt.Errorf("train: LRPP engine supports at most 64 trainers (rankBits), got %d", eng.P)
+	}
 	mcfg := model.Config{
 		NumCategorical: cfg.Spec.NumCategorical,
 		NumNumeric:     cfg.Spec.NumNumeric,
@@ -349,7 +392,10 @@ func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Store, ep transport.End
 		computeDone: make(map[int]bool),
 		emitted:     make(map[int]bool),
 		repRows:     make(map[int]map[uint64][]float32),
-		repFrom:     make(map[int]map[int]struct{}),
+		repFrom:     make(map[int]rankBits),
+		arena:       transport.Rows(cfg.Spec.EmbDim),
+		foldBuf:     make([]float32, cfg.Spec.EmbDim),
+		gathered:    make(map[uint64][]float32),
 		flushQ:      make(chan flushItem, cfg.NumBatches+1),
 		maintCh:     make(chan maintJob, cfg.NumBatches+1),
 		tokens:      make(chan struct{}, cfg.LookAhead),
@@ -359,6 +405,46 @@ func newLRPPTrainer(eng *lrppEngine, p int, tr transport.Store, ep transport.End
 		t.tokens <- struct{}{}
 	}
 	return t, nil
+}
+
+// getMerge pops a reset merge record from the free list. Caller holds t.mu.
+func (t *lrppTrainer) getMerge() *iterMerge {
+	if n := len(t.freeIM); n > 0 {
+		im := t.freeIM[n-1]
+		t.freeIM[n-1] = nil
+		t.freeIM = t.freeIM[:n-1]
+		return im
+	}
+	return &iterMerge{}
+}
+
+// putMerge recycles an applied merge record, dropping its gradient
+// references so the pooled record does not pin backward-pass buffers.
+// Caller holds t.mu.
+func (t *lrppTrainer) putMerge(im *iterMerge) {
+	clear(im.entries)
+	im.entries = im.entries[:0]
+	im.expect, im.expectN = 0, 0
+	t.freeIM = append(t.freeIM, im)
+}
+
+// getQueue pops an empty id merge queue from the free list. Caller holds
+// t.mu.
+func (t *lrppTrainer) getQueue() *idMergeQueue {
+	if n := len(t.freeQ); n > 0 {
+		q := t.freeQ[n-1]
+		t.freeQ[n-1] = nil
+		t.freeQ = t.freeQ[:n-1]
+		return q
+	}
+	return &idMergeQueue{byIter: make(map[int]*iterMerge, 2)}
+}
+
+// putQueue recycles a drained id merge queue (its byIter map is already
+// empty — every applied iteration deletes its record). Caller holds t.mu.
+func (t *lrppTrainer) putQueue(q *idMergeQueue) {
+	q.iters = q.iters[:0]
+	t.freeQ = append(t.freeQ, q)
 }
 
 // collectResult assembles the run summary from the trainers this process
@@ -488,15 +574,24 @@ func (t *lrppTrainer) startReceiver() {
 			}
 			switch pl := msg.Payload.(type) {
 			case transport.ReplicaMsg:
+				// The push transfers ownership of the rows map and its row
+				// buffers (pooled at the sender in-process, decoded into the
+				// same pools by the TCP codec): adopt the first sender's map
+				// wholesale, merge later senders' rows into it and recycle
+				// their emptied maps. iterate's step 5 returns everything
+				// once the rows are consumed.
 				t.mu.Lock()
-				if t.repRows[pl.Iter] == nil {
-					t.repRows[pl.Iter] = make(map[uint64][]float32, len(pl.Rows))
-					t.repFrom[pl.Iter] = make(map[int]struct{}, 2)
+				if have := t.repRows[pl.Iter]; have == nil {
+					t.repRows[pl.Iter] = pl.Rows
+				} else {
+					for id, row := range pl.Rows {
+						have[id] = row
+					}
+					transport.PutRowMap(pl.Rows)
 				}
-				for id, row := range pl.Rows {
-					t.repRows[pl.Iter][id] = row
-				}
-				t.repFrom[pl.Iter][msg.From] = struct{}{}
+				rb := t.repFrom[pl.Iter]
+				rb.set(msg.From)
+				t.repFrom[pl.Iter] = rb
 				t.mu.Unlock()
 				t.cond.Broadcast()
 			case transport.SyncMsg:
@@ -557,6 +652,15 @@ func (t *lrppTrainer) startFlusher() {
 	t.flushWG.Add(1)
 	go func() {
 		defer t.flushWG.Done()
+		// With -sync-compress-grad the flusher is the quantization point:
+		// every outgoing contribution is rounded through float16 here, after
+		// injecting the row's carried rounding error (error feedback), so
+		// all fabrics ship the identical quantized values and the wire
+		// encoding (2 bytes/element on TCP) is lossless with respect to them.
+		var ef *efState
+		if eng.cfg.SyncCompressGrad {
+			ef = newEFState(eng.dim)
+		}
 		// pass accumulates one flush pass's per-owner iteration tables; the
 		// urgent/delayed counters keep their historical granularity (one
 		// per non-empty per-owner table) even though the frames coalesce.
@@ -566,7 +670,12 @@ func (t *lrppTrainer) startFlusher() {
 				if len(entries) == 0 {
 					continue
 				}
-				pass[o] = append(pass[o], transport.SyncMsg{Iter: iter, Entries: entries})
+				if ef != nil {
+					for id, es := range entries {
+						ef.compress(o, id, es)
+					}
+				}
+				pass[o] = append(pass[o], transport.SyncMsg{Iter: iter, F16: ef != nil, Entries: entries})
 				if urgent {
 					eng.urgentFlushes.Add(1)
 				} else {
@@ -579,7 +688,7 @@ func (t *lrppTrainer) startFlusher() {
 			for o := range pass {
 				owners = append(owners, o)
 			}
-			sort.Ints(owners)
+			slices.Sort(owners)
 			for _, o := range owners {
 				flushes := pass[o]
 				b := syncBatchBytes(flushes, eng.dim)
@@ -618,6 +727,13 @@ func (t *lrppTrainer) startMaintenance() {
 		parked := make(map[int][]core.Eviction)
 		done := make(map[int]bool)
 		next := 0
+		// Write-back scratch reused across batches: callees treat the id and
+		// row slices as call-scoped (transports copy or encode, the hook only
+		// iterates), so one pair serves the whole run.
+		var (
+			ids  []uint64
+			rows [][]float32
+		)
 		for job := range t.maintCh {
 			parked[job.iter] = job.evictions
 			done[job.iter] = true
@@ -627,17 +743,24 @@ func (t *lrppTrainer) startMaintenance() {
 					if eng.activeTrain.Load() > 0 {
 						eng.overlapMT.Add(1)
 					}
-					ids := make([]uint64, len(evs))
-					rows := make([][]float32, len(evs))
-					for i, ev := range evs {
-						ids[i] = ev.ID
-						rows[i] = ev.Row
+					ids, rows = ids[:0], rows[:0]
+					for _, ev := range evs {
+						ids = append(ids, ev.ID)
+						rows = append(rows, ev.Row)
 					}
 					t.tr.Write(ids, rows)
 					eng.activeMaint.Add(-1)
+					// Every evicted row was fetched through the arena-backed
+					// transports and adopted by the cache; the durable
+					// write-back is its single recycle point.
+					t.arena.PutN(rows)
 					if eng.hooks != nil && eng.hooks.OnWriteBack != nil {
 						eng.hooks.OnWriteBack(t.p, next, ids)
 					}
+					t.mu.Lock()
+					clear(evs)
+					t.evFree = append(t.evFree, evs[:0])
+					t.mu.Unlock()
 				}
 				if eng.hooks != nil && eng.hooks.OnRetire != nil {
 					eng.hooks.OnRetire(t.p, next)
@@ -666,20 +789,25 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	for id, users := range pl.Users {
 		q := t.merges[id]
 		if q == nil {
-			q = &idMergeQueue{byIter: make(map[int]*iterMerge, 2)}
+			q = t.getQueue()
 			t.merges[id] = q
 		}
 		q.iters = append(q.iters, x)
-		im := &iterMerge{expect: make(map[int]struct{}, len(users))}
+		im := t.getMerge()
 		for _, u := range users {
-			im.expect[u] = struct{}{}
+			if !im.expect.has(u) {
+				im.expect.set(u)
+				im.expectN++
+			}
 		}
 		q.byIter[x] = im
 	}
 	t.expiring[x] = len(pl.Expiring)
 	t.mu.Unlock()
 
-	// 2. Insert the prefetched owned rows and refresh TTLs.
+	// 2. Insert the prefetched owned rows and refresh TTLs. The cache adopts
+	// the row buffers by reference (they return to the arena at write-back);
+	// the fetch's header slice is dead after the loop, so recycle it.
 	rows := <-w.rows
 	t.mu.Lock()
 	for i, id := range pl.Prefetch {
@@ -687,6 +815,9 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 			eng.hooks.OnInsert(t.p, x, id)
 		}
 		t.cache.Insert(id, rows[i], pl.OwnedTTL[id])
+	}
+	if rows != nil {
+		transport.PutRowSlice(rows)
 	}
 	for id, ttl := range pl.OwnedTTL {
 		t.cache.UpdateTTL(id, ttl)
@@ -717,30 +848,37 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	type out struct {
 		to    int
 		bytes int64
+		nrows int64
 		msg   transport.ReplicaMsg
 	}
 	var outs []out
 	for q, ids := range pl.ReplicaOut {
-		snap := make(map[uint64][]float32, len(ids))
+		// Snapshot into pooled buffers: the map and its rows transfer to the
+		// receiver with the push (in-process meshes deliver by reference),
+		// which recycles them after consuming the iteration — so nothing
+		// here, including the counters below, may touch the message after
+		// Send.
+		snap := transport.GetRowMap()
 		for _, id := range ids {
 			e, ok := t.cache.Peek(id)
 			if !ok {
 				panic(fmt.Sprintf("train: trainer %d iter %d: replica id %d missing from partition", t.p, x, id))
 			}
-			row := append([]float32(nil), e.Row...)
+			row := t.arena.Get()
+			copy(row, e.Row)
 			if quant {
 				transport.QuantizeF16(row)
 			}
 			snap[id] = row
 		}
-		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim, quant),
+		outs = append(outs, out{to: q, bytes: replicaMsgBytes(snap, eng.dim, quant), nrows: int64(len(snap)),
 			msg: transport.ReplicaMsg{Iter: x, F16: quant, Rows: snap}})
 	}
 	t.mu.Unlock()
 	for _, o := range outs {
 		t.ep.Send(o.to, o.bytes, o.msg)
 		eng.countSend(classReplica, o.bytes)
-		eng.replicaRows.Add(int64(len(o.msg.Rows)))
+		eng.replicaRows.Add(o.nrows)
 	}
 
 	// 5. Wait for the replicas we need, then gather this trainer's rows:
@@ -750,7 +888,7 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 		got := t.repFrom[x]
 		ready := true
 		for _, o := range pl.ReplicaFrom {
-			if _, ok := got[o]; !ok {
+			if !got.has(o) {
 				ready = false
 				break
 			}
@@ -763,7 +901,10 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	replicas := t.repRows[x]
 	delete(t.repRows, x)
 	delete(t.repFrom, x)
-	gathered := make(map[uint64][]float32)
+	// gathered is the trainer loop's private reusable scratch; its entries
+	// alias cache rows and replica rows only until extractLocal copies them.
+	gathered := t.gathered
+	clear(gathered)
 	for i, ex := range d.Batch.Examples {
 		if d.Assign[i] != t.p {
 			continue
@@ -796,6 +937,17 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 	// from zero — the identical call sequence and summation on every
 	// trainer.
 	ls := extractLocal(d.Batch, d.Assign, t.p, eng.cfg.Spec.NumCategorical, eng.cfg.Spec.NumNumeric, eng.dim, gathered)
+	// extractLocal copied every gathered row into the local slice, so the
+	// replica snapshot this trainer adopted from the pushes is dead: return
+	// the rows and the map to the pools the senders drew them from.
+	if replicas != nil {
+		for _, row := range replicas {
+			if row != nil {
+				t.arena.Put(row)
+			}
+		}
+		transport.PutRowMap(replicas)
+	}
 	eng.activeTrain.Add(1)
 	loss, dEmb := computeLocal(t.model, ls)
 	params := t.model.Params()
@@ -871,7 +1023,9 @@ func (t *lrppTrainer) depositLocked(id uint64, iter, from int, entries []contrib
 		panic(fmt.Sprintf("train: trainer %d: contribution for unregistered iter %d of id %d", t.p, iter, id))
 	}
 	im.entries = append(im.entries, entries...)
-	delete(im.expect, from)
+	if im.expect.clearBit(from) {
+		im.expectN--
+	}
 	t.applyReadyLocked(id)
 }
 
@@ -886,6 +1040,7 @@ func (t *lrppTrainer) applyReadyLocked(id uint64) {
 	defer func() {
 		if len(q.iters) == 0 {
 			delete(t.merges, id)
+			t.putQueue(q)
 			applied = true
 		}
 		if applied {
@@ -897,16 +1052,26 @@ func (t *lrppTrainer) applyReadyLocked(id uint64) {
 	for len(q.iters) > 0 {
 		iter := q.iters[0]
 		im := q.byIter[iter]
-		if im == nil || len(im.expect) > 0 {
+		if im == nil || im.expectN > 0 {
 			return
 		}
 		applied = true
-		sort.SliceStable(im.entries, func(a, b int) bool { return im.entries[a].Example < im.entries[b].Example })
-		g := make([]float32, eng.dim)
-		for _, e := range im.entries {
-			for k := range g {
-				g[k] += e.Grad[k]
+		// Stable insertion sort by example index: contributions per
+		// (id, iteration) are few, and sort.SliceStable would allocate its
+		// closure on every merge.
+		es := im.entries
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].Example < es[j-1].Example; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
 			}
+		}
+		// Fold into the trainer's persistent buffer (mu is held): zeroing
+		// then adding keeps the per-element summation order — and therefore
+		// the bits — of a fresh accumulator.
+		g := t.foldBuf
+		clear(g)
+		for _, en := range es {
+			collective.AddF32(g, en.Grad)
 		}
 		e, ok := t.cache.Peek(id)
 		if !ok {
@@ -919,6 +1084,7 @@ func (t *lrppTrainer) applyReadyLocked(id uint64) {
 		}
 		q.iters = q.iters[1:]
 		delete(q.byIter, iter)
+		t.putMerge(im)
 		if e.TTL == iter {
 			ev, dirty := t.cache.Remove(id)
 			if !dirty {
@@ -927,7 +1093,15 @@ func (t *lrppTrainer) applyReadyLocked(id uint64) {
 			if eng.hooks != nil && eng.hooks.OnEvict != nil {
 				eng.hooks.OnEvict(t.p, iter, id)
 			}
-			t.evbatch[iter] = append(t.evbatch[iter], ev)
+			evs := t.evbatch[iter]
+			if evs == nil {
+				if n := len(t.evFree); n > 0 {
+					evs = t.evFree[n-1][:0]
+					t.evFree[n-1] = nil
+					t.evFree = t.evFree[:n-1]
+				}
+			}
+			t.evbatch[iter] = append(evs, ev)
 			t.evictedRows++
 			t.expiring[iter]--
 			t.maybeEmitLocked(iter)
@@ -948,6 +1122,14 @@ func (t *lrppTrainer) maybeEmitLocked(iter int) {
 	delete(t.evbatch, iter)
 	delete(t.expiring, iter)
 	delete(t.computeDone, iter)
-	sort.Slice(evs, func(i, j int) bool { return evs[i].ID < evs[j].ID })
+	slices.SortFunc(evs, func(a, b core.Eviction) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 	t.maintCh <- maintJob{iter: iter, evictions: evs}
 }

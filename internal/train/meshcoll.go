@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bagpipe/internal/collective"
 	"bagpipe/internal/transport"
 )
 
@@ -328,7 +329,8 @@ func (c *meshColl) fusedViaRoot(segs [][]float32, loss []float64, parent int, fa
 	if c.rank == 0 {
 		byOrigin := c.gatherFused(seq)
 		// Fold in rank order from zero: segs/loss already hold rank 0's
-		// terms.
+		// terms. Whole segments at a time through the vector kernels — the
+		// same left-to-right per-element summation as the scalar loop.
 		for r := 1; r < c.n; r++ {
 			m, ok := byOrigin[r]
 			if !ok {
@@ -336,14 +338,9 @@ func (c *meshColl) fusedViaRoot(segs [][]float32, loss []float64, parent int, fa
 			}
 			c.checkFused(m, segs, loss)
 			for i, x := range segs {
-				src := m.Segs[i]
-				for k := range x {
-					x[k] += src[k]
-				}
+				collective.AddF32(x, m.Segs[i])
 			}
-			for k := range loss {
-				loss[k] += m.Loss[k]
-			}
+			collective.AddF64(loss, m.Loss)
 		}
 		out := snapshotFused(seq, 0, segs, loss)
 		for _, r := range fanout {
@@ -386,24 +383,18 @@ func (c *meshColl) fusedRing(segs [][]float32, loss []float64) {
 		}
 		return byOrigin[r]
 	}
+	// Fold from zero in rank order with the vector kernels: copy rank 0's
+	// term, add ranks 1..n−1 — element-independent, so the bits match the
+	// old per-element fold exactly.
 	for i, x := range segs {
-		for r := 0; r < c.n; r++ {
-			src := term(r).Segs[i]
-			if r == 0 {
-				copy(x, src)
-			} else {
-				for k := range x {
-					x[k] += src[k]
-				}
-			}
+		copy(x, term(0).Segs[i])
+		for r := 1; r < c.n; r++ {
+			collective.AddF32(x, term(r).Segs[i])
 		}
 	}
-	for k := range loss {
-		var s float64
-		for r := 0; r < c.n; r++ {
-			s += term(r).Loss[k]
-		}
-		loss[k] = s
+	copy(loss, term(0).Loss)
+	for r := 1; r < c.n; r++ {
+		collective.AddF64(loss, term(r).Loss)
 	}
 }
 
@@ -420,9 +411,7 @@ func (c *meshColl) allReduceSum(x []float32) {
 				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d floats, want %d",
 					seq, r, len(m.F32), len(x)))
 			}
-			for i := range x {
-				x[i] += m.F32[i]
-			}
+			collective.AddF32(x, m.F32)
 		}
 		// Broadcast a snapshot: x is the caller's live gradient buffer, and
 		// in-process meshes deliver payloads by reference.
@@ -451,9 +440,7 @@ func (c *meshColl) allReduceSum64(x []float64) {
 				panic(fmt.Sprintf("train: collective %d: rank %d contributed %d doubles, want %d",
 					seq, r, len(m.F64), len(x)))
 			}
-			for i := range x {
-				x[i] += m.F64[i]
-			}
+			collective.AddF64(x, m.F64)
 		}
 		out := append([]float64(nil), x...)
 		for r := 1; r < c.n; r++ {

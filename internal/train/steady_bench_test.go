@@ -1,0 +1,201 @@
+package train
+
+import (
+	"testing"
+
+	"bagpipe/internal/collective"
+	"bagpipe/internal/core"
+	"bagpipe/internal/embed"
+	"bagpipe/internal/optim"
+	"bagpipe/internal/transport"
+)
+
+// The steady-state harness drives exactly the hot-path primitives one LRPP
+// iteration composes — pooled tier fetch, cache insert, replica snapshot +
+// f16 quantization, vectorized gradient fold, row update, eviction, acked
+// write-back, buffer recycling — across P persistent trainer goroutines
+// over an S-way sharded in-process tier, with none of the oracle/batch
+// bookkeeping that allocates per run by design (plans, per-example
+// gradients). This is the surface the PR's 0 allocs/op acceptance bar is
+// measured on: after warmup, every buffer the loop touches comes from and
+// returns to the transport pools and the per-worker scratch.
+
+// steadyWorker is one persistent trainer goroutine of the harness. Workers
+// live across benchmark ops (spawning goroutines per op would itself
+// allocate) and are signaled through int channels.
+type steadyWorker struct {
+	store transport.Store
+	cache *core.Cache
+	arena *transport.RowArena
+	opt   interface {
+		optim.Optimizer
+		optim.RowOptimizer
+	}
+	ids    []uint64
+	fold   []float32
+	evIDs  []uint64
+	evRows [][]float32
+	work   chan int
+	done   chan struct{}
+}
+
+func (w *steadyWorker) loop() {
+	for iter := range w.work {
+		w.step(iter)
+		w.done <- struct{}{}
+	}
+}
+
+// step is one trainer's iteration over the hot-path primitives.
+func (w *steadyWorker) step(iter int) {
+	// Prefetch: pooled header + arena rows, adopted by the cache.
+	rows := w.store.Fetch(w.ids)
+	for i, id := range w.ids {
+		w.cache.Insert(id, rows[i], iter)
+	}
+	transport.PutRowSlice(rows)
+	// Replica push + merge simulation per row: snapshot into a pooled
+	// buffer, quantize like a -sync-compress sender, fold like a receiving
+	// owner, apply one optimizer update.
+	for _, id := range w.ids {
+		e, ok := w.cache.Peek(id)
+		if !ok {
+			panic("steady: cached row vanished")
+		}
+		snap := w.arena.Get()
+		copy(snap, e.Row)
+		transport.QuantizeF16(snap)
+		clear(w.fold)
+		collective.AddF32(w.fold, snap)
+		w.arena.Put(snap)
+		w.opt.UpdateRow(id, e.Row, w.fold)
+		e.Dirty = true
+	}
+	// Evict, write back, recycle — the row's single return point.
+	w.evIDs, w.evRows = w.evIDs[:0], w.evRows[:0]
+	for _, id := range w.ids {
+		ev, dirty := w.cache.Remove(id)
+		if !dirty {
+			panic("steady: updated row not dirty")
+		}
+		w.evIDs = append(w.evIDs, ev.ID)
+		w.evRows = append(w.evRows, ev.Row)
+	}
+	w.store.Write(w.evIDs, w.evRows)
+	w.arena.PutN(w.evRows)
+}
+
+type steadyHarness struct {
+	workers []*steadyWorker
+}
+
+// newSteadyHarness builds P persistent workers over an S-server in-process
+// tier (one ShardedStore per worker, like the LRPP engine's per-trainer
+// stores), each cycling rowsPer distinct ids per iteration.
+func newSteadyHarness(tb testing.TB, P, S, dim, rowsPer int) *steadyHarness {
+	tb.Helper()
+	tier := make([]*embed.Server, S)
+	for s := range tier {
+		tier[s] = embed.NewServer(1, dim, 7, 0.05)
+	}
+	h := &steadyHarness{}
+	for p := 0; p < P; p++ {
+		children := make([]transport.Store, S)
+		for s := range children {
+			children[s] = transport.NewInProcess(tier[s])
+		}
+		opt, err := newOptimizer("sgd", 0.05)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		w := &steadyWorker{
+			store: transport.NewShardedStore(children),
+			cache: core.NewCache(dim),
+			arena: transport.Rows(dim),
+			opt:   opt,
+			fold:  make([]float32, dim),
+			work:  make(chan int),
+			done:  make(chan struct{}),
+		}
+		for i := 0; i < rowsPer; i++ {
+			w.ids = append(w.ids, uint64(p*rowsPer+i))
+		}
+		h.workers = append(h.workers, w)
+		go w.loop()
+	}
+	return h
+}
+
+// step runs one synchronized iteration across every worker.
+func (h *steadyHarness) step(iter int) {
+	for _, w := range h.workers {
+		w.work <- iter
+	}
+	for _, w := range h.workers {
+		<-w.done
+	}
+}
+
+func (h *steadyHarness) close() {
+	for _, w := range h.workers {
+		close(w.work)
+	}
+}
+
+// BenchmarkLRPPSteadyState is the allocation acceptance benchmark: P=4
+// trainers over an S=2 sharded tier must report 0 allocs/op once the pools
+// are warm. CI runs it with -benchmem and fails the build on any nonzero
+// allocs/op (see .github/workflows/ci.yml).
+func BenchmarkLRPPSteadyState(b *testing.B) {
+	h := newSteadyHarness(b, 4, 2, 16, 32)
+	defer h.close()
+	for i := 0; i < 5; i++ {
+		h.step(i) // materialize rows, warm pools and map buckets
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.step(i + 5)
+	}
+	b.ReportMetric(float64(4*32), "rows/op")
+}
+
+// TestSteadyStateAllocFree is the same bar as a plain test, so `go test`
+// catches an allocation regression even when nobody runs benchmarks.
+func TestSteadyStateAllocFree(t *testing.T) {
+	h := newSteadyHarness(t, 4, 2, 16, 32)
+	defer h.close()
+	iter := 0
+	for ; iter < 5; iter++ {
+		h.step(iter)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		h.step(iter)
+		iter++
+	})
+	if avg >= 0.1 {
+		t.Fatalf("steady-state iteration allocates %.2f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkLRPPSyncCompressGrad sweeps the error-feedback compressed
+// delayed-sync path on/off over the full loopback-TCP P=4 engine,
+// reporting sync-class bytes so the trade (throughput vs wire volume) is
+// visible in one table.
+func BenchmarkLRPPSyncCompressGrad(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig(4)
+			cfg.SyncCompressGrad = on
+			for i := 0; i < b.N; i++ {
+				res := runLRPPTCPOnce(b, cfg, 4)
+				reportRun(b, res, nil)
+				b.ReportMetric(float64(res.MeshClasses.SyncBytes)/float64(res.Iters), "syncB/iter")
+			}
+		})
+	}
+}

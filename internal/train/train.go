@@ -98,6 +98,15 @@ type Config struct {
 	// bit-identical to the baseline, so it cannot be combined with
 	// differential verification; the tests pin the lossless default.
 	SyncCompress bool
+	// SyncCompressGrad quantizes delayed-sync gradient flushes to float16 at
+	// the sender with per-(owner, row) error feedback: each flush's f16
+	// rounding error is carried and injected into the row's next flush
+	// (efsync.go), so compression error stays bounded instead of
+	// accumulating. Halves sync-class mesh bytes. Lossy like SyncCompress:
+	// deterministic across runs and fabrics, but not bit-identical to the
+	// lossless baseline, so it cannot be combined with differential
+	// verification.
+	SyncCompressGrad bool
 	// Hooks, when non-nil, receives LRPP engine events for invariant
 	// auditing (differential + fuzz harness). Nil in production runs.
 	Hooks *LRPPHooks
@@ -430,10 +439,7 @@ func (r *ranks) step(b *data.Batch, assign []int, rows map[uint64][]float32) (fl
 				g = make([]float32, r.dim)
 				grads[id] = g
 			}
-			src := row[c*r.dim : (c+1)*r.dim]
-			for k := range g {
-				g[k] += src[k]
-			}
+			collective.AddF32(g, row[c*r.dim:(c+1)*r.dim])
 		}
 	}
 	return float32(loss), grads

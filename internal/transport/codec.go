@@ -50,9 +50,14 @@ type (
 	}
 
 	// SyncMsg is one batched delayed-sync flush: one sender's gradient
-	// contributions for one iteration, grouped per owned id.
+	// contributions for one iteration, grouped per owned id. With F16 set
+	// (-sync-compress-grad) the gradients cross the wire as binary16; as
+	// with quantized replicas, the sender must have rounded the values
+	// through f16 first — the lossy step happens at the sender (where the
+	// error-feedback residual is kept), never in the encoding.
 	SyncMsg struct {
 		Iter    int
+		F16     bool
 		Entries map[uint64][]Contrib
 	}
 
@@ -195,14 +200,37 @@ func DecodePayload(b []byte) (any, error) {
 	case tagReplica, tagReplicaF16:
 		m := ReplicaMsg{Iter: int(r.u64()), F16: b[0] == tagReplicaF16}
 		n := r.count(8)
-		m.Rows = make(map[uint64][]float32, n)
+		// The map and rows come from the pooled allocator, mirroring the
+		// in-process path where the sender builds them there; the LRPP
+		// receiver releases both once the rows are consumed.
+		m.Rows = GetRowMap()
+		elem := 4
+		if m.F16 {
+			elem = 2
+		}
+		var arena *RowArena
 		for i := 0; i < n; i++ {
 			id := r.u64()
-			if m.F16 {
-				m.Rows[id] = r.f16s()
-			} else {
-				m.Rows[id] = r.f32s()
+			ne := r.count(elem)
+			if ne == 0 || r.err != nil {
+				m.Rows[id] = nil
+				continue
 			}
+			if arena == nil || arena.dim != ne {
+				arena = Rows(ne)
+			}
+			row := arena.Get()
+			reg := r.take(ne, elem)
+			if m.F16 {
+				for k := range row {
+					row[k] = F32FromF16(binary.LittleEndian.Uint16(reg[2*k:]))
+				}
+			} else {
+				for k := range row {
+					row[k] = math.Float32frombits(binary.LittleEndian.Uint32(reg[4*k:]))
+				}
+			}
+			m.Rows[id] = row
 		}
 		out = m
 	case tagSync:
@@ -253,6 +281,11 @@ func DecodePayload(b []byte) (any, error) {
 // single-flush and coalesced encodings).
 func putSyncBody(b []byte, m SyncMsg) []byte {
 	b = putU64(b, uint64(m.Iter))
+	if m.F16 {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
 	b = putU32(b, uint32(len(m.Entries)))
 	for _, id := range sortedIDKeys(m.Entries) {
 		b = putU64(b, id)
@@ -260,7 +293,11 @@ func putSyncBody(b []byte, m SyncMsg) []byte {
 		b = putU32(b, uint32(len(es)))
 		for _, e := range es {
 			b = putU64(b, uint64(e.Example))
-			b = putF32s(b, e.Grad)
+			if m.F16 {
+				b = putF16s(b, e.Grad)
+			} else {
+				b = putF32s(b, e.Grad)
+			}
 		}
 	}
 	return b
@@ -268,7 +305,7 @@ func putSyncBody(b []byte, m SyncMsg) []byte {
 
 // sync reads one iteration's flush (the inverse of putSyncBody).
 func (r *wireReader) sync() SyncMsg {
-	m := SyncMsg{Iter: int(r.u64())}
+	m := SyncMsg{Iter: int(r.u64()), F16: r.u8() == 1}
 	n := r.count(8)
 	m.Entries = make(map[uint64][]Contrib, n)
 	for i := 0; i < n; i++ {
@@ -276,7 +313,13 @@ func (r *wireReader) sync() SyncMsg {
 		ne := r.count(8)
 		es := make([]Contrib, 0, ne)
 		for j := 0; j < ne; j++ {
-			es = append(es, Contrib{Example: int(r.u64()), Grad: r.f32s()})
+			e := Contrib{Example: int(r.u64())}
+			if m.F16 {
+				e.Grad = r.f16s()
+			} else {
+				e.Grad = r.f32s()
+			}
+			es = append(es, e)
 		}
 		m.Entries[id] = es
 	}
@@ -422,6 +465,12 @@ func grow(b []byte, n int) ([]byte, int) {
 
 func putF32s(b []byte, xs []float32) []byte {
 	b = putU32(b, uint32(len(xs)))
+	return putF32sRaw(b, xs)
+}
+
+// putF32sRaw appends xs' elements without a count prefix — for callers that
+// frame a whole matrix of known shape behind a single count.
+func putF32sRaw(b []byte, xs []float32) []byte {
 	b, off := grow(b, 4*len(xs))
 	for i, x := range xs {
 		binary.LittleEndian.PutUint32(b[off+4*i:], math.Float32bits(x))
@@ -556,6 +605,21 @@ func (r *wireReader) f32s() []float32 {
 		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 	return xs
+}
+
+// f32sInto decodes a count-prefixed float32 vector into the caller's dst
+// (a pooled row), failing the reader unless the count is exactly len(dst).
+func (r *wireReader) f32sInto(dst []float32) bool {
+	n := r.count(4)
+	if r.err != nil || n != len(dst) {
+		r.fail()
+		return false
+	}
+	b := r.take(n, 4)
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return true
 }
 
 func (r *wireReader) f16s() []float32 {

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip drives arbitrary float32 bit patterns through the
+// binary16 conversion pair and checks the IEEE-754 properties the
+// compressed replica/sync paths depend on: quantization is idempotent
+// (the wire value re-quantizes to itself bit-for-bit, which is what makes
+// the f16 *encoding* lossless once the sender rounded), overflow clamps to
+// infinity at the right threshold, NaN and signs survive, tiny values
+// flush to signed zero, and rounding error stays within half an ulp.
+func FuzzF16RoundTrip(f *testing.F) {
+	seeds := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 0.5, 3.140625,
+		float32(math.NaN()), float32(-math.Sqrt(-1)),
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		65504, -65504, 65505, 65519.996, 65520, -65520, 1e6, 3.4e38,
+		6.1035156e-05, // 2^-14, smallest f16 normal
+		5.9604645e-08, // 2^-24, smallest f16 subnormal
+		2.9802322e-08, // 2^-25, the flush-to-zero tie
+		2.9802326e-08, // just above the tie
+		1e-8, 1.4e-45, // deep f32 subnormals
+		-6.0975552e-05, // f16 subnormal range, negative
+	}
+	for _, s := range seeds {
+		f.Add(math.Float32bits(s))
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		h := F16FromF32(x)
+		q := F32FromF16(h)
+
+		if x != x { // NaN in → NaN out, sign payload bit kept
+			if q == q {
+				t.Fatalf("NaN %#08x quantized to non-NaN %v", bits, q)
+			}
+			if math.Float32bits(q)&0x80000000 != bits&0x80000000 {
+				t.Fatalf("NaN %#08x lost its sign: got %#08x", bits, math.Float32bits(q))
+			}
+			return
+		}
+
+		// Idempotence: a value that came out of f16 re-encodes to the same
+		// bit pattern — the property that makes sender-side quantization
+		// plus a 2-byte wire encoding lossless end to end.
+		if h2 := F16FromF32(q); h2 != h {
+			t.Fatalf("quantize(%v)=%v (h=%#04x) is not a fixed point: re-encodes to %#04x", x, q, h, h2)
+		}
+		if q2 := F32FromF16(F16FromF32(q)); math.Float32bits(q2) != math.Float32bits(q) {
+			t.Fatalf("double quantization of %v drifted: %v -> %v", x, q, q2)
+		}
+		// QuantizeF16 must agree with the scalar pair element-wise.
+		if s := QuantizeF16([]float32{x})[0]; math.Float32bits(s) != math.Float32bits(q) {
+			t.Fatalf("QuantizeF16(%v)=%v disagrees with scalar round trip %v", x, s, q)
+		}
+		// Signs survive every finite and infinite case (including ±0).
+		if math.Signbit(float64(q)) != math.Signbit(float64(x)) {
+			t.Fatalf("quantize(%v) flipped sign: %v", x, q)
+		}
+
+		ax := math.Abs(float64(x))
+		aq := math.Abs(float64(q))
+		switch {
+		case math.IsInf(float64(x), 0) || ax >= 65520:
+			// Above the midpoint between 65504 (f16 max) and the would-be
+			// 65536, round-to-nearest-even overflows to infinity.
+			if !math.IsInf(float64(q), 0) {
+				t.Fatalf("quantize(%v) = %v, want ±Inf", x, q)
+			}
+		case ax <= 0x1p-25:
+			// At or below half the smallest subnormal, everything flushes
+			// to (signed) zero.
+			if q != 0 {
+				t.Fatalf("quantize(%v) = %v, want ±0", x, q)
+			}
+		case ax < 0x1p-14:
+			// f16 subnormal range: absolute error at most half an ulp
+			// (2^-25), and never rounds to zero past the tie above.
+			if math.Abs(float64(q)-float64(x)) > 0x1p-25 {
+				t.Fatalf("subnormal quantize(%v) = %v, error %g exceeds 2^-25", x, q, math.Abs(float64(q)-float64(x)))
+			}
+		default:
+			// Normal range: finite, at most f16 max, relative error within
+			// half an ulp (2^-11).
+			if math.IsInf(float64(q), 0) || aq > 65504 {
+				t.Fatalf("quantize(%v) = %v escaped the finite f16 range", x, q)
+			}
+			if math.Abs(float64(q)-float64(x)) > ax*0x1p-11 {
+				t.Fatalf("normal quantize(%v) = %v, relative error %g exceeds 2^-11",
+					x, q, math.Abs(float64(q)-float64(x))/ax)
+			}
+		}
+	})
+}

@@ -49,7 +49,55 @@ type Store interface {
 type ShardedStore struct {
 	children []Store
 	dim      int
+	// instant is true when every child completes without blocking on I/O
+	// (in-process servers); the scatter then runs serially — goroutine
+	// fan-out over direct calls is pure overhead and allocates.
+	instantChildren bool
+
+	// scratchMu guards a pool of scatter scratches (grouping arrays plus
+	// per-server sub-batch buffers). Pooled rather than per-store because
+	// several trainer goroutines issue concurrent fetches through one tier
+	// client.
+	scratchMu sync.Mutex
+	scratch   []*shardScratch
 }
+
+// shardScratch is one concurrent caller's reusable scatter state.
+type shardScratch struct {
+	group   core.GroupScratch
+	sub     [][]uint64
+	subRows [][][]float32
+}
+
+// getScratch pops (or creates) a scatter scratch sized for this tier.
+func (t *ShardedStore) getScratch() *shardScratch {
+	t.scratchMu.Lock()
+	defer t.scratchMu.Unlock()
+	if n := len(t.scratch); n > 0 {
+		sc := t.scratch[n-1]
+		t.scratch[n-1] = nil
+		t.scratch = t.scratch[:n-1]
+		return sc
+	}
+	return &shardScratch{
+		sub:     make([][]uint64, len(t.children)),
+		subRows: make([][][]float32, len(t.children)),
+	}
+}
+
+// putScratch returns a scratch to the pool. Fetch/Write call it via defer,
+// so the sub-batch buffers come back even when a child's RPC panics
+// mid-gather (forEachServer re-raises child panics on the calling
+// goroutine) — a failed shard call must not leak the pooled buffers.
+func (t *ShardedStore) putScratch(sc *shardScratch) {
+	t.scratchMu.Lock()
+	t.scratch = append(t.scratch, sc)
+	t.scratchMu.Unlock()
+}
+
+// instantStore is implemented by transports whose calls complete inline
+// without waiting on a network (InProcess, and tiers composed of them).
+type instantStore interface{ instant() bool }
 
 // NewShardedStore builds the tier client over children, one per embedding
 // server, in server order. All children must serve the same row width. A
@@ -66,8 +114,19 @@ func NewShardedStore(children []Store) *ShardedStore {
 			panic(fmt.Sprintf("transport: sharded store server %d serves dim %d, server 0 serves %d", i, c.Dim(), dim))
 		}
 	}
-	return &ShardedStore{children: children, dim: dim}
+	instant := true
+	for _, c := range children {
+		if is, ok := c.(instantStore); !ok || !is.instant() {
+			instant = false
+			break
+		}
+	}
+	return &ShardedStore{children: children, dim: dim, instantChildren: instant}
 }
+
+// instant implements instantStore: a tier of instant children is itself
+// instant, so nested sharded stores keep the serial fast path.
+func (t *ShardedStore) instant() bool { return t.instantChildren }
 
 // Name implements Store.
 func (t *ShardedStore) Name() string {
@@ -80,36 +139,40 @@ func (t *ShardedStore) Dim() int { return t.dim }
 // Servers returns the tier width S.
 func (t *ShardedStore) Servers() int { return len(t.children) }
 
-// scatter partitions the positions 0..len(ids)-1 into contiguous per-server
-// runs (core.GroupByOwner over the canonical OwnerOf map): pos holds every
-// index grouped by owning server, and bounds[s]..bounds[s+1] delimits
-// server s's run. The original position of each id rides along, which is
-// what makes the gather order-preserving for free.
-func (t *ShardedStore) scatter(ids []uint64) (pos []int, bounds []int) {
-	return core.GroupByOwner(ids, len(t.children))
-}
-
-// forEachServer runs fn for every server with a non-empty run in bounds —
-// concurrently when more than one server is involved. Sub-batches wait on
-// their server's link, not on CPU, so overlapping them is what makes an
-// S-server tier S links wide instead of one link S times as long (each
-// backend is its own NIC in the paper's trainer-node/server-node topology).
-func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
-	active, only := 0, -1
+// serialScatter reports whether a scatter over bounds should run inline on
+// the calling goroutine: instant (in-process) children never block on a
+// link, so there is nothing to overlap, and a single active server has no
+// fan-out to do. Fetch/Write check this *before* building the per-server
+// closure forEachServer needs — the closure escapes into goroutines and
+// would heap-allocate once per call, the exact per-batch cost the pooled
+// scatter exists to avoid on the hot in-process path.
+func (t *ShardedStore) serialScatter(bounds []int) bool {
+	if t.instantChildren {
+		return true
+	}
+	active := 0
 	for s := range t.children {
 		if bounds[s] != bounds[s+1] {
 			active++
-			only = s
 		}
 	}
-	if active == 0 {
-		return
-	}
-	if active == 1 {
-		fn(only)
-		return
-	}
-	var wg sync.WaitGroup
+	return active <= 1
+}
+
+// forEachServer runs fn for every server with a non-empty run in bounds,
+// concurrently. Sub-batches wait on their server's link, not on CPU, so
+// overlapping them is what makes an S-server tier S links wide instead of
+// one link S times as long (each backend is its own NIC in the paper's
+// trainer-node/server-node topology); serial scatters take the inline
+// loops in Fetch/Write instead (see serialScatter). A panic in a child RPC
+// is re-raised on the calling goroutine once every in-flight sub-batch
+// finishes, so the caller's defers (scratch return) still run.
+func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
 	for s := range t.children {
 		if bounds[s] == bounds[s+1] {
 			continue
@@ -117,30 +180,61 @@ func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = p
+					}
+					panicMu.Unlock()
+				}
+			}()
 			fn(s)
 		}(s)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Fetch implements Store: one sub-batch per owning server, issued
 // concurrently, rows delivered in request order no matter which order the
-// servers reply in.
+// servers reply in. The scatter buffers are pooled and returned via defer —
+// including when a shard's RPC panics mid-gather.
 func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
-	out := make([][]float32, len(ids))
-	pos, bounds := t.scatter(ids)
-	t.forEachServer(bounds, func(s int) {
-		run := pos[bounds[s]:bounds[s+1]]
-		sub := make([]uint64, len(run))
-		for i, p := range run {
-			sub[i] = ids[p]
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	out := GetRowSlice(len(ids))
+	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	if t.serialScatter(bounds) {
+		for s := range t.children {
+			if bounds[s] != bounds[s+1] {
+				t.fetchServer(sc, s, ids, pos, bounds, out)
+			}
 		}
-		rows := t.children[s].Fetch(sub)
-		for i, p := range run {
-			out[p] = rows[i]
-		}
-	})
+		return out
+	}
+	t.forEachServer(bounds, func(s int) { t.fetchServer(sc, s, ids, pos, bounds, out) })
 	return out
+}
+
+// fetchServer issues one server's fetch sub-batch and gathers its rows into
+// the request-order result.
+func (t *ShardedStore) fetchServer(sc *shardScratch, s int, ids []uint64, pos, bounds []int, out [][]float32) {
+	run := pos[bounds[s]:bounds[s+1]]
+	sub := sc.sub[s][:0]
+	for _, p := range run {
+		sub = append(sub, ids[p])
+	}
+	sc.sub[s] = sub
+	rows := t.children[s].Fetch(sub)
+	for i, p := range run {
+		out[p] = rows[i]
+	}
+	// The child's result header is dead now that its rows moved into out;
+	// recycle it.
+	PutRowSlice(rows)
 }
 
 // Write implements Store: the scatter half of Fetch, one concurrent
@@ -151,17 +245,33 @@ func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 	if len(ids) != len(rows) {
 		panic("transport: Write ids/rows length mismatch")
 	}
-	pos, bounds := t.scatter(ids)
-	t.forEachServer(bounds, func(s int) {
-		run := pos[bounds[s]:bounds[s+1]]
-		sub := make([]uint64, len(run))
-		subRows := make([][]float32, len(run))
-		for i, p := range run {
-			sub[i] = ids[p]
-			subRows[i] = rows[p]
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	if t.serialScatter(bounds) {
+		for s := range t.children {
+			if bounds[s] != bounds[s+1] {
+				t.writeServer(sc, s, ids, pos, bounds, rows)
+			}
 		}
-		t.children[s].Write(sub, subRows)
-	})
+		return
+	}
+	t.forEachServer(bounds, func(s int) { t.writeServer(sc, s, ids, pos, bounds, rows) })
+}
+
+// writeServer issues one server's write sub-batch.
+func (t *ShardedStore) writeServer(sc *shardScratch, s int, ids []uint64, pos, bounds []int, rows [][]float32) {
+	run := pos[bounds[s]:bounds[s+1]]
+	sub, subRows := sc.sub[s][:0], sc.subRows[s][:0]
+	for _, p := range run {
+		sub = append(sub, ids[p])
+		subRows = append(subRows, rows[p])
+	}
+	sc.sub[s], sc.subRows[s] = sub, subRows
+	t.children[s].Write(sub, subRows)
+	// Drop the row references so the pooled scratch doesn't pin the
+	// caller's buffers until the next write.
+	clear(subRows)
 }
 
 // Stats implements Store: the field-wise sum over the tier. Fetches/Writes

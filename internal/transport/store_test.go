@@ -305,3 +305,53 @@ func TestShardedStoreOverServeEmbed(t *testing.T) {
 		}
 	}
 }
+
+// panicStore is a shard whose data path is down; inst selects whether the
+// tier sees it as an in-process (serial scatter) or remote (goroutine
+// fan-out) child, so both forEachServer paths get exercised.
+type panicStore struct {
+	Store
+	inst bool
+}
+
+func (p *panicStore) Fetch(ids []uint64) [][]float32 { panic("transport test: shard down") }
+
+func (p *panicStore) instant() bool { return p.inst }
+
+// TestShardedStoreScratchReturnedOnChildPanic: a shard RPC failing
+// mid-gather must propagate to the caller AND return the pooled scatter
+// scratch — a panicking Fetch that leaked its buffers would starve the pool
+// across retries. Exercised on both the serial (instant children) and
+// concurrent (remote children) scatter paths.
+func TestShardedStoreScratchReturnedOnChildPanic(t *testing.T) {
+	for _, inst := range []bool{true, false} {
+		tier := testTier(2)
+		children := []Store{
+			NewInProcess(tier[0]),
+			&panicStore{Store: NewInProcess(tier[1]), inst: inst},
+		}
+		st := NewShardedStore(children)
+		if st.instant() != inst {
+			t.Fatalf("inst=%v: tier instant()=%v", inst, st.instant())
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("inst=%v: child panic did not propagate", inst)
+				}
+			}()
+			st.Fetch([]uint64{0, 1, 2, 3}) // spans both shards
+		}()
+		st.scratchMu.Lock()
+		n := len(st.scratch)
+		st.scratchMu.Unlock()
+		if n != 1 {
+			t.Fatalf("inst=%v: scratch pool holds %d entries after panicking fetch, want 1", inst, n)
+		}
+		// The tier must stay usable for requests that avoid the dead shard
+		// (even ids hash to shard 0).
+		if rows := st.Fetch([]uint64{0, 2}); len(rows) != 2 {
+			t.Fatalf("inst=%v: post-panic fetch returned %d rows", inst, len(rows))
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -79,8 +80,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 // error. A worker process cannot make progress without its embedding tier,
 // so dying loudly is the correct degradation.
 type TCPLink struct {
-	conn net.Conn
-	dim  int
+	conn  net.Conn
+	dim   int
+	arena *RowArena
 
 	reqCh chan linkReq
 
@@ -122,9 +124,15 @@ func DialTCPLink(addr string, timeout time.Duration) (*TCPLink, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: link handshake: magic %#x from %s", m, addr)
 	}
+	dim := int(binary.LittleEndian.Uint32(ack[4:]))
+	if dim <= 0 {
+		conn.Close()
+		return nil, fmt.Errorf("transport: link handshake: server at %s declared dim %d", addr, dim)
+	}
 	t := &TCPLink{
 		conn:    conn,
-		dim:     int(binary.LittleEndian.Uint32(ack[4:])),
+		dim:     dim,
+		arena:   Rows(dim),
 		reqCh:   make(chan linkReq, 64),
 		pending: make(map[uint64]chan []byte),
 	}
@@ -267,17 +275,23 @@ func (t *TCPLink) Name() string { return "tcp" }
 // Dim implements Transport (the width the server declared at handshake).
 func (t *TCPLink) Dim() int { return t.dim }
 
-// Fetch implements Transport.
+// Fetch implements Transport. The response matrix is decoded straight into
+// pooled arena rows, so the decode allocates nothing once the pool is warm.
 func (t *TCPLink) Fetch(ids []uint64) [][]float32 {
 	resp := t.call(opFetch, func(b []byte) []byte { return putU64s(b, ids) })
 	r := &wireReader{b: resp}
-	flat := r.f32s()
-	if r.err != nil || len(flat) != len(ids)*t.dim {
-		panic(fmt.Sprintf("transport: fetch response for %d ids carried %d floats", len(ids), len(flat)))
+	n := r.count(4)
+	if r.err != nil || n != len(ids)*t.dim {
+		panic(fmt.Sprintf("transport: fetch response for %d ids carried %d floats", len(ids), n))
 	}
-	rows := make([][]float32, len(ids))
-	for i := range rows {
-		rows[i] = flat[i*t.dim : (i+1)*t.dim]
+	reg := r.take(n, 4)
+	rows := GetRowSlice(len(ids))
+	t.arena.GetN(rows)
+	for i, row := range rows {
+		off := i * t.dim * 4
+		for k := range row {
+			row[k] = math.Float32frombits(binary.LittleEndian.Uint32(reg[off+4*k:]))
+		}
 	}
 	t.fetches.Add(1)
 	t.rowsFetched.Add(int64(len(ids)))
@@ -446,22 +460,42 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 			if r.err != nil {
 				return
 			}
-			rows := srv.Fetch(ids)
-			flat := make([]float32, 0, len(ids)*srv.Dim)
+			// Serve out of the arena and encode row by row behind a single
+			// matrix count — no flat staging copy, and the rows go straight
+			// back to the pool once encoded.
+			rows := GetRowSlice(len(ids))
+			arena := Rows(srv.Dim)
+			arena.GetN(rows)
+			srv.FetchInto(ids, rows)
+			resp = putU32(resp, uint32(len(ids)*srv.Dim))
 			for _, row := range rows {
-				flat = append(flat, row...)
+				resp = putF32sRaw(resp, row)
 			}
-			resp = putF32s(resp, flat)
+			arena.PutN(rows)
+			PutRowSlice(rows)
 		case opWrite:
 			ids := r.u64s()
-			rows := make([][]float32, len(ids))
-			for i := range rows {
-				rows[i] = r.f32s()
-			}
 			if r.err != nil {
 				return
 			}
+			rows := GetRowSlice(len(ids))
+			arena := Rows(srv.Dim)
+			arena.GetN(rows)
+			ok := true
+			for i := range rows {
+				if !r.f32sInto(rows[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok || r.err != nil {
+				arena.PutN(rows)
+				PutRowSlice(rows)
+				return
+			}
 			srv.Write(ids, rows)
+			arena.PutN(rows)
+			PutRowSlice(rows)
 		case opFingerprint:
 			resp = putU64(resp, srv.Fingerprint())
 		case opCheckpoint:

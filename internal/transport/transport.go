@@ -80,7 +80,11 @@ func (s *Stats) Add(o Stats) {
 // shutdown, per-server stats) that make S-server tiers interchangeable
 // with a single server.
 type Transport interface {
-	// Fetch returns freshly allocated rows for ids, in order.
+	// Fetch returns rows for ids, in order. The caller owns the returned
+	// header and every row; implementations draw both from the pooled
+	// allocator (pool.go), so a caller that is done with them may release
+	// them via PutRowSlice / Rows(dim).Put — returning is optional, never
+	// required, but a released buffer must have no other live reference.
 	Fetch(ids []uint64) [][]float32
 	// Write writes rows back to the servers.
 	Write(ids []uint64, rows [][]float32)
@@ -98,6 +102,8 @@ type Transport interface {
 type InProcess struct {
 	Server *embed.Server
 
+	arena *RowArena
+
 	fetches, writes            atomic.Int64
 	rowsFetched, rowsWritten   atomic.Int64
 	bytesFetched, bytesWritten atomic.Int64
@@ -105,7 +111,7 @@ type InProcess struct {
 
 // NewInProcess returns a direct-call transport to srv.
 func NewInProcess(srv *embed.Server) *InProcess {
-	return &InProcess{Server: srv}
+	return &InProcess{Server: srv, arena: Rows(srv.Dim)}
 }
 
 // Name implements Transport.
@@ -114,9 +120,24 @@ func (t *InProcess) Name() string { return "inproc" }
 // Dim implements Transport.
 func (t *InProcess) Dim() int { return t.Server.Dim }
 
-// Fetch implements Transport.
+// instant marks this transport as completing without blocking on I/O;
+// ShardedStore fans out serially over instant children.
+func (t *InProcess) instant() bool { return true }
+
+// rowArena tolerates literal-constructed transports that skipped
+// NewInProcess.
+func (t *InProcess) rowArena() *RowArena {
+	if t.arena != nil {
+		return t.arena
+	}
+	return Rows(t.Server.Dim)
+}
+
+// Fetch implements Transport, serving the rows out of the shared arena.
 func (t *InProcess) Fetch(ids []uint64) [][]float32 {
-	rows := t.Server.Fetch(ids)
+	rows := GetRowSlice(len(ids))
+	t.rowArena().GetN(rows)
+	t.Server.FetchInto(ids, rows)
 	t.fetches.Add(1)
 	t.rowsFetched.Add(int64(len(ids)))
 	t.bytesFetched.Add(payloadBytes(len(ids), t.Server.Dim))
@@ -185,6 +206,8 @@ type SimNet struct {
 	// Bandwidth is the link speed in bytes/second; 0 means infinite.
 	Bandwidth float64
 
+	arena *RowArena
+
 	fetches, writes            atomic.Int64
 	rowsFetched, rowsWritten   atomic.Int64
 	bytesFetched, bytesWritten atomic.Int64
@@ -196,7 +219,7 @@ func NewSimNet(srv *embed.Server, latency time.Duration, bandwidth float64) *Sim
 	if latency < 0 || bandwidth < 0 {
 		panic(fmt.Sprintf("transport: negative latency %v or bandwidth %v", latency, bandwidth))
 	}
-	return &SimNet{Server: srv, Latency: latency, Bandwidth: bandwidth}
+	return &SimNet{Server: srv, Latency: latency, Bandwidth: bandwidth, arena: Rows(srv.Dim)}
 }
 
 // Name implements Transport.
@@ -217,11 +240,21 @@ func (t *SimNet) delay(bytes int64) {
 	t.delayNs.Add(int64(d))
 }
 
+// rowArena tolerates literal-constructed transports that skipped NewSimNet.
+func (t *SimNet) rowArena() *RowArena {
+	if t.arena != nil {
+		return t.arena
+	}
+	return Rows(t.Server.Dim)
+}
+
 // Fetch implements Transport.
 func (t *SimNet) Fetch(ids []uint64) [][]float32 {
 	bytes := payloadBytes(len(ids), t.Server.Dim)
 	t.delay(bytes)
-	rows := t.Server.Fetch(ids)
+	rows := GetRowSlice(len(ids))
+	t.rowArena().GetN(rows)
+	t.Server.FetchInto(ids, rows)
 	t.fetches.Add(1)
 	t.rowsFetched.Add(int64(len(ids)))
 	t.bytesFetched.Add(bytes)
