@@ -67,6 +67,7 @@ var (
 	statsFl      = flag.Bool("stats", false, "print per-phase mesh traffic (frames + bytes split by replica/sync/collective/plan)")
 	workers      = flag.Int("prefetch-workers", 2, "prefetch worker pool size (pipelined engine)")
 	servers      = flag.Int("servers", 1, "embedding servers in the tier (rows sharded across them by id, one process each in TCP mode)")
+	replicate    = flag.Int("replicate", 1, "replication factor R: write each row to its owner server plus the next R-1 servers on the ownership ring; reads fail over along the ring when servers die")
 	shards       = flag.Int("shards", 4, "shard count within each embedding server")
 	embDim       = flag.Int("emb-dim", 0, "override embedding dimension (0 = dataset default)")
 	seed         = flag.Uint64("seed", 42, "experiment seed")
@@ -85,6 +86,8 @@ var (
 	serverAddr  = flag.String("server-addr", "", "deprecated alias of -server-addrs for a one-server tier (tcp workers)")
 	serverAddrs = flag.String("server-addrs", "", "comma-separated, server-ordered embedding-tier addresses (tcp workers); must list -servers addresses")
 	spawn       = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
+	killServer  = flag.Int("kill-server", -1, "chaos (tcp driver, lrpp): kill embedding server `K` mid-run; with -replicate >= 2 the run completes and certifies against the baseline")
+	killDelay   = flag.Duration("kill-delay", 500*time.Millisecond, "chaos: how long after spawning the trainers to kill the -kill-server target")
 
 	verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
 	baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
@@ -118,6 +121,22 @@ func main() {
 	}
 	if *servers < 1 {
 		fatal(fmt.Errorf("-servers must be at least 1, got %d", *servers))
+	}
+	if *replicate < 1 || *replicate > *servers {
+		fatal(fmt.Errorf("-replicate %d outside [1, %d] (the tier has -servers %d)", *replicate, *servers, *servers))
+	}
+	if *killServer >= 0 {
+		if *killServer >= *servers {
+			fatal(fmt.Errorf("-kill-server %d names no server (the tier has -servers %d)", *killServer, *servers))
+		}
+		if netName != "tcp" || *serve || *rank >= 0 || *engineFl != "lrpp" {
+			fatal(fmt.Errorf("-kill-server is a chaos flag for the lrpp tcp driver (-net tcp -spawn)"))
+		}
+		// A survived kill is only meaningful if the surviving tier is
+		// certified, so chaos implies -verify on the lossless path.
+		if !*syncComp && !*syncCompGrad {
+			*verify = true
+		}
 	}
 
 	cfg := train.Config{
@@ -213,30 +232,70 @@ func storeOver(srvs []*embed.Server, netName string) transport.Store {
 	if len(children) == 1 {
 		return children[0]
 	}
-	return transport.NewShardedStore(children)
+	return transport.NewTier(children, transport.TierOptions{Replicate: *replicate})
+}
+
+// reportFailover is the tier's OnFailover hook in every role: one stderr
+// line per server lost, with the error that condemned it.
+func reportFailover(server int, cause error) {
+	fmt.Fprintf(os.Stderr, "bagpipe: embedding server %d declared dead, failing over to its replicas: %v\n", server, cause)
+}
+
+// exitOnTierLoss is the worker-process OnLost hook: when every replica of a
+// partition is gone the trainer cannot make progress, so exit with the
+// attributed tier error instead of an engine-goroutine panic trace.
+func exitOnTierLoss(e *transport.TierError) {
+	fmt.Fprintln(os.Stderr, "bagpipe:", e)
+	os.Exit(3)
 }
 
 // dialStores dials every server of a remote tier and returns the assembled
 // store plus the underlying links (the caller closes them; Close is not a
-// tier operation).
-func dialStores(addrs []string, timeout time.Duration) (transport.Store, []*transport.TCPLink, error) {
+// tier operation). Servers marked in dead are not dialed (their entry in
+// links stays nil — close loops must skip it); with -replicate >= 2 a
+// server that cannot be dialed is treated the same way, since its
+// partitions are covered by replicas until proven otherwise.
+func dialStores(addrs []string, timeout time.Duration, dead []bool, onLost func(*transport.TierError)) (transport.Store, []*transport.TCPLink, error) {
 	links := make([]*transport.TCPLink, len(addrs))
 	children := make([]transport.Store, len(addrs))
+	if dead == nil {
+		dead = make([]bool, len(addrs))
+	}
+	live := 0
 	for i, addr := range addrs {
+		if dead[i] {
+			continue
+		}
 		link, err := transport.DialTCPLink(addr, timeout)
 		if err != nil {
+			if *replicate > 1 {
+				fmt.Fprintf(os.Stderr, "bagpipe: embedding server %d (%s) unreachable, relying on its replicas: %v\n", i, addr, err)
+				dead[i] = true
+				continue
+			}
 			for _, l := range links[:i] {
-				l.Close()
+				if l != nil {
+					l.Close()
+				}
 			}
 			return nil, nil, err
 		}
 		links[i] = link
 		children[i] = link
+		live++
+	}
+	if live == 0 {
+		return nil, nil, fmt.Errorf("no live embedding server among %s", strings.Join(addrs, ","))
 	}
 	if len(children) == 1 {
 		return children[0], links, nil
 	}
-	return transport.NewShardedStore(children), links, nil
+	return transport.NewTier(children, transport.TierOptions{
+		Replicate:  *replicate,
+		Dead:       dead,
+		OnFailover: reportFailover,
+		OnLost:     onLost,
+	}), links, nil
 }
 
 // tierAddrs resolves the worker-mode server address list, honoring the
@@ -392,7 +451,7 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 			fatal(err)
 		}
 		report(baseRes)
-		merged, err := embed.MergeTier(srvs)
+		merged, err := embed.MergeTierReplicated(srvs, *replicate, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -455,7 +514,7 @@ func runWorker(cfg train.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	store, links, err := dialStores(saddrs, 30*time.Second)
+	store, links, err := dialStores(saddrs, 30*time.Second, nil, exitOnTierLoss)
 	if err != nil {
 		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
 		fatal(err)
@@ -475,7 +534,9 @@ func runWorker(cfg train.Config) {
 	}
 	mesh.Shutdown()
 	for _, l := range links {
-		l.Close()
+		if l != nil {
+			l.Close()
+		}
 	}
 }
 
@@ -518,6 +579,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			fmt.Sprintf("-sync-compress-grad=%v", *syncCompGrad),
 			fmt.Sprintf("-stats=%v", *statsFl),
 			"-servers", fmt.Sprint(*servers),
+			"-replicate", fmt.Sprint(*replicate),
 			"-shards", fmt.Sprint(*shards),
 			"-emb-dim", fmt.Sprint(*embDim),
 			"-seed", fmt.Sprint(*seed),
@@ -531,6 +593,15 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		for _, proc := range spawned {
 			if proc.Process != nil {
 				proc.Process.Kill()
+			}
+		}
+		// Reap what was just killed: Kill without Wait leaves zombies that
+		// accumulate across a chaos-test loop (the driver process lives on).
+		// Wait errors are expected here — killed children exit non-zero, and
+		// cleanly finished ones were already reaped by the happy path.
+		for _, proc := range spawned {
+			if proc.Process != nil {
+				proc.Wait()
 			}
 		}
 	}
@@ -566,7 +637,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		// resolved ℒ is a floor — it covers propagation but not the fetch's
 		// serialization time, so heavily congested links may still want a
 		// hand-tuned, deeper -lookahead.
-		store, links, err := dialStores(srvAddrs, 30*time.Second)
+		store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
 		if err != nil {
 			die(err)
 		}
@@ -578,7 +649,9 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		}
 		rtt := time.Since(t0) / pings
 		for _, l := range links {
-			l.Close()
+			if l != nil {
+				l.Close()
+			}
 		}
 		resolveAutoLookahead(&cfg, rtt)
 	}
@@ -591,6 +664,18 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 				"-rank", fmt.Sprint(p),
 				"-peers", strings.Join(meshAddrs, ","),
 				"-server-addrs", strings.Join(srvAddrs, ",")))
+		}
+		if *killServer >= 0 {
+			// The chaos arm: kill one embedding server while the trainers
+			// run. Kill only — reaping stays on the main goroutine (the final
+			// server Wait loop), so no two goroutines ever Wait on one child.
+			go func() {
+				time.Sleep(*killDelay)
+				fmt.Fprintf(os.Stderr, "chaos: killing embedding server %d (%v after trainer spawn)\n", *killServer, *killDelay)
+				if p := serverProcs[*killServer].Process; p != nil {
+					p.Kill()
+				}
+			}()
 		}
 		failed := false
 		for p, proc := range procs {
@@ -605,7 +690,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	} else {
 		// baseline/pipelined are single-trainer-process engines: run the
 		// engine here, against the remote embedding tier.
-		tr, links, err := dialStores(srvAddrs, 30*time.Second)
+		tr, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
 		if err != nil {
 			die(err)
 		}
@@ -623,11 +708,27 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		}
 		report(res)
 		for _, l := range links {
-			l.Close()
+			if l != nil {
+				l.Close()
+			}
 		}
 	}
 
-	ctl, ctlLinks, err := dialStores(srvAddrs, 10*time.Second)
+	// The post-run control store must not dial the chaos victim: it is dead
+	// by design (and if the run outpaced -kill-delay, make it dead now, or
+	// the final Wait below would block on a server nobody will shut down).
+	var ctlDead []bool
+	if *killServer >= 0 {
+		if p := serverProcs[*killServer].Process; p != nil {
+			p.Kill()
+		}
+		ctlDead = make([]bool, *servers)
+		ctlDead[*killServer] = true
+	}
+	ctl, ctlLinks, err := dialStores(srvAddrs, 10*time.Second, ctlDead, func(e *transport.TierError) {
+		killSpawned()
+		fatal(e)
+	})
 	if err != nil {
 		die(err)
 	}
@@ -636,7 +737,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			die(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
 		}
 		fmt.Println("\n--- verify: fetching remote tier checkpoints, rerunning the no-cache baseline locally ---")
-		remote, err := embed.RestoreTier(bytes.NewReader(ctl.Checkpoint()), *servers, *shards)
+		remote, err := embed.RestoreTierReplicated(bytes.NewReader(ctl.Checkpoint()), *servers, *shards, *replicate, ctlDead)
 		if err != nil {
 			die(fmt.Errorf("restore remote tier checkpoint: %w", err))
 		}
@@ -650,18 +751,41 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		if len(diff) != 0 {
 			die(fmt.Errorf("FAIL: remote embedding state differs at %d ids (first %v)", len(diff), diff[0]))
 		}
-		fmt.Printf("\nPASS: distributed %s over loopback TCP left the %d-server embedding tier bit-identical to the baseline across %d materialized rows\n",
-			*engineFl, *servers, len(remote.MaterializedIDs()))
+		if *replicate > 1 {
+			// Second, independent certificate: the live tier's wire
+			// fingerprint (per-partition sums from each partition's first
+			// live replica) must match the baseline server's — proving the
+			// failover read path, not just the checkpoints, sees the
+			// surviving state.
+			if fp, ref := ctl.Fingerprint(), srvBase.Fingerprint(); fp != ref {
+				die(fmt.Errorf("FAIL: surviving tier fingerprint %x != baseline %x", fp, ref))
+			}
+		}
+		if *killServer >= 0 {
+			fmt.Printf("\nPASS: distributed %s over loopback TCP survived killing embedding server %d: surviving tier bit-identical to the baseline across %d materialized rows\n",
+				*engineFl, *killServer, len(remote.MaterializedIDs()))
+		} else {
+			fmt.Printf("\nPASS: distributed %s over loopback TCP left the %d-server embedding tier bit-identical to the baseline across %d materialized rows\n",
+				*engineFl, *servers, len(remote.MaterializedIDs()))
+		}
 	}
 	ctl.Shutdown()
 	for _, l := range ctlLinks {
-		l.Close()
+		if l != nil {
+			l.Close()
+		}
 	}
 	// Wait for every server before reporting: bailing on the first bad exit
-	// would leave later servers running with no one to reap them.
+	// would leave later servers running with no one to reap them. The chaos
+	// victim is reaped here too — its kill-induced exit error is the point,
+	// not a failure.
 	var exitErr error
 	for s, proc := range serverProcs {
-		if err := proc.Wait(); err != nil && exitErr == nil {
+		err := proc.Wait()
+		if s == *killServer {
+			continue
+		}
+		if err != nil && exitErr == nil {
 			exitErr = fmt.Errorf("embedding server %d: %w", s, err)
 		}
 	}
@@ -732,8 +856,8 @@ func (p *prefixWriter) Write(b []byte) (int, error) {
 func banner(spec *data.Spec, netName string) {
 	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
 		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
-	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  servers %d x %d shards  net %s\n\n",
-		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *servers, *shards, netName)
+	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  servers %d x %d shards  replicate %d  net %s\n\n",
+		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *servers, *shards, *replicate, netName)
 }
 
 // specByName resolves the dataset flag to a Table 1 shape.
@@ -802,6 +926,10 @@ func report(r *train.Result) {
 			row("collective", c.CollMsgs, c.CollBytes)
 			row("plan", c.PlanMsgs, c.PlanBytes)
 		}
+	}
+	if r.Tier != nil {
+		fmt.Printf("  tier: replicate %d over %d servers, %d failovers, %d rpc retries, dead %v\n",
+			r.Tier.Replicate, r.Tier.Servers, r.Tier.Failovers, r.Tier.Retries, r.Tier.Dead)
 	}
 	st := r.Transport
 	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",

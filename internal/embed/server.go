@@ -282,10 +282,26 @@ func (s *Server) MaterializedIDs() []uint64 {
 // fingerprint of the merged state. transport.ShardedStore relies on this to
 // certify an S-server tier against an S=1 reference from S cheap remote
 // fingerprints, without moving checkpoints.
-func (s *Server) Fingerprint() uint64 {
+func (s *Server) Fingerprint() uint64 { return s.FingerprintPart(0, 1) }
+
+// FingerprintPart is the partition-scoped form of Fingerprint: it digests
+// only the materialized rows belonging to partition part of an of-way split
+// (core.OwnerOf(id, of) == part), and of=1 degenerates to the whole server.
+// A replicated tier needs this scoping because a server holds copies of its
+// ring neighbors' partitions: summing whole-server fingerprints would count
+// every replicated row R times, while summing one FingerprintPart(p, S) per
+// partition — taken from any live holder of p — still equals the merged
+// state's certificate.
+func (s *Server) FingerprintPart(part, of int) uint64 {
+	if of <= 0 || part < 0 || part >= of {
+		panic(fmt.Sprintf("embed: fingerprint partition %d of %d", part, of))
+	}
 	row := make([]float32, s.Dim)
 	var sum uint64
 	for _, id := range s.MaterializedIDs() {
+		if of > 1 && core.OwnerOf(id, of) != part {
+			continue
+		}
 		s.shards[s.ShardOf(id)].peek(id, row)
 		sum += rowDigest(id, row)
 	}
@@ -323,28 +339,99 @@ func rowDigest(id uint64, row []float32) uint64 {
 // untouched rows are the identical deterministic function of id on every
 // server — the property that makes tier splitting well-defined at all.
 func MergeTier(tier []*Server) (*Server, error) {
-	if len(tier) == 0 {
+	return MergeTierReplicated(tier, 1, nil)
+}
+
+// MergeTierReplicated is MergeTier for a tier running replication factor
+// replicate, with dead[s] marking servers whose state is unavailable (lost
+// mid-run); tier[s] may be nil only when dead[s]. A live server s may
+// materialize a row only when it sits in the row's replica set — the owner
+// plus the next replicate−1 servers on the core.OwnerOf ring. The merged
+// value of each row comes from the first live server of its replica set in
+// ring order (the same server a failed-over read routes to), and every
+// other live replica holding state must agree bit-for-bit: replicated
+// writes go to all live replicas, and untouched rows are deterministic
+// functions of (seed, id), so any divergence means a write was lost and is
+// reported rather than silently merged away.
+func MergeTierReplicated(tier []*Server, replicate int, dead []bool) (*Server, error) {
+	S := len(tier)
+	if S == 0 {
 		return nil, fmt.Errorf("embed: merge of an empty tier")
 	}
-	if len(tier) == 1 {
-		return tier[0], nil
+	if replicate < 1 || replicate > S {
+		return nil, fmt.Errorf("embed: replication factor %d outside [1, %d]", replicate, S)
 	}
-	first := tier[0]
+	if dead == nil {
+		dead = make([]bool, S)
+	} else if len(dead) != S {
+		return nil, fmt.Errorf("embed: dead set lists %d servers for a %d-server tier", len(dead), S)
+	}
+	firstLive := -1
+	for s := range tier {
+		if dead[s] {
+			continue
+		}
+		if tier[s] == nil {
+			return nil, fmt.Errorf("embed: live tier server %d has no state", s)
+		}
+		if firstLive < 0 {
+			firstLive = s
+		}
+	}
+	if firstLive < 0 {
+		return nil, fmt.Errorf("embed: every server of the %d-server tier is dead", S)
+	}
+	first := tier[firstLive]
+	if S == 1 {
+		return first, nil
+	}
 	merged := &Server{Dim: first.Dim, shards: make([]*Table, len(first.shards))}
 	for i, sh := range first.shards {
 		merged.shards[i] = NewTable(sh.Dim, sh.Seed, sh.InitScale)
 	}
 	row := make([]float32, first.Dim)
+	other := make([]float32, first.Dim)
 	for s, srv := range tier {
+		if dead[s] {
+			continue
+		}
 		if srv.Dim != first.Dim {
-			return nil, fmt.Errorf("embed: tier server %d has dim %d, server 0 has dim %d", s, srv.Dim, first.Dim)
+			return nil, fmt.Errorf("embed: tier server %d has dim %d, server %d has dim %d", s, srv.Dim, firstLive, first.Dim)
 		}
 		for _, id := range srv.MaterializedIDs() {
-			if owner := core.OwnerOf(id, len(tier)); owner != s {
-				return nil, fmt.Errorf("embed: tier server %d materialized id %d owned by server %d (sharding map violated)",
-					s, id, owner)
+			owner := core.OwnerOf(id, S)
+			if delta := (s - owner + S) % S; delta >= replicate {
+				return nil, fmt.Errorf("embed: tier server %d materialized id %d owned by server %d, outside its %d-replica set (sharding map violated)",
+					s, id, owner, replicate)
+			}
+			primary := -1
+			for k := 0; k < replicate; k++ {
+				if r := (owner + k) % S; !dead[r] {
+					primary = r
+					break
+				}
+			}
+			if s != primary {
+				// The primary's pass merges (and cross-checks) this row; a row
+				// materialized only on a non-primary replica was never written
+				// there, so its value is the deterministic init the primary
+				// serves anyway.
+				continue
 			}
 			srv.shards[srv.ShardOf(id)].peek(id, row)
+			for k := 0; k < replicate; k++ {
+				r := (owner + k) % S
+				if r == primary || dead[r] {
+					continue
+				}
+				tier[r].shards[tier[r].ShardOf(id)].peek(id, other)
+				for j := range row {
+					if row[j] != other[j] {
+						return nil, fmt.Errorf("embed: replicas %d and %d of id %d diverge (a replicated write was lost)",
+							primary, r, id)
+					}
+				}
+			}
 			merged.shards[merged.ShardOf(id)].Set(id, row)
 		}
 	}
@@ -358,18 +445,32 @@ func MergeTier(tier []*Server) (*Server, error) {
 // checkpoint, rebuild the tier locally, and Diff the merged state against a
 // local baseline.
 func RestoreTier(r io.Reader, numServers, numShards int) (*Server, error) {
+	return RestoreTierReplicated(r, numServers, numShards, 1, nil)
+}
+
+// RestoreTierReplicated is RestoreTier for a replicated tier that may have
+// lost servers: dead servers contribute no checkpoint bytes (the transport's
+// tier checkpoint concatenates live servers only, in server order), and the
+// merge recovers their partitions from the surviving replicas.
+func RestoreTierReplicated(r io.Reader, numServers, numShards, replicate int, dead []bool) (*Server, error) {
 	if numServers <= 0 {
 		return nil, fmt.Errorf("embed: restore with non-positive server count %d", numServers)
 	}
+	if dead != nil && len(dead) != numServers {
+		return nil, fmt.Errorf("embed: dead set lists %d servers for a %d-server tier", len(dead), numServers)
+	}
 	tier := make([]*Server, numServers)
 	for s := range tier {
+		if dead != nil && dead[s] {
+			continue
+		}
 		srv, err := RestoreServer(r, numShards)
 		if err != nil {
 			return nil, fmt.Errorf("embed: restore tier server %d: %w", s, err)
 		}
 		tier[s] = srv
 	}
-	return MergeTier(tier)
+	return MergeTierReplicated(tier, replicate, dead)
 }
 
 // Diff compares the logical state of two servers and returns the ids whose

@@ -68,5 +68,6 @@ func RunBaseline(cfg Config, tr transport.Store) (*Result, error) {
 	res.AvgLoss = lossSum / float64(cfg.NumBatches)
 	res.Transport = tr.Stats()
 	res.StoreServers = tr.ServerStats()
+	addTierHealth(res, tr)
 	return res, nil
 }

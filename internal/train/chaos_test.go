@@ -1,0 +1,134 @@
+package train
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+	"bagpipe/internal/transport"
+)
+
+// The engine-level chaos leg: a replicated tier loses a server mid-training
+// and the LRPP run must finish AND still satisfy the central differential
+// property — merged surviving state bit-identical to the no-cache baseline,
+// bit-identical losses. This is the in-test form of
+// `bagpipe -trainers P -servers S -replicate 2 -net tcp -kill-server 1`.
+
+// chaosStore wraps one trainer's transport to one server. All wrappers
+// share one op counter; once it crosses the threshold, every wrapper of the
+// doomed server fails — the same globally-consistent "machine gone" cut a
+// real kill produces (no trainer can reach the server after the cut, so no
+// replica can silently diverge).
+type chaosStore struct {
+	*transport.InProcess
+	ops    *atomic.Int64
+	doomed bool
+	after  int64
+}
+
+func (c *chaosStore) dead() bool {
+	return c.doomed && c.ops.Add(1) > c.after
+}
+
+func (c *chaosStore) errDead() error {
+	return fmt.Errorf("train chaos test: server killed")
+}
+
+func (c *chaosStore) TryFetch(ids []uint64) ([][]float32, error) {
+	if c.dead() {
+		return nil, c.errDead()
+	}
+	return c.InProcess.TryFetch(ids)
+}
+
+func (c *chaosStore) TryWrite(ids []uint64, rows [][]float32) error {
+	if c.dead() {
+		return c.errDead()
+	}
+	return c.InProcess.TryWrite(ids, rows)
+}
+
+func (c *chaosStore) TryFingerprintPart(part, of int) (uint64, error) {
+	if c.dead() {
+		return 0, c.errDead()
+	}
+	return c.InProcess.TryFingerprintPart(part, of)
+}
+
+func (c *chaosStore) TryCheckpoint() ([]byte, error) {
+	if c.dead() {
+		return nil, c.errDead()
+	}
+	return c.InProcess.TryCheckpoint()
+}
+
+func TestLRPPReplicatedTierSurvivesServerDeath(t *testing.T) {
+	const P, S, R = 2, 3, 2
+	const killAfterOps = 150 // ~20% into the run's tier RPCs: replicas warm, plenty of post-kill traffic
+
+	cfg := tinyConfig()
+	cfg.NumTrainers = P
+
+	srvBase := newServer(cfg.Spec, 3)
+	base, err := RunBaseline(cfg, transport.NewInProcess(srvBase))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	tier := newTier(cfg.Spec, S, 3)
+	var ops atomic.Int64
+	trs := make([]transport.Store, P)
+	for i := range trs {
+		children := make([]transport.Store, S)
+		for s, srv := range tier {
+			children[s] = &chaosStore{
+				InProcess: transport.NewInProcess(srv),
+				ops:       &ops,
+				doomed:    s == 1,
+				after:     killAfterOps,
+			}
+		}
+		trs[i] = transport.NewTier(children, transport.TierOptions{
+			Replicate: R,
+			Retries:   2,
+			Backoff:   time.Millisecond,
+		})
+	}
+
+	res, err := RunLRPP(cfg, trs, nil)
+	if err != nil {
+		t.Fatalf("lrpp with a mid-run server death: %v", err)
+	}
+
+	// The run must have noticed and survived the death, and said so in the
+	// result's tier health.
+	if res.Tier == nil {
+		t.Fatal("replicated run reported no tier health")
+	}
+	if res.Tier.Replicate != R || res.Tier.Servers != S {
+		t.Fatalf("tier health shape: %+v", res.Tier)
+	}
+	if len(res.Tier.Dead) != 1 || res.Tier.Dead[0] != 1 {
+		t.Fatalf("dead servers %v, want [1]", res.Tier.Dead)
+	}
+	if res.Tier.Failovers == 0 {
+		t.Fatal("no failovers counted: the kill never forced a replica read")
+	}
+
+	// The differential property holds across the death: surviving replicas
+	// merge to the baseline state, losses bit-identical.
+	deadSet := []bool{false, true, false}
+	merged, err := embed.MergeTierReplicated(tier, R, deadSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(srvBase, merged); len(d) != 0 {
+		t.Fatalf("surviving merged tier diverged from baseline at %d ids (first: %v)", len(d), d[0])
+	}
+	if base.FirstLoss != res.FirstLoss || base.LastLoss != res.LastLoss {
+		t.Fatalf("losses diverged: baseline %v/%v chaos %v/%v",
+			base.FirstLoss, base.LastLoss, res.FirstLoss, res.LastLoss)
+	}
+}

@@ -474,6 +474,7 @@ func (eng *lrppEngine) collectResult(trainers []*lrppTrainer, stats []core.IterS
 		res.Evicted += t.evictedRows
 		res.PeakCache += t.cache.PeakRows()
 		res.Transport.Add(t.tr.Stats())
+		addTierHealth(res, t.tr)
 		for i, st := range t.tr.ServerStats() {
 			if i == len(res.StoreServers) {
 				res.StoreServers = append(res.StoreServers, transport.Stats{})

@@ -237,5 +237,6 @@ func RunPipelined(cfg Config, tr transport.Store) (*Result, error) {
 	res.OverlapMaintTrain = overlapMT.Load()
 	res.Transport = tr.Stats()
 	res.StoreServers = tr.ServerStats()
+	addTierHealth(res, tr)
 	return res, nil
 }

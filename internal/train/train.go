@@ -215,6 +215,51 @@ type Result struct {
 	// actually fanned its traffic out S ways. Transport is the field-wise
 	// sum of these entries.
 	StoreServers []transport.Stats
+
+	// Tier is the embedding-tier failure-handling snapshot (replication
+	// factor, failovers served by a non-primary replica, per-server RPC
+	// retries, dead servers), summed across this process's trainers. Nil
+	// when the store does not replicate (single-server tiers and plain
+	// sharded stores report no health state worth printing).
+	Tier *transport.TierHealth
+}
+
+// tierHealther is the optional Store face that exposes failover counters;
+// *transport.ShardedStore implements it.
+type tierHealther interface {
+	TierHealth() transport.TierHealth
+}
+
+// addTierHealth folds tr's failure-handling counters into res.Tier, if tr
+// exposes any and they are worth reporting (the tier replicates or has
+// already lost a server).
+func addTierHealth(res *Result, tr transport.Store) {
+	th, ok := tr.(tierHealther)
+	if !ok {
+		return
+	}
+	h := th.TierHealth()
+	if h.Replicate <= 1 && len(h.Dead) == 0 {
+		return
+	}
+	if res.Tier == nil {
+		res.Tier = &transport.TierHealth{Servers: h.Servers, Replicate: h.Replicate}
+	}
+	res.Tier.Failovers += h.Failovers
+	res.Tier.Retries += h.Retries
+	for _, d := range h.Dead {
+		seen := false
+		for _, have := range res.Tier.Dead {
+			if have == d {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			res.Tier.Dead = append(res.Tier.Dead, d)
+		}
+	}
+	sort.Ints(res.Tier.Dead)
 }
 
 // MeshTraffic is per-phase mesh accounting: frames and declared bytes,

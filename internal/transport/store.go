@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bagpipe/internal/core"
 )
@@ -20,16 +24,20 @@ type Store interface {
 	Transport
 
 	// Fingerprint returns the tier's state certificate: the wrapping sum of
-	// every backend server's embed.Server.Fingerprint. The combine is
-	// order-independent and the servers' materialized sets are disjoint, so
-	// an S-server tier fingerprints identically to the equivalent S=1
-	// server — distributed verification needs S cheap RPCs, not checkpoints.
+	// every backend server's embed.Server.Fingerprint (per-partition
+	// fingerprints from the first live holder when the tier replicates, so
+	// replicated rows are counted once). The combine is order-independent
+	// and the partitions are disjoint, so an S-server tier fingerprints
+	// identically to the equivalent S=1 server — distributed verification
+	// needs S cheap RPCs, not checkpoints.
 	Fingerprint() uint64
-	// Checkpoint returns the serialized state of every backend server, in
-	// server order; embed.RestoreTier rebuilds the merged logical state.
+	// Checkpoint returns the serialized state of every *live* backend
+	// server, in server order; embed.RestoreTier (or, for a tier that lost
+	// servers, embed.RestoreTierReplicated with the store's DeadServers)
+	// rebuilds the merged logical state.
 	Checkpoint() []byte
-	// Shutdown asks every remote server process behind the store to stop
-	// serving once in-flight requests complete. A no-op for in-process
+	// Shutdown asks every live remote server process behind the store to
+	// stop serving once in-flight requests complete. A no-op for in-process
 	// stores, whose servers the caller owns directly.
 	Shutdown()
 	// ServerStats returns one traffic snapshot per backend server, in
@@ -37,25 +45,163 @@ type Store interface {
 	ServerStats() []Stats
 }
 
+// TierError is an attributed, unrecoverable embedding-tier failure: every
+// replica of one partition is dead. The errorless Store face raises it as a
+// panic (a worker without its tier cannot make progress); OnLost lets a
+// process intercept it first for a clean, attributed exit, and AsTierError
+// recovers it from either path in tests.
+type TierError struct {
+	Op        string // "fetch", "write", "fingerprint", "checkpoint"
+	Partition int    // partition whose data became unreachable (== its owner server)
+	Server    int    // last server tried for the partition
+	Replicate int    // the tier's replication factor
+	Cause     error  // the final per-server failure, when known
+}
+
+func (e *TierError) Error() string {
+	msg := fmt.Sprintf("transport: embedding tier %s failed: partition %d unreachable (replication factor %d, last tried server %d)",
+		e.Op, e.Partition, e.Replicate, e.Server)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *TierError) Unwrap() error { return e.Cause }
+
+// ShardPanic wraps a panic raised inside one of the scatter's per-server
+// goroutines before it is re-raised on the calling goroutine. Without it
+// the re-panic would carry the original value but the *caller's* stack —
+// the originating server and its goroutine stack, the two facts that make
+// a mid-failover crash attributable, would be gone.
+type ShardPanic struct {
+	Server int    // server/partition index whose sub-batch RPC panicked
+	Value  any    // the original panic value
+	Stack  []byte // the originating goroutine's stack, captured at recover time
+}
+
+func (p *ShardPanic) Error() string {
+	return fmt.Sprintf("transport: embedding tier server %d: %v\n\nserver goroutine stack:\n%s",
+		p.Server, p.Value, p.Stack)
+}
+
+func (p *ShardPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsTierError extracts a *TierError from a recovered panic value, unwrapping
+// the ShardPanic the concurrent scatter adds and any error chain around it.
+func AsTierError(v any) (*TierError, bool) {
+	for {
+		switch x := v.(type) {
+		case *TierError:
+			return x, true
+		case *ShardPanic:
+			v = x.Value
+		case error:
+			var te *TierError
+			if errors.As(x, &te) {
+				return te, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// TierHealth is a snapshot of the tier client's failure-handling state, the
+// failover counters -stats surfaces.
+type TierHealth struct {
+	Servers   int
+	Replicate int
+	// Failovers counts sub-batch RPCs served by a non-primary replica.
+	Failovers int64
+	// Retries counts per-server RPC attempts repeated after a transient
+	// error, before the server was declared dead.
+	Retries int64
+	// Dead lists the servers this client has declared dead, ascending.
+	Dead []int
+}
+
+// TierOptions configures replication and failure handling for a
+// ShardedStore. The zero value is the classic unreplicated tier.
+type TierOptions struct {
+	// Replicate is the replication factor R (default 1): each row lives on
+	// its owner server plus the next R−1 servers on the core.OwnerOf ring.
+	// Writes go to every live replica; reads go to the first live replica
+	// in ring order (the owner, until it dies).
+	Replicate int
+	// Retries is the number of attempts per failed server RPC before the
+	// server is declared dead (default 3). Only children implementing
+	// FallibleStore participate; errorless children keep panicking.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (default 10ms).
+	Backoff time.Duration
+	// Dead marks servers already known dead at construction (index-aligned
+	// with children; a child may be nil only when Dead marks it). The
+	// driver's post-chaos control store uses this to certify a tier that
+	// lost a server without dialing the corpse.
+	Dead []bool
+	// OnFailover, if set, is called exactly once per server as it is
+	// declared dead, with the final error that condemned it.
+	OnFailover func(server int, cause error)
+	// OnLost, if set, is called before an unrecoverable TierError is raised
+	// (every replica of a partition dead) — the hook a worker process uses
+	// to exit cleanly with an attributed message instead of panicking.
+	OnLost func(*TierError)
+}
+
+const (
+	defaultTierRetries = 3
+	defaultTierBackoff = 10 * time.Millisecond
+)
+
 // ShardedStore is the multi-server tier client: ids are partitioned across
 // S backend stores by the canonical hash ownership core.OwnerOf(id, S) —
 // the same total map the LRPP cache uses for trainer ownership — and every
-// Fetch/Write is split into per-server sub-batches issued concurrently
+// Fetch/Write is split into per-partition sub-batches issued concurrently
 // (scatter), with fetched rows reassembled in request order regardless of
 // the order the servers reply in (gather). Like every transport, it is a
 // carrier, not a semantic layer: over the same request stream an S-server
 // tier lands bit-identical state to the S=1 reference, which is what lets
 // -verify certify sharded runs against the unsharded baseline.
+//
+// With TierOptions.Replicate ≥ 2 the tier also survives server loss: every
+// partition's writes go to all live servers of its replica set (owner plus
+// ring successors), reads route to the first live replica, and a child RPC
+// that keeps failing after bounded retries marks its server dead and
+// reroutes — replicated runs remain certifiable against the baseline even
+// after a mid-run kill, because the surviving replicas hold every write.
 type ShardedStore struct {
 	children []Store
-	dim      int
-	// instant is true when every child completes without blocking on I/O
-	// (in-process servers); the scatter then runs serially — goroutine
+	// fallible caches the FallibleStore face of each child (nil for
+	// errorless children), asserted once at construction so the hot path
+	// never type-switches.
+	fallible  []FallibleStore
+	dim       int
+	replicate int
+	retries   int
+	backoff   time.Duration
+	// instant is true when every live child completes without blocking on
+	// I/O (in-process servers); the scatter then runs serially — goroutine
 	// fan-out over direct calls is pure overhead and allocates.
 	instantChildren bool
 
+	dead       []atomic.Bool
+	causeMu    sync.Mutex
+	causes     []error
+	failovers  atomic.Int64
+	retried    atomic.Int64
+	onFailover func(server int, cause error)
+	onLost     func(*TierError)
+
 	// scratchMu guards a pool of scatter scratches (grouping arrays plus
-	// per-server sub-batch buffers). Pooled rather than per-store because
+	// per-partition sub-batch buffers). Pooled rather than per-store because
 	// several trainer goroutines issue concurrent fetches through one tier
 	// client.
 	scratchMu sync.Mutex
@@ -87,7 +233,7 @@ func (t *ShardedStore) getScratch() *shardScratch {
 
 // putScratch returns a scratch to the pool. Fetch/Write call it via defer,
 // so the sub-batch buffers come back even when a child's RPC panics
-// mid-gather (forEachServer re-raises child panics on the calling
+// mid-gather (forEachPartition re-raises child panics on the calling
 // goroutine) — a failed shard call must not leak the pooled buffers.
 func (t *ShardedStore) putScratch(sc *shardScratch) {
 	t.scratchMu.Lock()
@@ -99,29 +245,83 @@ func (t *ShardedStore) putScratch(sc *shardScratch) {
 // without waiting on a network (InProcess, and tiers composed of them).
 type instantStore interface{ instant() bool }
 
-// NewShardedStore builds the tier client over children, one per embedding
-// server, in server order. All children must serve the same row width. A
-// single-child store is a valid (degenerate) tier; callers that want to
-// skip the fan-out bookkeeping entirely for S=1 may use the child directly,
-// as cmd/bagpipe does.
+// NewShardedStore builds the classic unreplicated tier client over children,
+// one per embedding server, in server order. All children must serve the
+// same row width. A single-child store is a valid (degenerate) tier; callers
+// that want to skip the fan-out bookkeeping entirely for S=1 may use the
+// child directly, as cmd/bagpipe does.
 func NewShardedStore(children []Store) *ShardedStore {
-	if len(children) == 0 {
+	return NewTier(children, TierOptions{})
+}
+
+// NewTier builds the tier client over children with explicit replication
+// and failure-handling options. Construction errors are programming errors
+// and panic, matching NewShardedStore.
+func NewTier(children []Store, opts TierOptions) *ShardedStore {
+	S := len(children)
+	if S == 0 {
 		panic("transport: sharded store over zero servers")
 	}
-	dim := children[0].Dim()
-	for i, c := range children {
-		if c.Dim() != dim {
-			panic(fmt.Sprintf("transport: sharded store server %d serves dim %d, server 0 serves %d", i, c.Dim(), dim))
-		}
+	if opts.Replicate == 0 {
+		opts.Replicate = 1
 	}
-	instant := true
-	for _, c := range children {
+	if opts.Replicate < 1 || opts.Replicate > S {
+		panic(fmt.Sprintf("transport: replication factor %d outside [1, %d]", opts.Replicate, S))
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = defaultTierRetries
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = defaultTierBackoff
+	}
+	if opts.Dead == nil {
+		opts.Dead = make([]bool, S)
+	} else if len(opts.Dead) != S {
+		panic(fmt.Sprintf("transport: dead set lists %d servers for a %d-server tier", len(opts.Dead), S))
+	}
+	dim, instant, anyLive := 0, true, false
+	for i, c := range children {
+		if c == nil {
+			if !opts.Dead[i] {
+				panic(fmt.Sprintf("transport: live tier server %d has no store", i))
+			}
+			continue
+		}
+		if !anyLive {
+			dim, anyLive = c.Dim(), true
+		} else if c.Dim() != dim {
+			panic(fmt.Sprintf("transport: sharded store server %d serves dim %d, earlier servers serve %d", i, c.Dim(), dim))
+		}
 		if is, ok := c.(instantStore); !ok || !is.instant() {
 			instant = false
-			break
 		}
 	}
-	return &ShardedStore{children: children, dim: dim, instantChildren: instant}
+	if !anyLive {
+		panic("transport: every server of the tier is dead at construction")
+	}
+	t := &ShardedStore{
+		children:        children,
+		fallible:        make([]FallibleStore, S),
+		dim:             dim,
+		replicate:       opts.Replicate,
+		retries:         opts.Retries,
+		backoff:         opts.Backoff,
+		instantChildren: instant,
+		dead:            make([]atomic.Bool, S),
+		causes:          make([]error, S),
+		onFailover:      opts.OnFailover,
+		onLost:          opts.OnLost,
+	}
+	for i, c := range children {
+		if opts.Dead[i] {
+			t.dead[i].Store(true)
+			continue
+		}
+		if f, ok := c.(FallibleStore); ok {
+			t.fallible[i] = f
+		}
+	}
+	return t
 }
 
 // instant implements instantStore: a tier of instant children is itself
@@ -130,7 +330,13 @@ func (t *ShardedStore) instant() bool { return t.instantChildren }
 
 // Name implements Store.
 func (t *ShardedStore) Name() string {
-	return fmt.Sprintf("sharded-%d/%s", len(t.children), t.children[0].Name())
+	for s, c := range t.children {
+		if c == nil || t.dead[s].Load() {
+			continue
+		}
+		return fmt.Sprintf("sharded-%d/%s", len(t.children), c.Name())
+	}
+	return fmt.Sprintf("sharded-%d/dead", len(t.children))
 }
 
 // Dim implements Store.
@@ -139,11 +345,83 @@ func (t *ShardedStore) Dim() int { return t.dim }
 // Servers returns the tier width S.
 func (t *ShardedStore) Servers() int { return len(t.children) }
 
+// Replicate returns the tier's replication factor.
+func (t *ShardedStore) Replicate() int { return t.replicate }
+
+// DeadServers returns the indices of servers this client has declared dead,
+// ascending.
+func (t *ShardedStore) DeadServers() []int {
+	var dead []int
+	for s := range t.dead {
+		if t.dead[s].Load() {
+			dead = append(dead, s)
+		}
+	}
+	return dead
+}
+
+// TierHealth returns the failover counters (-stats plumbing).
+func (t *ShardedStore) TierHealth() TierHealth {
+	return TierHealth{
+		Servers:   len(t.children),
+		Replicate: t.replicate,
+		Failovers: t.failovers.Load(),
+		Retries:   t.retried.Load(),
+		Dead:      t.DeadServers(),
+	}
+}
+
+// route returns the server currently serving reads for partition part: the
+// first live server of its replica set in ring order, or -1 when the whole
+// set is dead.
+func (t *ShardedStore) route(part int) int {
+	S := len(t.children)
+	for k := 0; k < t.replicate; k++ {
+		if s := (part + k) % S; !t.dead[s].Load() {
+			return s
+		}
+	}
+	return -1
+}
+
+// markDead declares server s dead with the given cause. Idempotent; the
+// first caller records the cause and fires OnFailover.
+func (t *ShardedStore) markDead(s int, cause error) {
+	if !t.dead[s].CompareAndSwap(false, true) {
+		return
+	}
+	t.causeMu.Lock()
+	t.causes[s] = cause
+	t.causeMu.Unlock()
+	if t.onFailover != nil {
+		t.onFailover(s, cause)
+	}
+}
+
+// deadCause returns the recorded error that condemned server s, if any.
+func (t *ShardedStore) deadCause(s int) error {
+	t.causeMu.Lock()
+	defer t.causeMu.Unlock()
+	return t.causes[s]
+}
+
+// lost raises an unrecoverable tier failure: OnLost first (a worker's clean
+// exit hook), then panic — the errorless Store face has no other way out.
+func (t *ShardedStore) lost(e *TierError) {
+	if e.Cause == nil && e.Server >= 0 && e.Server < len(t.causes) {
+		e.Cause = t.deadCause(e.Server)
+	}
+	if t.onLost != nil {
+		t.onLost(e)
+	}
+	panic(e)
+}
+
 // serialScatter reports whether a scatter over bounds should run inline on
 // the calling goroutine: instant (in-process) children never block on a
-// link, so there is nothing to overlap, and a single active server has no
-// fan-out to do. Fetch/Write check this *before* building the per-server
-// closure forEachServer needs — the closure escapes into goroutines and
+// link, so there is nothing to overlap, and a single active partition has no
+// fan-out to do. Fetch/Write check this *before* building the per-partition
+// closure forEachPartition needs — the closure escapes into goroutines and
 // would heap-allocate once per call, the exact per-batch cost the pooled
 // scatter exists to avoid on the hot in-process path.
 func (t *ShardedStore) serialScatter(bounds []int) bool {
@@ -159,38 +437,45 @@ func (t *ShardedStore) serialScatter(bounds []int) bool {
 	return active <= 1
 }
 
-// forEachServer runs fn for every server with a non-empty run in bounds,
-// concurrently. Sub-batches wait on their server's link, not on CPU, so
-// overlapping them is what makes an S-server tier S links wide instead of
-// one link S times as long (each backend is its own NIC in the paper's
-// trainer-node/server-node topology); serial scatters take the inline
-// loops in Fetch/Write instead (see serialScatter). A panic in a child RPC
-// is re-raised on the calling goroutine once every in-flight sub-batch
-// finishes, so the caller's defers (scratch return) still run.
-func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
+// forEachPartition runs fn for every partition with a non-empty run in
+// bounds, concurrently. Sub-batches wait on their server's link, not on
+// CPU, so overlapping them is what makes an S-server tier S links wide
+// instead of one link S times as long (each backend is its own NIC in the
+// paper's trainer-node/server-node topology); serial scatters take the
+// inline loops in Fetch/Write instead (see serialScatter). A panic in a
+// child RPC is wrapped in a ShardPanic — originating partition plus the
+// goroutine's stack, captured at recover time — and re-raised on the
+// calling goroutine once every in-flight sub-batch finishes, so the
+// caller's defers (scratch return, result-buffer recycling) still run and
+// the crash stays attributable to a server.
+func (t *ShardedStore) forEachPartition(bounds []int, fn func(part int)) {
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
-		panicked any
+		panicked *ShardPanic
 	)
-	for s := range t.children {
-		if bounds[s] == bounds[s+1] {
+	for part := range t.children {
+		if bounds[part] == bounds[part+1] {
 			continue
 		}
 		wg.Add(1)
-		go func(s int) {
+		go func(part int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					sp, ok := p.(*ShardPanic)
+					if !ok {
+						sp = &ShardPanic{Server: part, Value: p, Stack: debug.Stack()}
+					}
 					panicMu.Lock()
 					if panicked == nil {
-						panicked = p
+						panicked = sp
 					}
 					panicMu.Unlock()
 				}
 			}()
-			fn(s)
-		}(s)
+			fn(part)
+		}(part)
 	}
 	wg.Wait()
 	if panicked != nil {
@@ -198,120 +483,269 @@ func (t *ShardedStore) forEachServer(bounds []int, fn func(s int)) {
 	}
 }
 
-// Fetch implements Store: one sub-batch per owning server, issued
+// Fetch implements Store: one sub-batch per owning partition, issued
 // concurrently, rows delivered in request order no matter which order the
 // servers reply in. The scatter buffers are pooled and returned via defer —
-// including when a shard's RPC panics mid-gather.
+// including when a shard's RPC panics mid-gather, in which case the result
+// header and every row already gathered into it go back to their pools too
+// (each failover exercise would otherwise leak pool capacity).
 func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
 	sc := t.getScratch()
 	defer t.putScratch(sc)
 	out := GetRowSlice(len(ids))
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		Rows(t.dim).PutN(out)
+		PutRowSlice(out)
+	}()
 	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
 	if t.serialScatter(bounds) {
-		for s := range t.children {
-			if bounds[s] != bounds[s+1] {
-				t.fetchServer(sc, s, ids, pos, bounds, out)
+		for part := range t.children {
+			if bounds[part] != bounds[part+1] {
+				t.fetchPartition(sc, part, ids, pos, bounds, out)
 			}
 		}
-		return out
+	} else {
+		t.forEachPartition(bounds, func(part int) { t.fetchPartition(sc, part, ids, pos, bounds, out) })
 	}
-	t.forEachServer(bounds, func(s int) { t.fetchServer(sc, s, ids, pos, bounds, out) })
+	completed = true
 	return out
 }
 
-// fetchServer issues one server's fetch sub-batch and gathers its rows into
-// the request-order result.
-func (t *ShardedStore) fetchServer(sc *shardScratch, s int, ids []uint64, pos, bounds []int, out [][]float32) {
-	run := pos[bounds[s]:bounds[s+1]]
-	sub := sc.sub[s][:0]
+// fetchPartition issues one partition's fetch sub-batch — to its primary
+// server, failing over along the replica ring as servers die — and gathers
+// the rows into the request-order result.
+func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, out [][]float32) {
+	run := pos[bounds[part]:bounds[part+1]]
+	sub := sc.sub[part][:0]
 	for _, p := range run {
 		sub = append(sub, ids[p])
 	}
-	sc.sub[s] = sub
-	rows := t.children[s].Fetch(sub)
-	for i, p := range run {
-		out[p] = rows[i]
+	sc.sub[part] = sub
+	for {
+		s := t.route(part)
+		if s < 0 {
+			t.lost(&TierError{Op: "fetch", Partition: part, Server: (part + t.replicate - 1) % len(t.children), Replicate: t.replicate})
+		}
+		rows, err := t.tryFetch(s, sub)
+		if err != nil {
+			continue // s is dead now; route to the next live replica
+		}
+		if s != part {
+			t.failovers.Add(1)
+		}
+		for i, p := range run {
+			out[p] = rows[i]
+		}
+		// The child's result header is dead now that its rows moved into
+		// out; recycle it.
+		PutRowSlice(rows)
+		return
 	}
-	// The child's result header is dead now that its rows moved into out;
-	// recycle it.
-	PutRowSlice(rows)
+}
+
+// tryFetch issues one sub-batch fetch to server s with bounded retry; on
+// exhaustion the server is declared dead and the last error returned.
+// Errorless children cannot report failure, so they bypass the retry loop
+// (their failures stay panics).
+func (t *ShardedStore) tryFetch(s int, sub []uint64) ([][]float32, error) {
+	f := t.fallible[s]
+	if f == nil {
+		return t.children[s].Fetch(sub), nil
+	}
+	var lastErr error
+	for a := 0; ; a++ {
+		rows, err := f.TryFetch(sub)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if a+1 >= t.retries {
+			break
+		}
+		t.retried.Add(1)
+		time.Sleep(t.backoff << a)
+	}
+	t.markDead(s, lastErr)
+	return nil, lastErr
 }
 
 // Write implements Store: the scatter half of Fetch, one concurrent
-// sub-batch of (id, row) pairs per owning server. It returns once every
-// server acked its sub-batch — the write-durability contract the ℒ-window
-// retirement depends on holds per server, so it holds for the tier.
+// sub-batch of (id, row) pairs per owning partition, written to every live
+// server of the partition's replica set. It returns once every live replica
+// acked its sub-batch — the write-durability contract the ℒ-window
+// retirement depends on becomes "acked by all live replicas", which is what
+// keeps a post-failover read (served by a replica) bit-identical to the
+// read the dead primary would have served.
 func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 	if len(ids) != len(rows) {
 		panic("transport: Write ids/rows length mismatch")
 	}
 	sc := t.getScratch()
 	defer t.putScratch(sc)
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// A replica write panicked mid-scatter: drop the caller's row
+		// references parked in the pooled sub-batch buffers, or the scratch
+		// pins them until its next use.
+		for i := range sc.subRows {
+			s := sc.subRows[i]
+			clear(s[:cap(s)])
+		}
+	}()
 	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
 	if t.serialScatter(bounds) {
-		for s := range t.children {
-			if bounds[s] != bounds[s+1] {
-				t.writeServer(sc, s, ids, pos, bounds, rows)
+		for part := range t.children {
+			if bounds[part] != bounds[part+1] {
+				t.writePartition(sc, part, ids, pos, bounds, rows)
 			}
 		}
-		return
+	} else {
+		t.forEachPartition(bounds, func(part int) { t.writePartition(sc, part, ids, pos, bounds, rows) })
 	}
-	t.forEachServer(bounds, func(s int) { t.writeServer(sc, s, ids, pos, bounds, rows) })
+	completed = true
 }
 
-// writeServer issues one server's write sub-batch.
-func (t *ShardedStore) writeServer(sc *shardScratch, s int, ids []uint64, pos, bounds []int, rows [][]float32) {
-	run := pos[bounds[s]:bounds[s+1]]
-	sub, subRows := sc.sub[s][:0], sc.subRows[s][:0]
+// writePartition issues one partition's write sub-batch to every live
+// server of its replica set. Dead replicas are skipped (their state is
+// recovered from the survivors at merge time); a failing replica is
+// declared dead and does not fail the write as long as at least one live
+// replica acked.
+func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, rows [][]float32) {
+	run := pos[bounds[part]:bounds[part+1]]
+	sub, subRows := sc.sub[part][:0], sc.subRows[part][:0]
 	for _, p := range run {
 		sub = append(sub, ids[p])
 		subRows = append(subRows, rows[p])
 	}
-	sc.sub[s], sc.subRows[s] = sub, subRows
-	t.children[s].Write(sub, subRows)
+	sc.sub[part], sc.subRows[part] = sub, subRows
+	S := len(t.children)
+	acked, lastSrv := 0, part
+	var lastErr error
+	for k := 0; k < t.replicate; k++ {
+		s := (part + k) % S
+		if t.dead[s].Load() {
+			lastSrv = s
+			continue
+		}
+		if err := t.tryWrite(s, sub, subRows); err != nil {
+			lastSrv, lastErr = s, err
+			continue
+		}
+		acked++
+	}
 	// Drop the row references so the pooled scratch doesn't pin the
 	// caller's buffers until the next write.
 	clear(subRows)
+	if acked == 0 {
+		t.lost(&TierError{Op: "write", Partition: part, Server: lastSrv, Replicate: t.replicate, Cause: lastErr})
+	}
+}
+
+// tryWrite is tryFetch's write-side twin.
+func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error {
+	f := t.fallible[s]
+	if f == nil {
+		t.children[s].Write(sub, subRows)
+		return nil
+	}
+	var lastErr error
+	for a := 0; ; a++ {
+		if err := f.TryWrite(sub, subRows); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if a+1 >= t.retries {
+			break
+		}
+		t.retried.Add(1)
+		time.Sleep(t.backoff << a)
+	}
+	t.markDead(s, lastErr)
+	return lastErr
 }
 
 // Stats implements Store: the field-wise sum over the tier. Fetches/Writes
 // count per-server sub-batch RPCs — the frames the fan-out actually put on
-// the wire — so an S-way scatter of one logical fetch reports up to S
-// calls, and SimulatedDelay sums the per-link serialization charges even
-// though concurrent sub-batches overlap in wall-clock time.
+// the wire, including replica writes — so an S-way scatter of one logical
+// fetch reports up to S calls, and SimulatedDelay sums the per-link
+// serialization charges even though concurrent sub-batches overlap in
+// wall-clock time.
 func (t *ShardedStore) Stats() Stats {
 	var sum Stats
 	for _, c := range t.children {
+		if c == nil {
+			continue
+		}
 		sum.Add(c.Stats())
 	}
 	return sum
 }
 
 // ServerStats implements Store: per-server snapshots, flattened in server
-// order (a nested sharded child contributes its own per-server entries).
+// order (a nested sharded child contributes its own per-server entries; a
+// construction-dead child contributes one zero entry).
 func (t *ShardedStore) ServerStats() []Stats {
 	out := make([]Stats, 0, len(t.children))
 	for _, c := range t.children {
+		if c == nil {
+			out = append(out, Stats{})
+			continue
+		}
 		out = append(out, c.ServerStats()...)
 	}
 	return out
 }
 
+// partFingerprinter is the errorless partition-scoped certificate — every
+// real transport implements it alongside FallibleStore.
+type partFingerprinter interface {
+	FingerprintPart(part, of int) uint64
+}
+
 // Fingerprint implements Store: the order-independent combine of the
 // per-server certificates (see Store.Fingerprint for why a wrapping sum of
-// disjoint servers equals the merged state's fingerprint). The per-server
-// RPCs fan out concurrently — the call completes when the slowest server
-// answers, which keeps it an honest one-round-trip probe (the driver's
-// -auto-lookahead pings time it to size the ℒ window).
+// disjoint partitions equals the merged state's fingerprint). The
+// per-server RPCs fan out concurrently — the call completes when the
+// slowest server answers, which keeps it an honest one-round-trip probe
+// (the driver's -auto-lookahead pings time it to size the ℒ window). A
+// replicated (or bereaved) tier sums partition-scoped fingerprints from
+// each partition's first live holder instead, so replicated rows are
+// counted exactly once and dead servers not at all.
 func (t *ShardedStore) Fingerprint() uint64 {
-	fps := make([]uint64, len(t.children))
+	S := len(t.children)
+	if t.replicate == 1 && len(t.DeadServers()) == 0 {
+		fps := make([]uint64, S)
+		var wg sync.WaitGroup
+		for s, c := range t.children {
+			wg.Add(1)
+			go func(s int, c Store) {
+				defer wg.Done()
+				fps[s] = c.Fingerprint()
+			}(s, c)
+		}
+		wg.Wait()
+		var sum uint64
+		for _, fp := range fps {
+			sum += fp
+		}
+		return sum
+	}
+	fps := make([]uint64, S)
 	var wg sync.WaitGroup
-	for s, c := range t.children {
+	for p := 0; p < S; p++ {
 		wg.Add(1)
-		go func(s int, c Store) {
+		go func(p int) {
 			defer wg.Done()
-			fps[s] = c.Fingerprint()
-		}(s, c)
+			fps[p] = t.fingerprintPartition(p)
+		}(p)
 	}
 	wg.Wait()
 	var sum uint64
@@ -321,31 +755,120 @@ func (t *ShardedStore) Fingerprint() uint64 {
 	return sum
 }
 
-// Checkpoint implements Store: every server's checkpoint concatenated in
-// server order, the layout embed.RestoreTier consumes. Like Fingerprint,
-// the per-server RPCs fan out concurrently — these move full server
-// states, so the tier checkpoint costs the slowest server, not the sum.
+// fingerprintPartition fetches partition part's certificate from its first
+// live holder, failing over like the data path.
+func (t *ShardedStore) fingerprintPartition(part int) uint64 {
+	S := len(t.children)
+	for {
+		s := t.route(part)
+		if s < 0 {
+			t.lost(&TierError{Op: "fingerprint", Partition: part, Server: (part + t.replicate - 1) % S, Replicate: t.replicate})
+		}
+		if f := t.fallible[s]; f != nil {
+			fp, err := t.tryFingerprintPart(s, part, S)
+			if err != nil {
+				continue
+			}
+			return fp
+		}
+		pf, ok := t.children[s].(partFingerprinter)
+		if !ok {
+			panic(fmt.Sprintf("transport: tier server %d (%T) cannot serve partition fingerprints", s, t.children[s]))
+		}
+		return pf.FingerprintPart(part, S)
+	}
+}
+
+// tryFingerprintPart is tryFetch's certificate-side twin.
+func (t *ShardedStore) tryFingerprintPart(s, part, of int) (uint64, error) {
+	f := t.fallible[s]
+	var lastErr error
+	for a := 0; ; a++ {
+		fp, err := f.TryFingerprintPart(part, of)
+		if err == nil {
+			return fp, nil
+		}
+		lastErr = err
+		if a+1 >= t.retries {
+			break
+		}
+		t.retried.Add(1)
+		time.Sleep(t.backoff << a)
+	}
+	t.markDead(s, lastErr)
+	return 0, lastErr
+}
+
+// Checkpoint implements Store: every live server's checkpoint concatenated
+// in server order, the layout embed.RestoreTierReplicated consumes together
+// with DeadServers (for an unreplicated, fully-live tier this is exactly
+// the classic embed.RestoreTier layout). Like Fingerprint, the per-server
+// RPCs fan out concurrently — these move full server states, so the tier
+// checkpoint costs the slowest server, not the sum. A server lost *during*
+// checkpointing is excluded like any other dead server — its partitions'
+// writes live on their surviving replicas — unless some partition then has
+// no live replica at all, which is unrecoverable.
 func (t *ShardedStore) Checkpoint() []byte {
-	parts := make([][]byte, len(t.children))
+	S := len(t.children)
+	parts := make([][]byte, S)
 	var wg sync.WaitGroup
-	for s, c := range t.children {
+	for s := 0; s < S; s++ {
+		if t.dead[s].Load() {
+			continue
+		}
 		wg.Add(1)
-		go func(s int, c Store) {
+		go func(s int) {
 			defer wg.Done()
-			parts[s] = c.Checkpoint()
-		}(s, c)
+			parts[s] = t.checkpointServer(s)
+		}(s)
 	}
 	wg.Wait()
+	for part := 0; part < S; part++ {
+		if t.route(part) < 0 {
+			t.lost(&TierError{Op: "checkpoint", Partition: part, Server: (part + t.replicate - 1) % S, Replicate: t.replicate})
+		}
+	}
 	var out []byte
-	for _, p := range parts {
+	for s, p := range parts {
+		if t.dead[s].Load() {
+			continue
+		}
 		out = append(out, p...)
 	}
 	return out
 }
 
-// Shutdown implements Store.
+// checkpointServer pulls one server's checkpoint with bounded retry; on
+// exhaustion the server is declared dead and nil returned.
+func (t *ShardedStore) checkpointServer(s int) []byte {
+	f := t.fallible[s]
+	if f == nil {
+		return t.children[s].Checkpoint()
+	}
+	var lastErr error
+	for a := 0; ; a++ {
+		b, err := f.TryCheckpoint()
+		if err == nil {
+			return b
+		}
+		lastErr = err
+		if a+1 >= t.retries {
+			break
+		}
+		t.retried.Add(1)
+		time.Sleep(t.backoff << a)
+	}
+	t.markDead(s, lastErr)
+	return nil
+}
+
+// Shutdown implements Store, skipping dead servers (there is no process
+// left to ask).
 func (t *ShardedStore) Shutdown() {
-	for _, c := range t.children {
+	for s, c := range t.children {
+		if c == nil || t.dead[s].Load() {
+			continue
+		}
 		c.Shutdown()
 	}
 }

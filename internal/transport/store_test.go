@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -319,10 +321,14 @@ func (p *panicStore) Fetch(ids []uint64) [][]float32 { panic("transport test: sh
 func (p *panicStore) instant() bool { return p.inst }
 
 // TestShardedStoreScratchReturnedOnChildPanic: a shard RPC failing
-// mid-gather must propagate to the caller AND return the pooled scatter
-// scratch — a panicking Fetch that leaked its buffers would starve the pool
-// across retries. Exercised on both the serial (instant children) and
-// concurrent (remote children) scatter paths.
+// mid-gather must propagate to the caller AND return every pooled buffer
+// the fetch took out — the scatter scratch, the result header, and the
+// arena rows the healthy shards already gathered into it. A panicking
+// Fetch that leaked any of them would starve the pools across failover
+// exercises. Exercised on both the serial (instant children) and
+// concurrent (remote children) scatter paths; the concurrent leg also pins
+// the ShardPanic wrapper that keeps the originating server index and its
+// goroutine stack attached to the re-raised panic.
 func TestShardedStoreScratchReturnedOnChildPanic(t *testing.T) {
 	for _, inst := range []bool{true, false} {
 		tier := testTier(2)
@@ -334,24 +340,287 @@ func TestShardedStoreScratchReturnedOnChildPanic(t *testing.T) {
 		if st.instant() != inst {
 			t.Fatalf("inst=%v: tier instant()=%v", inst, st.instant())
 		}
+
+		// Warm the pools with a fetch that avoids the dead shard (even ids
+		// hash to shard 0), then return everything — so the panicking fetch
+		// below is served entirely from the free lists and the leak check
+		// can demand exact count preservation.
+		warm := st.Fetch([]uint64{0, 2})
+		Rows(st.Dim()).PutN(warm)
+		PutRowSlice(warm)
+		arena := Rows(st.Dim())
+		arena.mu.Lock()
+		rowsFree := len(arena.free)
+		arena.mu.Unlock()
+		rowSlicePool.mu.Lock()
+		headersFree := len(rowSlicePool.free)
+		rowSlicePool.mu.Unlock()
+
 		func() {
 			defer func() {
-				if recover() == nil {
+				p := recover()
+				if p == nil {
 					t.Fatalf("inst=%v: child panic did not propagate", inst)
+				}
+				if !inst {
+					// The concurrent scatter must attribute the crash: shard
+					// index plus the originating goroutine's stack.
+					sp, ok := p.(*ShardPanic)
+					if !ok {
+						t.Fatalf("concurrent scatter re-panicked %T, want *ShardPanic", p)
+					}
+					if sp.Server != 1 {
+						t.Fatalf("ShardPanic names server %d, want 1", sp.Server)
+					}
+					if len(sp.Stack) == 0 || !bytes.Contains(sp.Stack, []byte("goroutine")) {
+						t.Fatalf("ShardPanic carries no goroutine stack: %q", sp.Stack)
+					}
+					if !strings.Contains(sp.Error(), "shard down") {
+						t.Fatalf("ShardPanic message lost the original value: %q", sp.Error())
+					}
 				}
 			}()
 			st.Fetch([]uint64{0, 1, 2, 3}) // spans both shards
 		}()
+
 		st.scratchMu.Lock()
 		n := len(st.scratch)
 		st.scratchMu.Unlock()
 		if n != 1 {
 			t.Fatalf("inst=%v: scratch pool holds %d entries after panicking fetch, want 1", inst, n)
 		}
-		// The tier must stay usable for requests that avoid the dead shard
-		// (even ids hash to shard 0).
+		// Exact pool-count preservation: the result header and shard 0's
+		// already-gathered rows went back in the recover path.
+		arena.mu.Lock()
+		rowsAfter := len(arena.free)
+		arena.mu.Unlock()
+		rowSlicePool.mu.Lock()
+		headersAfter := len(rowSlicePool.free)
+		rowSlicePool.mu.Unlock()
+		if rowsAfter != rowsFree {
+			t.Fatalf("inst=%v: arena free list went %d → %d across a panicking fetch", inst, rowsFree, rowsAfter)
+		}
+		if headersAfter != headersFree {
+			t.Fatalf("inst=%v: row-slice free list went %d → %d across a panicking fetch", inst, headersFree, headersAfter)
+		}
+
+		// The tier must stay usable for requests that avoid the dead shard.
 		if rows := st.Fetch([]uint64{0, 2}); len(rows) != 2 {
 			t.Fatalf("inst=%v: post-panic fetch returned %d rows", inst, len(rows))
+		}
+	}
+}
+
+// faultStore is an in-process server whose fallible face can be switched
+// off at runtime — the unit-level stand-in for a killed remote server.
+// notInstant demotes it to a "remote" child so the concurrent scatter path
+// is exercised too.
+type faultStore struct {
+	*InProcess
+	server int
+	down   atomic.Bool
+}
+
+func (f *faultStore) errIfDown() error {
+	if f.down.Load() {
+		return fmt.Errorf("transport test: server %d down", f.server)
+	}
+	return nil
+}
+
+func (f *faultStore) TryFetch(ids []uint64) ([][]float32, error) {
+	if err := f.errIfDown(); err != nil {
+		return nil, err
+	}
+	return f.InProcess.TryFetch(ids)
+}
+
+func (f *faultStore) TryWrite(ids []uint64, rows [][]float32) error {
+	if err := f.errIfDown(); err != nil {
+		return err
+	}
+	return f.InProcess.TryWrite(ids, rows)
+}
+
+func (f *faultStore) TryFingerprintPart(part, of int) (uint64, error) {
+	if err := f.errIfDown(); err != nil {
+		return 0, err
+	}
+	return f.InProcess.TryFingerprintPart(part, of)
+}
+
+func (f *faultStore) TryCheckpoint() ([]byte, error) {
+	if err := f.errIfDown(); err != nil {
+		return nil, err
+	}
+	return f.InProcess.TryCheckpoint()
+}
+
+// faultTier builds an S-server replicated tier over fault-injectable
+// children plus the S=1 reference it must stay equivalent to.
+func faultTier(S int, opts TierOptions) (*ShardedStore, []*faultStore, []*embed.Server, *embed.Server, Store) {
+	tier := testTier(S)
+	faults := make([]*faultStore, S)
+	children := make([]Store, S)
+	for i, srv := range tier {
+		faults[i] = &faultStore{InProcess: NewInProcess(srv), server: i}
+		children[i] = faults[i]
+	}
+	ref := embed.NewServer(3, 4, 11, 0.1)
+	return NewTier(children, opts), faults, tier, ref, NewInProcess(ref)
+}
+
+// TestStoreFailoverReplicated is the replicated leg of the conformance
+// suite: a server dies mid-run under R=2, the tier marks it dead and
+// reroutes, and the surviving state still certifies against the S=1
+// reference three independent ways — live fingerprint, tier merge, and
+// checkpoint restore.
+func TestStoreFailoverReplicated(t *testing.T) {
+	const S, R = 3, 2
+	var failedOver []int
+	st, faults, tier, ref, refStore := faultTier(S, TierOptions{
+		Replicate: R,
+		Retries:   2,
+		Backoff:   time.Millisecond,
+		OnFailover: func(server int, cause error) {
+			failedOver = append(failedOver, server)
+			if cause == nil {
+				t.Errorf("server %d condemned with nil cause", server)
+			}
+		},
+	})
+	if st.Replicate() != R {
+		t.Fatalf("Replicate() = %d, want %d", st.Replicate(), R)
+	}
+
+	// step fetches ids from both stores, cross-checks, mutates, and writes
+	// back — every fetched row is written, the engines' write-back
+	// invariant that makes replica state complete for its partitions.
+	stamp := float32(0)
+	step := func(ids []uint64) {
+		t.Helper()
+		stamp++
+		rows, refRows := st.Fetch(ids), refStore.Fetch(ids)
+		for i := range rows {
+			for j := range rows[i] {
+				if rows[i][j] != refRows[i][j] {
+					t.Fatalf("id %d col %d: tier %v != reference %v", ids[i], j, rows[i][j], refRows[i][j])
+				}
+			}
+			rows[i][0], refRows[i][0] = stamp, stamp
+		}
+		st.Write(ids, rows)
+		refStore.Write(ids, refRows)
+	}
+
+	step([]uint64{0, 1, 2, 3, 4, 5, 10, 13})
+	step([]uint64{1, 4, 7, 16})
+	faults[1].down.Store(true)           // chaos: server 1 dies mid-run
+	step([]uint64{0, 1, 2, 6, 7, 9, 13}) // partition-1 ids now served by server 2
+	step([]uint64{4, 10, 19, 22})
+
+	if dead := st.DeadServers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadServers() = %v, want [1]", dead)
+	}
+	if len(failedOver) != 1 || failedOver[0] != 1 {
+		t.Fatalf("OnFailover fired for %v, want exactly [1]", failedOver)
+	}
+	h := st.TierHealth()
+	if h.Servers != S || h.Replicate != R {
+		t.Fatalf("TierHealth shape: %+v", h)
+	}
+	if h.Failovers == 0 {
+		t.Fatal("no failovers counted despite post-kill partition-1 reads")
+	}
+	if h.Retries == 0 {
+		t.Fatal("no retries counted despite a failing server RPC")
+	}
+
+	// Certification 1: the live wire fingerprint, served for partition 1 by
+	// its surviving replica.
+	if fp, want := st.Fingerprint(), ref.Fingerprint(); fp != want {
+		t.Fatalf("surviving tier fingerprint %x != reference %x", fp, want)
+	}
+	// Certification 2: merging the surviving servers' in-memory state.
+	deadSet := make([]bool, S)
+	deadSet[1] = true
+	merged, err := embed.MergeTierReplicated(tier, R, deadSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, merged); len(d) != 0 {
+		t.Fatalf("surviving merge differs from reference at %v", d)
+	}
+	// Certification 3: the checkpoint protocol, which must exclude the dead
+	// server's bytes.
+	restored, err := embed.RestoreTierReplicated(bytes.NewReader(st.Checkpoint()), S, ref.NumShards(), R, deadSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, restored); len(d) != 0 {
+		t.Fatalf("restored surviving checkpoint differs at %v", d)
+	}
+}
+
+// TestStoreFailoverUnreplicatedFailsLoudly: with R=1 a dead server is
+// unrecoverable; the tier must raise an attributed TierError — partition,
+// server, replication factor, cause — through OnLost and the panic, on both
+// scatter paths, and keep serving the partitions it still has.
+func TestStoreFailoverUnreplicatedFailsLoudly(t *testing.T) {
+	for _, inst := range []bool{true, false} {
+		var lost []*TierError
+		st, faults, _, _, _ := faultTier(2, TierOptions{
+			Replicate: 1,
+			Retries:   2,
+			Backoff:   time.Millisecond,
+			OnLost:    func(e *TierError) { lost = append(lost, e) },
+		})
+		// The children are in-process either way; force the scatter path
+		// directly so both the serial and the goroutine fan-out legs raise
+		// the same attributed error.
+		st.instantChildren = inst
+
+		if rows := st.Fetch([]uint64{0, 1, 2, 3}); len(rows) != 4 {
+			t.Fatalf("healthy fetch returned %d rows", len(rows))
+		}
+		faults[1].down.Store(true)
+
+		func() {
+			defer func() {
+				e, ok := AsTierError(recover())
+				if !ok {
+					t.Fatalf("inst=%v: no TierError in panic", inst)
+				}
+				if e.Op != "fetch" || e.Partition != 1 || e.Server != 1 || e.Replicate != 1 {
+					t.Fatalf("inst=%v: misattributed TierError: %+v", inst, e)
+				}
+				if e.Cause == nil || !strings.Contains(e.Error(), "server 1 down") {
+					t.Fatalf("inst=%v: TierError lost its cause: %v", inst, e)
+				}
+			}()
+			st.Fetch([]uint64{0, 1, 2, 3})
+			t.Fatalf("inst=%v: fetch through a dead unreplicated server returned", inst)
+		}()
+		if len(lost) != 1 {
+			t.Fatalf("inst=%v: OnLost fired %d times, want 1", inst, len(lost))
+		}
+
+		// Writes to the lost partition are just as loud.
+		func() {
+			defer func() {
+				e, ok := AsTierError(recover())
+				if !ok || e.Op != "write" || e.Partition != 1 {
+					t.Fatalf("inst=%v: write loss misattributed: %+v", inst, e)
+				}
+			}()
+			rows := [][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}}
+			st.Write([]uint64{0, 1}, rows)
+			t.Fatalf("inst=%v: write through a dead unreplicated server returned", inst)
+		}()
+
+		// The healthy partition keeps working after the loss.
+		if rows := st.Fetch([]uint64{0, 2, 4}); len(rows) != 3 {
+			t.Fatalf("inst=%v: healthy-partition fetch returned %d rows", inst, len(rows))
 		}
 	}
 }

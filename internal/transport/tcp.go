@@ -75,10 +75,13 @@ func readFrame(r io.Reader) ([]byte, error) {
 // concurrent Fetch (prefetch) and Write (write-back maintenance) calls
 // overlap on the wire exactly as they do on the in-process transport.
 //
-// The Transport interface is errorless (the in-process implementations
-// cannot fail); a lost connection therefore panics with the underlying
-// error. A worker process cannot make progress without its embedding tier,
-// so dying loudly is the correct degradation.
+// TCPLink is the one Store that can genuinely fail, so it carries both
+// faces of the tier contract: the errorless Transport/Store methods panic
+// on a broken connection (a worker with an unreplicated tier cannot make
+// progress, so dying loudly is the correct degradation), while the
+// FallibleStore methods (TryFetch, TryWrite, …) return the link error
+// instead — the path a replicated ShardedStore uses to retry, declare the
+// server dead, and fail over to a ring replica.
 type TCPLink struct {
 	conn  net.Conn
 	dim   int
@@ -161,8 +164,8 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 // the queue goes momentarily empty — back-to-back requests share one flush.
 // On a write error it fails the pending callers and keeps draining the
 // queue until Close, so a caller mid-enqueue can never block forever on a
-// dead link (its response channel is already closed, so it panics with the
-// link error as documented).
+// dead link (its response channel is already closed, so its call fails with
+// the link error — an error on the Try path, a panic on the errorless one).
 func (t *TCPLink) writeLoop() {
 	defer t.wg.Done()
 	fail := func(err error) {
@@ -225,7 +228,12 @@ func (t *TCPLink) readLoop() {
 	}
 }
 
-// failPending marks the link broken and wakes every in-flight caller.
+// failPending marks the link broken, wakes every in-flight caller, and
+// closes the connection. The close matters for liveness: on a half-open
+// socket the writer goroutine can be wedged inside conn.Write while the
+// reader already declared the link dead — without the close it would never
+// return to drain the request queue, and a caller mid-enqueue could block
+// forever on a full reqCh.
 func (t *TCPLink) failPending(err error) {
 	t.mu.Lock()
 	if t.broken == nil {
@@ -236,15 +244,43 @@ func (t *TCPLink) failPending(err error) {
 		delete(t.pending, seq)
 	}
 	t.mu.Unlock()
+	t.conn.Close()
 }
 
-// call sends one request (op + body after the seq field) and blocks for the
-// response body.
+// linkErr wraps the broken-link cause with the peer's address so a failover
+// (or crash) is attributable to a server.
+func (t *TCPLink) linkErr(err error) error {
+	return fmt.Errorf("transport: tcp link to %s broken: %w", t.conn.RemoteAddr(), err)
+}
+
+// call is the errorless form of callErr: a broken link panics, the contract
+// of the errorless Store face.
 func (t *TCPLink) call(op byte, body func(b []byte) []byte) []byte {
+	resp, err := t.callErr(op, body)
+	if err != nil {
+		panic(err.Error())
+	}
+	return resp
+}
+
+// callErr sends one request (op + body after the seq field) and blocks for
+// the response body, returning an error once the link is broken.
+//
+// The pending registration and the enqueue race the reader's failPending:
+// a request registered before the failure is woken by it (its channel is
+// closed before the writer drains the queue), but a request that would
+// *enqueue after* the failure must not slip in behind the drain. The broken
+// flag is therefore re-checked under the lock after the frame is built —
+// enqueue-after-fail deterministically errors out without touching the
+// queue — and a failure that lands between that check and the channel send
+// is still safe: failPending has already closed this caller's pending
+// channel (registered above), so the receive below returns immediately,
+// and the writer's drain loop consumes the stale frame.
+func (t *TCPLink) callErr(op byte, body func(b []byte) []byte) ([]byte, error) {
 	t.mu.Lock()
 	if err := t.broken; err != nil {
 		t.mu.Unlock()
-		panic(fmt.Sprintf("transport: tcp link to %s broken: %v", t.conn.RemoteAddr(), err))
+		return nil, t.linkErr(err)
 	}
 	seq := t.seq
 	t.seq++
@@ -258,15 +294,22 @@ func (t *TCPLink) call(op byte, body func(b []byte) []byte) []byte {
 	if body != nil {
 		b = body(b)
 	}
+	t.mu.Lock()
+	if err := t.broken; err != nil {
+		delete(t.pending, seq) // failPending may already have closed+removed it
+		t.mu.Unlock()
+		return nil, t.linkErr(err)
+	}
+	t.mu.Unlock()
 	t.reqCh <- linkReq{body: b}
 	resp, ok := <-ch
 	if !ok {
 		t.mu.Lock()
 		err := t.broken
 		t.mu.Unlock()
-		panic(fmt.Sprintf("transport: tcp link to %s broken: %v", t.conn.RemoteAddr(), err))
+		return nil, t.linkErr(err)
 	}
-	return resp
+	return resp, nil
 }
 
 // Name implements Transport.
@@ -278,7 +321,21 @@ func (t *TCPLink) Dim() int { return t.dim }
 // Fetch implements Transport. The response matrix is decoded straight into
 // pooled arena rows, so the decode allocates nothing once the pool is warm.
 func (t *TCPLink) Fetch(ids []uint64) [][]float32 {
-	resp := t.call(opFetch, func(b []byte) []byte { return putU64s(b, ids) })
+	rows, err := t.TryFetch(ids)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rows
+}
+
+// TryFetch implements FallibleStore: Fetch that reports a broken link
+// instead of panicking. A *malformed* response still panics — protocol
+// corruption is a bug, not a failure to route around.
+func (t *TCPLink) TryFetch(ids []uint64) ([][]float32, error) {
+	resp, err := t.callErr(opFetch, func(b []byte) []byte { return putU64s(b, ids) })
+	if err != nil {
+		return nil, err
+	}
 	r := &wireReader{b: resp}
 	n := r.count(4)
 	if r.err != nil || n != len(ids)*t.dim {
@@ -296,42 +353,84 @@ func (t *TCPLink) Fetch(ids []uint64) [][]float32 {
 	t.fetches.Add(1)
 	t.rowsFetched.Add(int64(len(ids)))
 	t.bytesFetched.Add(payloadBytes(len(ids), t.dim))
-	return rows
+	return rows, nil
 }
 
 // Write implements Transport. It returns only after the server applied the
 // rows: the LRPP consistency window needs iteration x−ℒ's write-backs
 // durably on the servers before iteration x's prefetch is issued, so the
-// ack round trip is part of the contract, not overhead.
+// ack round trip is part of the contract, not overhead. (Under replication
+// the durability contract becomes "acked by every live replica"; the
+// replicated tier client issues one such acked write per live replica.)
 func (t *TCPLink) Write(ids []uint64, rows [][]float32) {
+	if err := t.TryWrite(ids, rows); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryWrite implements FallibleStore: Write that reports a broken link.
+func (t *TCPLink) TryWrite(ids []uint64, rows [][]float32) error {
 	if len(ids) != len(rows) {
 		panic("transport: Write ids/rows length mismatch")
 	}
-	t.call(opWrite, func(b []byte) []byte {
+	_, err := t.callErr(opWrite, func(b []byte) []byte {
 		b = putU64s(b, ids)
 		for _, row := range rows {
 			b = putF32s(b, row)
 		}
 		return b
 	})
+	if err != nil {
+		return err
+	}
 	t.writes.Add(1)
 	t.rowsWritten.Add(int64(len(ids)))
 	t.bytesWritten.Add(payloadBytes(len(ids), t.dim))
+	return nil
 }
 
 // Fingerprint asks the server for embed.Server.Fingerprint — the cheap
 // remote state certificate used by distributed verification.
-func (t *TCPLink) Fingerprint() uint64 {
-	resp := t.call(opFingerprint, nil)
+func (t *TCPLink) Fingerprint() uint64 { return t.FingerprintPart(0, 1) }
+
+// FingerprintPart asks the server for the partition-scoped certificate
+// embed.Server.FingerprintPart(part, of) — what a replicated tier sums so
+// replicated rows are counted once.
+func (t *TCPLink) FingerprintPart(part, of int) uint64 {
+	fp, err := t.TryFingerprintPart(part, of)
+	if err != nil {
+		panic(err.Error())
+	}
+	return fp
+}
+
+// TryFingerprintPart implements FallibleStore.
+func (t *TCPLink) TryFingerprintPart(part, of int) (uint64, error) {
+	resp, err := t.callErr(opFingerprint, func(b []byte) []byte {
+		b = putU32(b, uint32(part))
+		return putU32(b, uint32(of))
+	})
+	if err != nil {
+		return 0, err
+	}
 	r := &wireReader{b: resp}
-	return r.u64()
+	return r.u64(), nil
 }
 
 // Checkpoint streams the server's checkpoint (every shard, in order) and
 // returns its bytes; embed.RestoreServer rebuilds an identical local copy,
 // which is how the driver diffs a remote run against a local baseline.
 func (t *TCPLink) Checkpoint() []byte {
-	return t.call(opCheckpoint, nil)
+	b, err := t.TryCheckpoint()
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// TryCheckpoint implements FallibleStore.
+func (t *TCPLink) TryCheckpoint() ([]byte, error) {
+	return t.callErr(opCheckpoint, nil)
 }
 
 // Shutdown implements Store: ask the serving process to stop accepting and
@@ -497,7 +596,16 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 			arena.PutN(rows)
 			PutRowSlice(rows)
 		case opFingerprint:
-			resp = putU64(resp, srv.Fingerprint())
+			// Body: two u32s (partition, split width); an empty body — older
+			// clients — means the whole server (partition 0 of 1).
+			part, of := uint32(0), uint32(1)
+			if len(r.b) > 0 {
+				part, of = r.u32(), r.u32()
+				if r.err != nil || of == 0 || part >= of {
+					return
+				}
+			}
+			resp = putU64(resp, srv.FingerprintPart(int(part), int(of)))
 		case opCheckpoint:
 			var buf bytes.Buffer
 			if err := srv.Checkpoint(&buf); err != nil {

@@ -2,7 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -213,4 +216,197 @@ func TestTCPLinkPipelined(t *testing.T) {
 	tr.Shutdown()
 	tr.Close()
 	join()
+}
+
+// TestTCPLinkEnqueueAfterFailErrors is the regression test for the
+// call-vs-fail race: once failPending has drained the request queue, a call
+// that already passed the broken check must NOT enqueue its frame (it would
+// strand forever with its pending channel deleted) — it must come back as a
+// link error. After the injected failure every fallible call errors
+// immediately, the queue stays empty, and the errorless face panics with
+// the same attributed message.
+func TestTCPLinkEnqueueAfterFailErrors(t *testing.T) {
+	srv := embed.NewServer(2, 4, 3, 0.1)
+	addr, join := startEmbedServer(t, srv)
+	link, err := DialTCPLink(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.TryFetch([]uint64{1, 2}); err != nil {
+		t.Fatalf("sanity fetch: %v", err)
+	}
+
+	link.failPending(errors.New("injected failure"))
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := link.TryFetch([]uint64{3})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("TryFetch on a failed link returned nil error")
+		}
+		if !strings.Contains(err.Error(), "injected failure") {
+			t.Fatalf("link error lost its cause: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TryFetch on a failed link hung — the request was enqueued behind the drain")
+	}
+	if n := len(link.reqCh); n != 0 {
+		t.Fatalf("%d frames enqueued after failure", n)
+	}
+	if err := link.TryWrite([]uint64{1}, [][]float32{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("TryWrite on a failed link returned nil error")
+	}
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("errorless Fetch on a failed link did not panic")
+			}
+			if !strings.Contains(fmt.Sprint(p), "injected failure") {
+				t.Fatalf("errorless panic lost the cause: %v", p)
+			}
+		}()
+		link.Fetch([]uint64{4})
+	}()
+	link.Close()
+
+	// The server side is still healthy (we failed the client half only);
+	// shut it down over a fresh link so the serve loop joins cleanly.
+	ctl, err := DialTCPLink(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Shutdown()
+	ctl.Close()
+	join()
+}
+
+// killableListener records accepted connections so Kill can sever a running
+// embed server the way a machine loss does: listener plus every live
+// connection closed under the clients' feet.
+type killableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (k *killableListener) Accept() (net.Conn, error) {
+	c, err := k.Listener.Accept()
+	if err == nil {
+		k.mu.Lock()
+		k.conns = append(k.conns, c)
+		k.mu.Unlock()
+	}
+	return c, err
+}
+
+func (k *killableListener) Kill() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.Listener.Close()
+	for _, c := range k.conns {
+		c.Close()
+	}
+}
+
+// TestShardedStoreTCPServerKillFailover is the real-socket half of the
+// server-death conformance leg: a 3-server tier over genuine TCPLinks,
+// replication factor 2, one server killed mid-traffic. The tier must retry,
+// declare the server dead, reroute partition 1 to its replica, finish the
+// request stream, and certify the surviving state against the S=1
+// reference — fingerprint over the wire and merged in-memory state.
+func TestShardedStoreTCPServerKillFailover(t *testing.T) {
+	const S, R = 3, 2
+	tier := testTier(S)
+	children := make([]Store, S)
+	links := make([]*TCPLink, S)
+	serveDone := make([]chan error, S)
+	var killable *killableListener
+	for i, srv := range tier {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var serveLis net.Listener = lis
+		if i == 1 {
+			killable = &killableListener{Listener: lis}
+			serveLis = killable
+		}
+		done := make(chan error, 1)
+		serveDone[i] = done
+		go func(lis net.Listener, srv *embed.Server) { done <- ServeEmbed(lis, srv) }(serveLis, srv)
+		if links[i], err = DialTCPLink(lis.Addr().String(), 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		children[i] = links[i]
+	}
+	st := NewTier(children, TierOptions{Replicate: R, Retries: 2, Backoff: time.Millisecond})
+	ref := embed.NewServer(3, 4, 11, 0.1)
+	refStore := NewInProcess(ref)
+
+	stamp := float32(0)
+	step := func(ids []uint64) {
+		t.Helper()
+		stamp++
+		rows, refRows := st.Fetch(ids), refStore.Fetch(ids)
+		for i := range rows {
+			for j := range rows[i] {
+				if rows[i][j] != refRows[i][j] {
+					t.Fatalf("id %d col %d: tier %v != reference %v", ids[i], j, rows[i][j], refRows[i][j])
+				}
+			}
+			rows[i][0], refRows[i][0] = stamp, stamp
+		}
+		st.Write(ids, rows)
+		refStore.Write(ids, refRows)
+	}
+
+	step([]uint64{0, 1, 2, 3, 4, 5, 13, 16})
+	step([]uint64{1, 7, 10, 12})
+	killable.Kill() // chaos: server 1's machine disappears
+	step([]uint64{0, 1, 2, 6, 7, 9, 13})
+	step([]uint64{4, 10, 19, 22, 25})
+
+	if dead := st.DeadServers(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadServers() = %v, want [1]", dead)
+	}
+	if h := st.TierHealth(); h.Failovers == 0 {
+		t.Fatalf("no failovers counted after the kill: %+v", h)
+	}
+	if fp, want := st.Fingerprint(), ref.Fingerprint(); fp != want {
+		t.Fatalf("surviving tier fingerprint %x != reference %x", fp, want)
+	}
+	deadSet := []bool{false, true, false}
+	merged, err := embed.MergeTierReplicated(tier, R, deadSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, merged); len(d) != 0 {
+		t.Fatalf("surviving merge differs from reference at %v", d)
+	}
+	restored, err := embed.RestoreTierReplicated(bytes.NewReader(st.Checkpoint()), S, ref.NumShards(), R, deadSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, restored); len(d) != 0 {
+		t.Fatalf("restored surviving checkpoint differs at %v", d)
+	}
+
+	st.Shutdown() // skips the dead server
+	for _, l := range links {
+		l.Close()
+	}
+	for i, done := range serveDone {
+		err := <-done
+		if i == 1 {
+			continue // the killed server's serve loop fails by design
+		}
+		if err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+	}
 }

@@ -96,6 +96,27 @@ type Transport interface {
 	Name() string
 }
 
+// FallibleStore is the error-returning face of a Store. The Transport/Store
+// methods are errorless by design — the in-process implementations cannot
+// fail, and a worker with no embedding tier left cannot make progress — but
+// replication needs a middle ground: a ShardedStore with replicate ≥ 2 can
+// survive losing a server, so the per-server RPC must be able to *report*
+// failure instead of dying. Children that implement FallibleStore get the
+// retry/failover path; children that don't (they cannot fail, or a test stub
+// that panics) keep the errorless path. The Try forms mirror their errorless
+// counterparts exactly — same ownership rules, same accounting.
+//
+// TryFingerprintPart is the partition-scoped certificate
+// (embed.Server.FingerprintPart): a replicated tier sums one partition
+// fingerprint per partition, taken from the first live holder, so replicated
+// rows are counted once.
+type FallibleStore interface {
+	TryFetch(ids []uint64) ([][]float32, error)
+	TryWrite(ids []uint64, rows [][]float32) error
+	TryFingerprintPart(part, of int) (uint64, error)
+	TryCheckpoint() ([]byte, error)
+}
+
 // InProcess is the zero-cost transport: trainers and embedding servers
 // share an address space and calls go straight to the server (which is
 // itself shard-parallel).
@@ -168,6 +189,9 @@ func (t *InProcess) Stats() Stats {
 // certificate).
 func (t *InProcess) Fingerprint() uint64 { return t.Server.Fingerprint() }
 
+// FingerprintPart is the partition-scoped certificate (see FallibleStore).
+func (t *InProcess) FingerprintPart(part, of int) uint64 { return t.Server.FingerprintPart(part, of) }
+
 // Checkpoint implements Store.
 func (t *InProcess) Checkpoint() []byte { return checkpointBytes(t.Server) }
 
@@ -177,6 +201,23 @@ func (t *InProcess) Shutdown() {}
 
 // ServerStats implements Store.
 func (t *InProcess) ServerStats() []Stats { return []Stats{t.Stats()} }
+
+// TryFetch, TryWrite, TryFingerprintPart, TryCheckpoint implement
+// FallibleStore. A shared address space cannot fail, so they never return an
+// error — implementing the interface anyway keeps the replicated tier's
+// routing uniform across fabrics (and lets tests inject faults by wrapping).
+func (t *InProcess) TryFetch(ids []uint64) ([][]float32, error) { return t.Fetch(ids), nil }
+
+func (t *InProcess) TryWrite(ids []uint64, rows [][]float32) error {
+	t.Write(ids, rows)
+	return nil
+}
+
+func (t *InProcess) TryFingerprintPart(part, of int) (uint64, error) {
+	return t.Server.FingerprintPart(part, of), nil
+}
+
+func (t *InProcess) TryCheckpoint() ([]byte, error) { return checkpointBytes(t.Server), nil }
 
 // checkpointBytes serializes srv. Checkpointing to memory cannot fail; an
 // encoder error means corrupted in-process state and dies loudly like every
@@ -288,6 +329,9 @@ func (t *SimNet) Stats() Stats {
 // off the measured data path, so the simulated link charges them nothing.
 func (t *SimNet) Fingerprint() uint64 { return t.Server.Fingerprint() }
 
+// FingerprintPart is the partition-scoped certificate (see FallibleStore).
+func (t *SimNet) FingerprintPart(part, of int) uint64 { return t.Server.FingerprintPart(part, of) }
+
 // Checkpoint implements Store.
 func (t *SimNet) Checkpoint() []byte { return checkpointBytes(t.Server) }
 
@@ -296,3 +340,19 @@ func (t *SimNet) Shutdown() {}
 
 // ServerStats implements Store.
 func (t *SimNet) ServerStats() []Stats { return []Stats{t.Stats()} }
+
+// TryFetch, TryWrite, TryFingerprintPart, TryCheckpoint implement
+// FallibleStore; a simulated link models delay, not loss, so they never
+// fail (the fault-injection tests wrap these to model loss).
+func (t *SimNet) TryFetch(ids []uint64) ([][]float32, error) { return t.Fetch(ids), nil }
+
+func (t *SimNet) TryWrite(ids []uint64, rows [][]float32) error {
+	t.Write(ids, rows)
+	return nil
+}
+
+func (t *SimNet) TryFingerprintPart(part, of int) (uint64, error) {
+	return t.Server.FingerprintPart(part, of), nil
+}
+
+func (t *SimNet) TryCheckpoint() ([]byte, error) { return checkpointBytes(t.Server), nil }
