@@ -42,6 +42,7 @@ import (
 	"bagpipe/internal/core"
 	"bagpipe/internal/data"
 	"bagpipe/internal/embed"
+	"bagpipe/internal/serve"
 	"bagpipe/internal/train"
 	"bagpipe/internal/transport"
 )
@@ -79,7 +80,7 @@ var (
 	meshLat  = flag.Duration("mesh-latency", 500*time.Microsecond, "lrpp + sim: trainer-to-trainer link latency")
 	meshBW   = flag.Float64("mesh-bw", 1e9, "lrpp + sim: trainer-to-trainer link bandwidth in bytes/sec (0 = infinite)")
 
-	serve       = flag.Bool("serve", false, "run as the embedding-server process (tcp); requires -listen")
+	serveFl     = flag.Bool("serve", false, "run as the embedding-server process (tcp); requires -listen")
 	listen      = flag.String("listen", "", "listen address for -serve, or bind override for a -rank worker")
 	rank        = flag.Int("rank", -1, "run as trainer process `rank` (tcp); requires -peers and -server-addr")
 	peersFl     = flag.String("peers", "", "comma-separated, rank-ordered trainer mesh addresses (tcp workers)")
@@ -88,6 +89,15 @@ var (
 	spawn       = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
 	killServer  = flag.Int("kill-server", -1, "chaos (tcp driver, lrpp): kill embedding server `K` mid-run; with -replicate >= 2 the run completes and certifies against the baseline")
 	killDelay   = flag.Duration("kill-delay", 500*time.Millisecond, "chaos: how long after spawning the trainers to kill the -kill-server target")
+
+	serveInfer   = flag.Bool("serve-infer", false, "run the online inference front end against the live training tier (lrpp): local fabrics serve in-process on the trainer's retirement clock, the tcp driver serves from the driver process over its own tier links")
+	inferQPS     = flag.Float64("infer-qps", 0, "aggregate offered inference rate across clients (0 = unpaced closed loop)")
+	inferClients = flag.Int("infer-clients", 2, "closed-loop inference clients (one goroutine, model replica, and rate bucket each)")
+	inferDist    = flag.String("infer-dist", "zipf", "inference key popularity: zipf, drift, hottail, uniform")
+	inferStale   = flag.Int64("infer-max-stale", 8, "serving staleness bound in write-back epochs: a cached row is never served once the epoch advances more than this past its fetch")
+	inferCache   = flag.Int("infer-cache-rows", 4096, "hot-row cache capacity of the inference front end")
+	inferRate    = flag.Float64("infer-rate-limit", 0, "admitted QPS per inference client, enforced by the token bucket (0 disables admission rate limiting)")
+	inferP99     = flag.Duration("infer-p99-bound", 250*time.Millisecond, "chaos: the serving-under-chaos PASS requires the lookup p99 within this bound")
 
 	verify   = flag.Bool("verify", false, "also run the no-cache baseline and compare final embedding state bit-for-bit")
 	baseline = flag.Bool("baseline", false, "shorthand for -engine baseline")
@@ -129,13 +139,34 @@ func main() {
 		if *killServer >= *servers {
 			fatal(fmt.Errorf("-kill-server %d names no server (the tier has -servers %d)", *killServer, *servers))
 		}
-		if netName != "tcp" || *serve || *rank >= 0 || *engineFl != "lrpp" {
+		// Chaos needs real processes to kill: when the fabric was left at its
+		// default, imply the tcp driver instead of rejecting the run.
+		if netName != "tcp" && !netExplicit() {
+			fmt.Fprintln(os.Stderr, "bagpipe: -kill-server implies the tcp driver; defaulting -net tcp")
+			netName = "tcp"
+		}
+		if netName != "tcp" || *serveFl || *rank >= 0 || *engineFl != "lrpp" {
 			fatal(fmt.Errorf("-kill-server is a chaos flag for the lrpp tcp driver (-net tcp -spawn)"))
 		}
 		// A survived kill is only meaningful if the surviving tier is
 		// certified, so chaos implies -verify on the lossless path.
 		if !*syncComp && !*syncCompGrad {
 			*verify = true
+		}
+	}
+
+	if *serveInfer {
+		if *engineFl != "lrpp" {
+			fatal(fmt.Errorf("-serve-infer serves over the live lrpp training tier; -engine %s has no serving form", *engineFl))
+		}
+		if *serveFl || *rank >= 0 {
+			fatal(fmt.Errorf("-serve-infer is a driver-side flag; the -serve/-rank worker processes do not host the front end"))
+		}
+		if *inferClients < 1 {
+			fatal(fmt.Errorf("-infer-clients must be at least 1, got %d", *inferClients))
+		}
+		if _, ok := data.ServingDist(*inferDist); !ok {
+			fatal(fmt.Errorf("unknown -infer-dist %q (zipf, drift, hottail, uniform)", *inferDist))
 		}
 	}
 
@@ -161,7 +192,7 @@ func main() {
 	}
 
 	switch {
-	case *serve:
+	case *serveFl:
 		runServer(spec)
 	case *rank >= 0:
 		if *autoLook {
@@ -194,6 +225,18 @@ func resolveNet() (string, error) {
 		return "tcp", nil
 	}
 	return "", fmt.Errorf("unknown -net %q (inproc, sim, tcp)", name)
+}
+
+// netExplicit reports whether the user named a fabric on the command line
+// (-net or the deprecated -transport alias) rather than inheriting defaults.
+func netExplicit() bool {
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "net" || f.Name == "transport" {
+			explicit = true
+		}
+	})
+	return explicit
 }
 
 // newServer builds one embedding server; every role derives the identical
@@ -421,6 +464,9 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 			if netName == "sim" {
 				mesh = transport.NewSimMesh(*trainers, *meshLat, *meshBW)
 			}
+			if *serveInfer {
+				return runLRPPServing(cfg, spec, srvs, trs, mesh, netName)
+			}
 			return train.RunLRPP(cfg, trs, mesh)
 		}
 		return nil, fmt.Errorf("unknown engine %q", *engineFl)
@@ -437,6 +483,9 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 		md.report(res.Iters)
 		if *engineFl == "lrpp" && (cfg.SyncCompress || cfg.SyncCompressGrad) {
 			reportLossDeviation(cfg, spec, res)
+		}
+		if *engineFl == "lrpp" && *serveInfer {
+			reportInterference(cfg, spec, netName, res)
 		}
 	}
 
@@ -466,6 +515,112 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 				*engineFl, baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
 		}
 	}
+}
+
+// newFrontend assembles the inference front end from the -infer-* flags
+// over the given read face of the tier.
+func newFrontend(store transport.ReadStore, spec *data.Spec, epoch serve.EpochSource) (*serve.Frontend, error) {
+	return serve.New(serve.Config{
+		Store:         store,
+		Spec:          spec,
+		Model:         *modelFl,
+		Seed:          *seed,
+		Epoch:         epoch,
+		MaxStale:      *inferStale,
+		CacheRows:     *inferCache,
+		Clients:       *inferClients,
+		RatePerClient: *inferRate,
+		Servers:       *servers,
+	})
+}
+
+// loadConfig assembles the load generator's run; the Duration is effectively
+// unbounded because the stop channel (training completion) ends the run.
+func loadConfig(fe *serve.Frontend, spec *data.Spec) serve.LoadConfig {
+	return serve.LoadConfig{
+		Frontend: fe,
+		Spec:     spec,
+		Seed:     *seed ^ 0x5E,
+		Clients:  *inferClients,
+		QPS:      *inferQPS,
+		Dist:     *inferDist,
+		Duration: 24 * time.Hour,
+	}
+}
+
+// reportServe prints the serving block — load accounting, latency/shed
+// summary, consistency audit — and returns an error if the run served
+// nothing or the audit rejected it.
+func reportServe(fe *serve.Frontend, lr serve.LoadResult) error {
+	fmt.Println()
+	fmt.Println(lr)
+	fmt.Println(fe.Stats())
+	audit := fe.Audit()
+	fmt.Println(audit)
+	if !audit.Clean() {
+		return fmt.Errorf("FAIL: serving consistency audit rejected the run: %v", audit)
+	}
+	if lr.Served == 0 {
+		return fmt.Errorf("FAIL: the load generator served zero queries")
+	}
+	return nil
+}
+
+// runLRPPServing trains and serves concurrently over the same in-process
+// tier: the trainers' retirement clock (train.Progress) is the front end's
+// epoch source, and the load generator stops when training finishes.
+func runLRPPServing(cfg train.Config, spec *data.Spec, srvs []*embed.Server, trs []transport.Store, mesh transport.Mesh, netName string) (*train.Result, error) {
+	prog := train.NewProgress(cfg.NumTrainers)
+	cfg.Progress = prog
+	fe, err := newFrontend(transport.AsReadStore(storeOver(srvs, netName)), spec, prog)
+	if err != nil {
+		return nil, err
+	}
+	trainDone := make(chan struct{})
+	loadDone := make(chan struct{})
+	var lr serve.LoadResult
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		lr, loadErr = serve.RunLoad(loadConfig(fe, spec), trainDone)
+	}()
+	res, err := train.RunLRPP(cfg, trs, mesh)
+	close(trainDone)
+	<-loadDone
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if err := reportServe(fe, lr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// reportInterference reruns the identical training config with serving off
+// and prints the throughput the serving load cost — the CLI view of
+// BenchmarkServeInterference, behind -stats because it doubles the run.
+func reportInterference(cfg train.Config, spec *data.Spec, netName string, res *train.Result) {
+	solo := cfg
+	solo.Progress = nil
+	srvs := newServers(spec)
+	trs := make([]transport.Store, cfg.NumTrainers)
+	for i := range trs {
+		trs[i] = storeOver(srvs, netName)
+	}
+	var mesh transport.Mesh
+	if netName == "sim" {
+		mesh = transport.NewSimMesh(cfg.NumTrainers, *meshLat, *meshBW)
+	}
+	ref, err := train.RunLRPP(solo, trs, mesh)
+	if err != nil {
+		fmt.Printf("  interference: serving-free twin run failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  interference: train %.0f ex/s under serving vs %.0f ex/s alone (%+.1f%%)\n",
+		res.Throughput(), ref.Throughput(), 100*(res.Throughput()-ref.Throughput())/ref.Throughput())
 }
 
 // runServer is the embedding-server process: serve until a client sends the
@@ -665,6 +820,35 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 				"-peers", strings.Join(meshAddrs, ","),
 				"-server-addrs", strings.Join(srvAddrs, ",")))
 		}
+		// The serving leg lives in the driver process, on its own tier links,
+		// while the trainer processes mutate the tier. The front end cannot
+		// see the trainers' retirement clock from here, so the staleness
+		// bound is denominated in wall-clock ticker epochs instead.
+		var (
+			infFE    *serve.Frontend
+			infLinks []*transport.TCPLink
+			infRes   serve.LoadResult
+			infErr   error
+			infDone  chan struct{}
+			infStop  chan struct{}
+		)
+		if *serveInfer {
+			store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
+			if err != nil {
+				die(err)
+			}
+			infLinks = links
+			infFE, err = newFrontend(transport.AsReadStore(store), spec, serve.NewTickerEpoch(100*time.Millisecond))
+			if err != nil {
+				die(err)
+			}
+			infStop = make(chan struct{})
+			infDone = make(chan struct{})
+			go func() {
+				defer close(infDone)
+				infRes, infErr = serve.RunLoad(loadConfig(infFE, spec), infStop)
+			}()
+		}
 		if *killServer >= 0 {
 			// The chaos arm: kill one embedding server while the trainers
 			// run. Kill only — reaping stays on the main goroutine (the final
@@ -682,6 +866,29 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			if err := proc.Wait(); err != nil {
 				fmt.Fprintf(os.Stderr, "bagpipe: trainer %d: %v\n", p, err)
 				failed = true
+			}
+		}
+		if *serveInfer {
+			close(infStop)
+			<-infDone
+			for _, l := range infLinks {
+				if l != nil {
+					l.Close()
+				}
+			}
+			if infErr != nil {
+				die(infErr)
+			}
+			if err := reportServe(infFE, infRes); err != nil {
+				die(err)
+			}
+			if *killServer >= 0 {
+				st := infFE.Stats()
+				if st.LookupP99 > *inferP99 {
+					die(fmt.Errorf("FAIL: serving under chaos: lookup p99 %v exceeds the -infer-p99-bound %v", st.LookupP99, *inferP99))
+				}
+				fmt.Printf("\nPASS: serving under chaos: %d queries served across the kill of server %d, lookup p99 %v within %v, audit clean\n",
+					infRes.Served, *killServer, st.LookupP99, *inferP99)
 			}
 		}
 		if failed {
@@ -856,8 +1063,17 @@ func (p *prefixWriter) Write(b []byte) (int, error) {
 func banner(spec *data.Spec, netName string) {
 	fmt.Printf("dataset %s  (%d categorical / %d numeric, %d rows, dim %d)\n",
 		spec.Name, spec.NumCategorical, spec.NumNumeric, spec.TotalRows(), spec.EmbDim)
-	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  servers %d x %d shards  replicate %d  net %s\n\n",
+	fmt.Printf("engine %s  model %s  opt %s  lr %g  batch %d x %d iters  lookahead %d  trainers %d  partitioner %s  servers %d x %d shards  replicate %d  net %s\n",
 		*engineFl, *modelFl, *optFl, *lr, *batchSz, *batches, *lookahd, *trainers, *partFl, *servers, *shards, *replicate, netName)
+	if *serveInfer {
+		qps := "unpaced"
+		if *inferQPS > 0 {
+			qps = fmt.Sprintf("%g qps", *inferQPS)
+		}
+		fmt.Printf("serving %d clients  dist %s  %s  max-stale %d epochs  cache %d rows\n",
+			*inferClients, *inferDist, qps, *inferStale, *inferCache)
+	}
+	fmt.Println()
 }
 
 // specByName resolves the dataset flag to a Table 1 shape.

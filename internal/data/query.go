@@ -1,0 +1,84 @@
+package data
+
+import "bagpipe/internal/tensor"
+
+// Serving-side query generation. Training walks batches; an inference
+// front end receives a stream of single example-shaped queries per client,
+// with the popularity profile of live traffic rather than the log being
+// replayed: Zipfian head concentration, or a hot set that drifts while the
+// run is in flight (the §2.3 day-over-day shift). Each QueryGen is one
+// closed-loop client's deterministic stream — (spec, seed, client) fully
+// determines the queries, so a failed run replays exactly — and each
+// client owns its Distribution instance, so the stateful Drifting clock
+// advances per client, not globally.
+
+// ServingDist returns a fresh access distribution for one serving client.
+// Stateful distributions (drift) must not be shared across clients, so the
+// caller invokes this once per client. Names: "zipf" (static head, alpha
+// 1.1), "drift" (hot set rotating mid-run), "hottail" (the training
+// default's profile), "uniform" (degenerate, no skew).
+func ServingDist(name string) (Distribution, bool) {
+	switch name {
+	case "zipf":
+		return NewZipf(1.1), true
+	case "drift":
+		// A tight hot set that moves fast enough to churn a serving cache
+		// within one CLI run: one step every 2048 draws.
+		return NewDrifting(NewHotTail(0.001, 0.9, 1.05), 2048, 97), true
+	case "hottail":
+		return NewHotTail(0.001, 0.9, 1.05), true
+	case "uniform":
+		return Uniform{}, true
+	}
+	return nil, false
+}
+
+// QueryGen produces one client's inference query stream over a Spec's
+// keyspace. Next fills a caller-owned Example in place (no Label — queries
+// are unlabeled), reusing its Dense/Cat storage, so the steady-state
+// serving loop draws queries without allocating.
+type QueryGen struct {
+	spec    *Spec
+	offsets []uint64
+	dist    Distribution
+	rng     *tensor.RNG
+}
+
+// NewQueryGen builds client client's stream over spec with the given
+// distribution (from ServingDist; pass nil to use the spec's own training
+// distribution — only safe when that distribution is stateless).
+func NewQueryGen(spec *Spec, seed uint64, client int, dist Distribution) *QueryGen {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if dist == nil {
+		dist = spec.Dist
+	}
+	return &QueryGen{
+		spec:    spec,
+		offsets: spec.TableOffsets(),
+		dist:    dist,
+		rng:     tensor.NewRNG(seed ^ (uint64(client)+1)*0xD1B54A32D192ED03),
+	}
+}
+
+// Next fills ex with the stream's next query, reusing its storage.
+func (q *QueryGen) Next(ex *Example) {
+	s := q.spec
+	if cap(ex.Dense) < s.NumNumeric {
+		ex.Dense = make([]float32, s.NumNumeric)
+	}
+	ex.Dense = ex.Dense[:s.NumNumeric]
+	if cap(ex.Cat) < s.NumCategorical {
+		ex.Cat = make([]uint64, s.NumCategorical)
+	}
+	ex.Cat = ex.Cat[:s.NumCategorical]
+	for d := range ex.Dense {
+		ex.Dense[d] = q.rng.Float32()*2 - 1
+	}
+	for c := range ex.Cat {
+		row := q.dist.Sample(q.rng, s.TableSizes[c])
+		ex.Cat[c] = q.offsets[c] + uint64(row)
+	}
+	ex.Label = 0
+}

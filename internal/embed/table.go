@@ -76,21 +76,37 @@ func (t *Table) materialize(id uint64) []float32 {
 	return row
 }
 
-// Get copies the current value of row id into dst (len Dim).
+// initInto fills dst with row id's deterministic initial value without
+// materializing it. rowInit is pure, so no lock is needed; a read that
+// races a first write to the same row may return the init value, which is
+// the row's logical pre-write state.
+func (t *Table) initInto(id uint64, dst []float32) {
+	for c := range dst {
+		dst[c] = rowInit(t.Seed, id, c, t.Dim, t.InitScale)
+	}
+}
+
+// Get copies the current value of row id into dst (len Dim). Reads never
+// materialize: a miss computes the deterministic init value on the fly, so
+// the materialized set stays exactly the written set — read-heavy serving
+// load cannot grow server memory or perturb the tier fingerprint.
 func (t *Table) Get(id uint64, dst []float32) {
 	if len(dst) != t.Dim {
 		panic(fmt.Sprintf("embed: Get dst len %d != dim %d", len(dst), t.Dim))
 	}
+	// The copy must happen under the lock: Set overwrites rows in place, and
+	// with the serving path in the process a reader is no longer guaranteed
+	// to be the row's owning trainer (which serializes its own fetches and
+	// write-backs) — copying after unlock would tear the row.
 	t.mu.RLock()
 	row, ok := t.rows[id]
-	t.mu.RUnlock()
 	if ok {
 		copy(dst, row)
+		t.mu.RUnlock()
 		return
 	}
-	t.mu.Lock()
-	copy(dst, t.materialize(id))
-	t.mu.Unlock()
+	t.mu.RUnlock()
+	t.initInto(id, dst)
 }
 
 // Set overwrites row id with src (a trainer write-back).
@@ -143,14 +159,11 @@ func (t *Table) GetMany(ids []uint64, idxs []int, dsts [][]float32) {
 		}
 	}
 	t.mu.RUnlock()
-	if len(missing) == 0 {
-		return
-	}
-	t.mu.Lock()
+	// Misses are computed lock-free from the init derivation rather than
+	// materialized: fetches stay read-only on the table (see Get).
 	for _, i := range missing {
-		copy(dsts[i], t.materialize(ids[i]))
+		t.initInto(ids[i], dsts[i])
 	}
-	t.mu.Unlock()
 }
 
 // SetBatch overwrites rows ids[i] with srcs[i] under a single lock

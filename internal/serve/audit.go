@@ -1,0 +1,110 @@
+package serve
+
+import "fmt"
+
+// Auditor is the always-on serving-correctness monitor. It checks what a
+// read-only observer of the tier can check without seeing every write:
+//
+//   - phantom rows: every id a query asks to serve must lie inside the
+//     spec's keyspace — a served id no table contains is a row that never
+//     existed in any tier state;
+//   - torn rows: the cache's adoption-time checksum failing on a later hit
+//     means the serving copy was mutated in place (an arena-recycling or
+//     aliasing bug) — the front end refetches, and the event is counted
+//     here;
+//   - staleness: every served cache hit is at most the advertised epoch
+//     bound old (the cache enforces it; the auditor independently tallies
+//     the worst staleness actually served so the report is evidence, not
+//     assertion).
+//
+// The deeper property — a served row's *value* matches some row the tier
+// actually held at some epoch — needs the full write history and is pinned
+// by the conformance suite's history-checking tier wrapper in
+// conformance_test.go; the Auditor is the subset of that contract cheap
+// enough to leave on in production serving.
+type Auditor struct {
+	totalRows uint64
+	maxStale  int64
+
+	served       counter
+	phantoms     counter
+	torn         counter
+	worstStale   counter // max epoch lag actually served
+	staleBeyond  counter // served hits older than the advertised bound
+	checkedRows  counter
+	refetchAfter counter // requests refetched after a torn-row detection
+}
+
+// NewAuditor builds an auditor for a keyspace of totalRows global ids and
+// an advertised staleness bound of maxStale epochs.
+func NewAuditor(totalRows uint64, maxStale int64) *Auditor {
+	return &Auditor{totalRows: totalRows, maxStale: maxStale}
+}
+
+// CheckIDs verifies a query's ids are inside the keyspace before lookup;
+// out-of-range ids are counted as phantoms and the query rejected.
+func (a *Auditor) CheckIDs(ids []uint64) error {
+	for _, id := range ids {
+		if id >= a.totalRows {
+			a.phantoms.add(1)
+			return fmt.Errorf("serve: phantom row id %d outside keyspace of %d rows", id, a.totalRows)
+		}
+	}
+	return nil
+}
+
+// ObserveHit records a served cache hit whose entry was fetched lag epochs
+// ago.
+func (a *Auditor) ObserveHit(lag int64) {
+	a.checkedRows.add(1)
+	for {
+		cur := a.worstStale.load()
+		if lag <= cur {
+			break
+		}
+		if a.worstStale.v.CompareAndSwap(cur, lag) {
+			break
+		}
+	}
+	if lag > a.maxStale {
+		a.staleBeyond.add(1)
+	}
+}
+
+// ObserveTorn records a torn-row detection (wired as the cache's onTorn
+// hook).
+func (a *Auditor) ObserveTorn(uint64) { a.torn.add(1) }
+
+// ObserveServed records one completed query.
+func (a *Auditor) ObserveServed() { a.served.add(1) }
+
+// AuditReport is the end-of-run verdict the CLI prints and CI greps.
+type AuditReport struct {
+	Served      int64
+	Phantoms    int64
+	Torn        int64
+	WorstStale  int64
+	StaleBeyond int64
+}
+
+// Clean reports whether every audited invariant held.
+func (r AuditReport) Clean() bool {
+	return r.Phantoms == 0 && r.Torn == 0 && r.StaleBeyond == 0
+}
+
+// String renders the one-line audit verdict.
+func (r AuditReport) String() string {
+	return fmt.Sprintf("serve audit: served=%d torn=%d phantom=%d stale-violations=%d worst-staleness=%d epochs",
+		r.Served, r.Torn, r.Phantoms, r.StaleBeyond, r.WorstStale)
+}
+
+// Report snapshots the audit counters.
+func (a *Auditor) Report() AuditReport {
+	return AuditReport{
+		Served:      a.served.load(),
+		Phantoms:    a.phantoms.load(),
+		Torn:        a.torn.load(),
+		WorstStale:  a.worstStale.load(),
+		StaleBeyond: a.staleBeyond.load(),
+	}
+}

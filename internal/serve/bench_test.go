@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/transport"
+)
+
+// BenchmarkServeSteadyState pins the serving hot path: with the hot-row
+// cache warm, an embedding lookup (admission check, epoch read, per-feature
+// cache hits with checksum verification, gather into the request's emb
+// matrix) must not touch the Go allocator — the CI alloc gate greps this
+// benchmark for ' 0 allocs/op'. The model forward pass above the lookup
+// allocates inside the model and is deliberately outside the gated surface
+// (BenchmarkServeEndToEnd measures it).
+func BenchmarkServeSteadyState(b *testing.B) {
+	fe, ex := warmFrontend(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fe.lookup(0, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := fe.Cache().Stats(); st.Misses != 0 {
+		b.Fatalf("steady-state lookup missed %d times: not the hit path", st.Misses)
+	}
+}
+
+// BenchmarkServeEndToEnd measures a full served query — lookup plus model
+// forward — for the latency number next to the gated lookup cost.
+func BenchmarkServeEndToEnd(b *testing.B) {
+	fe, ex := warmFrontend(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fe.Serve(0, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// warmFrontend builds a front end over an in-process store and serves one
+// query until every row it touches is cached, then resets the counters.
+func warmFrontend(b *testing.B) (*Frontend, *data.Example) {
+	b.Helper()
+	spec := confSpec()
+	tier := confServers(spec, 1)
+	fe, err := New(Config{
+		Store:     transport.AsReadStore(transport.NewInProcess(tier[0])),
+		Spec:      spec,
+		Epoch:     FixedEpoch(0),
+		MaxStale:  1 << 30,
+		CacheRows: 4096,
+		Clients:   1,
+		Servers:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qg := data.NewQueryGen(spec, 11, 0, data.NewZipf(1.1))
+	ex := &data.Example{}
+	qg.Next(ex)
+	if _, err := fe.Serve(0, ex); err != nil {
+		b.Fatal(err)
+	}
+	fe.cache.hits = counter{}
+	fe.cache.misses = counter{}
+	return fe, ex
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"bagpipe/internal/transport"
+)
+
+// HotRowCache is the front end's bounded-staleness embedding cache. Every
+// entry is tagged with the write-back epoch current when its row was
+// fetched from the tier; a hit is only served while the run's epoch has
+// advanced at most maxStale past the entry's tag, after which the entry is
+// invalidated on touch — the trainer's write-back advancing is what expires
+// serving state, exactly the staleness contract ARCHITECTURE.md advertises.
+//
+// Rows live in the shared per-width transport.RowArena: inserts adopt
+// arena-owned rows (the tier read path allocates its results from the same
+// arena), and eviction/invalidation recycles them, so a warmed cache serves
+// hits and turns over misses without touching the Go allocator. Capacity is
+// fixed at construction; eviction is a clock hand (second-chance) over the
+// entry array — no linked lists to allocate, and scan cost is amortized
+// O(1) per insert.
+//
+// Every hit re-checksums the row against the checksum taken at adoption.
+// A mismatch means the serving copy was corrupted in place — the classic
+// arena-recycling bug where a row still cached was returned to the pool
+// and handed to a writer — and is counted as a torn row, surfaced through
+// the auditor, and treated as a miss so the request refetches.
+type HotRowCache struct {
+	mu       sync.Mutex
+	dim      int
+	maxStale int64
+	arena    *transport.RowArena
+	idx      map[uint64]int32
+	ents     []cacheEntry
+	freeList []int32
+	hand     int
+
+	hits, misses, stale, evictions, torn counter
+	onTorn                               func(id uint64)
+}
+
+type cacheEntry struct {
+	id    uint64
+	row   []float32
+	epoch int64
+	sum   uint32
+	used  bool
+	live  bool
+}
+
+// NewHotRowCache builds a cache of capacity rows of width dim whose hits
+// are valid for maxStale epochs past their fetch epoch. onTorn, when
+// non-nil, observes every checksum failure (the auditor's hook).
+func NewHotRowCache(dim, capacity int, maxStale int64, onTorn func(id uint64)) *HotRowCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &HotRowCache{
+		dim:      dim,
+		maxStale: maxStale,
+		arena:    transport.Rows(dim),
+		idx:      make(map[uint64]int32, capacity),
+		ents:     make([]cacheEntry, capacity),
+		freeList: make([]int32, 0, capacity),
+		onTorn:   onTorn,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.freeList = append(c.freeList, int32(i))
+	}
+	return c
+}
+
+// rowSum is the adoption-time checksum hits are re-verified against (FNV-1a
+// over the float bit patterns; allocation-free).
+func rowSum(row []float32) uint32 {
+	h := uint32(2166136261)
+	for _, v := range row {
+		b := math.Float32bits(v)
+		h ^= b & 0xFF
+		h *= 16777619
+		h ^= (b >> 8) & 0xFF
+		h *= 16777619
+		h ^= (b >> 16) & 0xFF
+		h *= 16777619
+		h ^= b >> 24
+		h *= 16777619
+	}
+	return h
+}
+
+// Get copies id's cached row into dst (len dim) and reports a hit plus the
+// entry's staleness lag in epochs. now is the current write-back epoch; an
+// entry older than maxStale is invalidated and missed. The copy happens
+// under the cache lock so a concurrent eviction can never recycle the row
+// mid-read.
+func (c *HotRowCache) Get(id uint64, now int64, dst []float32) (int64, bool) {
+	c.mu.Lock()
+	i, ok := c.idx[id]
+	if !ok {
+		c.misses.add(1)
+		c.mu.Unlock()
+		return 0, false
+	}
+	e := &c.ents[i]
+	lag := now - e.epoch
+	if lag > c.maxStale {
+		c.stale.add(1)
+		c.misses.add(1)
+		c.dropLocked(i)
+		c.mu.Unlock()
+		return 0, false
+	}
+	if rowSum(e.row) != e.sum {
+		c.torn.add(1)
+		c.misses.add(1)
+		id := e.id
+		c.dropLocked(i)
+		c.mu.Unlock()
+		if c.onTorn != nil {
+			c.onTorn(id)
+		}
+		return 0, false
+	}
+	copy(dst, e.row)
+	e.used = true
+	c.hits.add(1)
+	c.mu.Unlock()
+	return lag, true
+}
+
+// Put adopts an arena-owned row for id at epoch now: the cache owns it
+// until eviction/invalidation recycles it. A replaced entry's old row is
+// recycled immediately.
+func (c *HotRowCache) Put(id uint64, now int64, row []float32) {
+	c.mu.Lock()
+	if i, ok := c.idx[id]; ok {
+		e := &c.ents[i]
+		c.arena.Put(e.row)
+		e.row, e.epoch, e.sum, e.used = row, now, rowSum(row), true
+		c.mu.Unlock()
+		return
+	}
+	i := c.takeSlotLocked()
+	e := &c.ents[i]
+	*e = cacheEntry{id: id, row: row, epoch: now, sum: rowSum(row), used: true, live: true}
+	c.idx[id] = i
+	c.mu.Unlock()
+}
+
+// dropLocked removes entry i, recycling its row. Caller holds c.mu.
+func (c *HotRowCache) dropLocked(i int32) {
+	e := &c.ents[i]
+	delete(c.idx, e.id)
+	c.arena.Put(e.row)
+	*e = cacheEntry{}
+	c.freeList = append(c.freeList, i)
+}
+
+// takeSlotLocked returns a free entry index, running the clock hand to
+// evict a victim when the cache is full. Caller holds c.mu.
+func (c *HotRowCache) takeSlotLocked() int32 {
+	if n := len(c.freeList); n > 0 {
+		i := c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+		return i
+	}
+	for {
+		e := &c.ents[c.hand]
+		victim := int32(c.hand)
+		c.hand = (c.hand + 1) % len(c.ents)
+		if !e.live {
+			continue
+		}
+		if e.used {
+			e.used = false
+			continue
+		}
+		c.evictions.add(1)
+		c.dropLocked(victim)
+		n := len(c.freeList)
+		i := c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+		return i
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Stale, Evictions, Torn int64
+}
+
+// Stats snapshots the counters.
+func (c *HotRowCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.load(),
+		Misses:    c.misses.load(),
+		Stale:     c.stale.load(),
+		Evictions: c.evictions.load(),
+		Torn:      c.torn.load(),
+	}
+}
+
+// Len returns the number of live entries.
+func (c *HotRowCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idx)
+}

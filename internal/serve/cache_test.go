@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"testing"
+
+	"bagpipe/internal/transport"
+)
+
+func arenaRow(dim int, fill float32) []float32 {
+	row := transport.Rows(dim).Get()
+	for i := range row {
+		row[i] = fill
+	}
+	return row
+}
+
+// Epoch-tagged entries expire as the write-back epoch advances: a hit
+// within the bound, invalidation past it.
+func TestHotRowCacheStalenessBound(t *testing.T) {
+	const dim = 4
+	c := NewHotRowCache(dim, 8, 2, nil)
+	c.Put(7, 10, arenaRow(dim, 1.5))
+
+	dst := make([]float32, dim)
+	lag, ok := c.Get(7, 12, dst) // 2 epochs old: still inside the bound
+	if !ok || lag != 2 || dst[0] != 1.5 {
+		t.Fatalf("in-bound hit: lag=%d ok=%v row=%v", lag, ok, dst[0])
+	}
+	if _, ok := c.Get(7, 13, dst); ok { // 3 epochs: past the bound
+		t.Fatal("served a row staler than the bound")
+	}
+	if st := c.Stats(); st.Stale != 1 {
+		t.Fatalf("stale invalidations %d, want 1", st.Stale)
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale entry not evicted on touch")
+	}
+}
+
+// A cached row corrupted in place (the arena-recycling failure mode) is
+// caught by the adoption-time checksum: counted torn, reported to the
+// auditor hook, and missed so the caller refetches.
+func TestHotRowCacheTornRowDetection(t *testing.T) {
+	const dim = 4
+	var tornID uint64
+	c := NewHotRowCache(dim, 8, 100, func(id uint64) { tornID = id })
+	row := arenaRow(dim, 2.0)
+	c.Put(9, 0, row)
+	row[2] = 99 // corrupt the adopted row behind the cache's back
+
+	dst := make([]float32, dim)
+	if _, ok := c.Get(9, 0, dst); ok {
+		t.Fatal("served a torn row")
+	}
+	if st := c.Stats(); st.Torn != 1 {
+		t.Fatalf("torn count %d, want 1", st.Torn)
+	}
+	if tornID != 9 {
+		t.Fatalf("auditor hook saw id %d, want 9", tornID)
+	}
+}
+
+// Capacity is a hard bound; the clock hand prefers evicting untouched
+// entries over recently hit ones.
+func TestHotRowCacheEviction(t *testing.T) {
+	const dim = 4
+	c := NewHotRowCache(dim, 2, 100, nil)
+	c.Put(1, 0, arenaRow(dim, 1))
+	c.Put(2, 0, arenaRow(dim, 2))
+
+	dst := make([]float32, dim)
+	if _, ok := c.Get(1, 0, dst); !ok { // second-chance bit for id 1
+		t.Fatal("warm entry missing")
+	}
+	c.Put(3, 0, arenaRow(dim, 3))
+	if c.Len() != 2 {
+		t.Fatalf("cache len %d past capacity 2", c.Len())
+	}
+	if _, ok := c.Get(3, 0, dst); !ok {
+		t.Fatal("newly inserted entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+}
+
+// Replacing an entry recycles the old row and serves the new value.
+func TestHotRowCacheReplace(t *testing.T) {
+	const dim = 4
+	c := NewHotRowCache(dim, 4, 100, nil)
+	c.Put(5, 0, arenaRow(dim, 1))
+	c.Put(5, 3, arenaRow(dim, 7))
+	dst := make([]float32, dim)
+	lag, ok := c.Get(5, 3, dst)
+	if !ok || lag != 0 || dst[0] != 7 {
+		t.Fatalf("replaced entry: lag=%d ok=%v val=%v", lag, ok, dst[0])
+	}
+	if c.Len() != 1 {
+		t.Fatalf("replace duplicated the entry: len %d", c.Len())
+	}
+}

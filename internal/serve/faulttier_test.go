@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/transport"
+)
+
+// faultedFrontend builds a 2-server tier of fault-injectable children (the
+// PR-7 FaultStore wrapper, now carrying serve traffic) with a front end
+// whose breaker has a fast trip/cooldown, plus the injectors.
+func faultedFrontend(t *testing.T, R int, clk Clock) (*Frontend, []*transport.FaultStore, *data.Spec) {
+	t.Helper()
+	spec := confSpec()
+	tier := confServers(spec, 2)
+	faults := make([]*transport.FaultStore, 2)
+	children := make([]transport.Store, 2)
+	for s, srv := range tier {
+		faults[s] = transport.NewFaultStore(transport.NewInProcess(srv), s)
+		children[s] = faults[s]
+	}
+	st := transport.NewTier(children, transport.TierOptions{
+		Replicate: R,
+		Retries:   2,
+		Backoff:   time.Millisecond,
+	})
+	fe, err := New(Config{
+		Store:     transport.AsReadStore(st),
+		Spec:      spec,
+		Epoch:     FixedEpoch(0),
+		MaxStale:  1 << 30,
+		CacheRows: 1, // force nearly every lookup to the tier
+		Clients:   1,
+		Servers:   2,
+		Breaker: BreakerConfig{
+			FailThreshold: 2,
+			Cooldown:      50 * time.Millisecond,
+		},
+		Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fe, faults, spec
+}
+
+// With R=2 and a dead server, serve traffic fails over to the surviving
+// replica: queries keep succeeding, the dead server's breaker trips, and
+// once open the read path stops attempting it at all.
+func TestServeFailsOverAroundDeadServer(t *testing.T) {
+	fe, faults, spec := faultedFrontend(t, 2, nil)
+	qg := data.NewQueryGen(spec, 3, 0, data.NewZipf(1.1))
+	var ex data.Example
+
+	faults[1].SetDown(true)
+	for i := 0; i < 50; i++ {
+		qg.Next(&ex)
+		if _, err := fe.Serve(0, &ex); err != nil {
+			t.Fatalf("query %d shed despite a live replica: %v", i, err)
+		}
+	}
+	if fe.Breaker().State(1) != BreakerOpen {
+		t.Fatal("dead server's breaker never tripped under serve traffic")
+	}
+	if fe.Breaker().State(0) != BreakerClosed {
+		t.Fatal("surviving server's breaker tripped")
+	}
+	if audit := fe.Audit(); !audit.Clean() || audit.Served != 50 {
+		t.Fatalf("audit: %v", audit)
+	}
+}
+
+// With R=1 the dead partition is unreachable: Serve must return the tier's
+// attributed *TierError promptly — op/partition/server named, no hang —
+// while queries that only touch the live partition still serve.
+func TestServeTierErrorAttributionNoReplicas(t *testing.T) {
+	fe, faults, spec := faultedFrontend(t, 1, nil)
+	faults[1].SetDown(true)
+
+	qg := data.NewQueryGen(spec, 3, 0, data.NewZipf(1.1))
+	var ex data.Example
+	done := make(chan struct{})
+	var sawTierErr *transport.TierError
+	go func() {
+		defer close(done)
+		for i := 0; i < 100 && sawTierErr == nil; i++ {
+			qg.Next(&ex)
+			_, err := fe.Serve(0, &ex)
+			if err != nil {
+				var te *transport.TierError
+				if !errors.As(err, &te) {
+					t.Errorf("shed query returned %T, want *TierError: %v", err, err)
+					return
+				}
+				sawTierErr = te
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("serving against a dead R=1 partition hung")
+	}
+	if sawTierErr == nil {
+		t.Fatal("100 Zipf queries never touched the dead partition")
+	}
+	if sawTierErr.Op != "read" || sawTierErr.Partition != 1 {
+		t.Fatalf("attribution %+v, want op=read partition=1", sawTierErr)
+	}
+	if sawTierErr.Replicate != 1 {
+		t.Fatalf("replication factor %d, want 1", sawTierErr.Replicate)
+	}
+}
+
+// After the dead server revives, the half-open probe re-closes the breaker
+// and serving resumes against the primary: the chaos-recovery story at the
+// unit level, on a fake clock.
+func TestServeBreakerRecoversAfterRevival(t *testing.T) {
+	clk := NewFakeClock()
+	fe, faults, spec := faultedFrontend(t, 2, clk)
+	qg := data.NewQueryGen(spec, 3, 0, data.NewZipf(1.1))
+	var ex data.Example
+
+	faults[1].SetDown(true)
+	for i := 0; i < 30; i++ {
+		qg.Next(&ex)
+		if _, err := fe.Serve(0, &ex); err != nil {
+			t.Fatalf("query %d shed during outage: %v", i, err)
+		}
+	}
+	if fe.Breaker().State(1) != BreakerOpen {
+		t.Fatal("breaker never tripped")
+	}
+
+	faults[1].SetDown(false)
+	clk.Advance(time.Second) // past the 50ms cooldown
+	for i := 0; i < 30 && fe.Breaker().State(1) != BreakerClosed; i++ {
+		qg.Next(&ex)
+		if _, err := fe.Serve(0, &ex); err != nil {
+			t.Fatalf("query %d shed after revival: %v", i, err)
+		}
+	}
+	if st := fe.Breaker().State(1); st != BreakerClosed {
+		t.Fatalf("breaker state %d after revival and probes, want closed", st)
+	}
+	if audit := fe.Audit(); !audit.Clean() {
+		t.Fatalf("audit: %v", audit)
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+	"bagpipe/internal/train"
+	"bagpipe/internal/transport"
+)
+
+// FuzzServeConcurrentTrain drives random interleavings of trainer
+// write-backs, cache invalidations, and serving reads: the fuzzer picks the
+// tier shape, staleness bound, cache size, and popularity profile, and the
+// invariant auditor rejects any served row that never existed in the tier
+// history (the history-checking wrapper from the conformance suite), any
+// torn or phantom row, and any staleness-bound violation. The interleaving
+// itself comes from goroutine scheduling — every run overlaps live training
+// with serving — so each input explores a different slice of the
+// (write-back × invalidation × read) space.
+func FuzzServeConcurrentTrain(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(1), uint8(0), uint8(2), uint8(8))
+	f.Add(uint64(7), uint8(2), uint8(1), uint8(1), uint8(0), uint8(3))
+	f.Add(uint64(42), uint8(2), uint8(2), uint8(2), uint8(6), uint8(100))
+	f.Add(uint64(1234), uint8(3), uint8(2), uint8(3), uint8(1), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, pRaw, sRaw, distRaw, staleRaw, cacheRaw uint8) {
+		P := int(pRaw)%3 + 1
+		S := int(sRaw)%2 + 1
+		R := 1
+		if S > 1 && sRaw%4 >= 2 {
+			R = 2
+		}
+		dists := []string{"zipf", "drift", "hottail", "uniform"}
+		dist := dists[int(distRaw)%len(dists)]
+		maxStale := int64(staleRaw)%8 + 1
+		cacheRows := int(cacheRaw)%192 + 8
+
+		spec := confSpec()
+		cfg := confTrainCfg(spec, P)
+		cfg.Seed = seed
+		cfg.NumBatches = 10
+		cfg.LookAhead = 3
+
+		hist := newTierHist()
+		hist.recordInit(spec, confShards, confSeed, confInitScale)
+		tier := confServers(spec, S)
+		stores := make([]transport.Store, P+1)
+		for i := range stores {
+			children := make([]transport.Store, S)
+			for s, srv := range tier {
+				children[s] = newHistoryStore(transport.NewInProcess(srv), hist)
+			}
+			stores[i] = tierOf(children, R)
+		}
+
+		prog := train.NewProgress(P)
+		cfg.Progress = prog
+		fe, err := New(Config{
+			Store:     transport.AsReadStore(stores[P]),
+			Spec:      spec,
+			Model:     cfg.Model,
+			Seed:      cfg.Seed,
+			Epoch:     prog,
+			MaxStale:  maxStale,
+			CacheRows: cacheRows,
+			Clients:   2,
+			Servers:   S,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		trainDone := make(chan struct{})
+		var trainErr error
+		go func() {
+			defer close(trainDone)
+			_, trainErr = train.RunLRPP(cfg, stores[:P], nil)
+		}()
+		lr, err := RunLoad(LoadConfig{
+			Frontend: fe,
+			Spec:     spec,
+			Seed:     seed ^ 0xBEEF,
+			Clients:  2,
+			Dist:     dist,
+			Duration: time.Minute,
+		}, trainDone)
+		<-trainDone
+		if trainErr != nil {
+			t.Fatalf("training: %v", trainErr)
+		}
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if lr.TierShed != 0 || lr.OtherErrs != 0 {
+			t.Fatalf("healthy tier shed traffic: %+v", lr)
+		}
+		if n := hist.torn.Load(); n != 0 {
+			t.Fatalf("%d served rows never existed in tier history (first: %v)", n, hist.first.Load())
+		}
+		if audit := fe.Audit(); !audit.Clean() {
+			t.Fatalf("audit failed: %v", audit)
+		}
+		if audit := fe.Audit(); audit.WorstStale > maxStale {
+			t.Fatalf("worst served staleness %d epochs exceeds bound %d", audit.WorstStale, maxStale)
+		}
+		// The tier must end identical across R: merge and spot-check against
+		// a serve-free replay with the same config.
+		var merged *embed.Server
+		if S == 1 {
+			merged = tier[0]
+		} else if merged, err = embed.MergeTierReplicated(tier, R, nil); err != nil {
+			t.Fatal(err)
+		}
+		srvBase := embed.NewServer(confShards, spec.EmbDim, confSeed, confInitScale)
+		if _, err := train.RunBaseline(cfg, transport.NewInProcess(srvBase)); err != nil {
+			t.Fatalf("baseline replay: %v", err)
+		}
+		if d := embed.Diff(srvBase, merged); len(d) != 0 {
+			t.Fatalf("tier diverged from serve-free baseline at %d ids (first: %v)", len(d), d[0])
+		}
+	})
+}

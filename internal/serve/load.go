@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/transport"
+)
+
+// LoadConfig drives a closed-loop load generation run against a Frontend.
+type LoadConfig struct {
+	Frontend *Frontend
+	Spec     *data.Spec
+	Seed     uint64
+	// Clients is the concurrent closed-loop client count (must not exceed
+	// the Frontend's configured Clients).
+	Clients int
+	// QPS is the aggregate offered rate paced across clients; 0 means
+	// unpaced (each client issues as fast as the previous query finishes).
+	QPS float64
+	// Dist names the key-popularity profile (data.ServingDist): "zipf",
+	// "drift", "hottail", "uniform". Empty means "zipf".
+	Dist string
+	// Duration bounds the run (<= 0 means 2s) unless stop fires first.
+	Duration time.Duration
+}
+
+// LoadResult summarizes one load run. Latency quantiles live in the
+// Frontend's histograms; this is the request accounting.
+type LoadResult struct {
+	Issued    int64
+	Served    int64
+	RateShed  int64
+	TierShed  int64
+	OtherErrs int64
+	Elapsed   time.Duration
+}
+
+// String renders the one-line load summary.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("load: issued=%d served=%d shed(rate=%d tier=%d) errs=%d in %v (%.0f served qps)",
+		r.Issued, r.Served, r.RateShed, r.TierShed, r.OtherErrs, r.Elapsed.Round(time.Millisecond),
+		float64(r.Served)/r.Elapsed.Seconds())
+}
+
+// RunLoad runs Clients closed-loop clients against the front end, each
+// drawing a deterministic query stream from its own popularity
+// distribution instance, paced to the aggregate QPS. It returns when
+// Duration elapses or stop fires. Shed queries (rate limit, tier
+// failure) are counted, not retried — the closed loop immediately moves
+// to the next query, which is what keeps the front end's latency bounded
+// while a shard is down.
+func RunLoad(cfg LoadConfig, stop <-chan struct{}) (LoadResult, error) {
+	if cfg.Frontend == nil || cfg.Spec == nil {
+		return LoadResult{}, fmt.Errorf("serve: load needs a frontend and a spec")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = "zipf"
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if _, ok := data.ServingDist(cfg.Dist); !ok {
+		return LoadResult{}, fmt.Errorf("serve: unknown serving distribution %q", cfg.Dist)
+	}
+	interval := time.Duration(0)
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.QPS)
+	}
+	deadline := time.After(cfg.Duration)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	go func() {
+		select {
+		case <-deadline:
+		case <-stop:
+		}
+		closeOnce.Do(func() { close(done) })
+	}()
+
+	var issued, served, rateShed, tierShed, otherErrs atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			dist, _ := data.ServingDist(cfg.Dist)
+			qg := data.NewQueryGen(cfg.Spec, cfg.Seed, client, dist)
+			var ex data.Example
+			next := time.Now()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if interval > 0 {
+					now := time.Now()
+					if wait := next.Sub(now); wait > 0 {
+						select {
+						case <-done:
+							return
+						case <-time.After(wait):
+						}
+					}
+					next = next.Add(interval)
+					if behind := time.Now(); next.Before(behind) {
+						// A closed-loop client slower than its pace does not
+						// accumulate debt it would then burst through.
+						next = behind
+					}
+				}
+				qg.Next(&ex)
+				issued.Add(1)
+				_, err := cfg.Frontend.Serve(client, &ex)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrRateLimited):
+					rateShed.Add(1)
+				default:
+					var te *transport.TierError
+					if errors.As(err, &te) {
+						tierShed.Add(1)
+					} else {
+						otherErrs.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return LoadResult{
+		Issued:    issued.Load(),
+		Served:    served.Load(),
+		RateShed:  rateShed.Load(),
+		TierShed:  tierShed.Load(),
+		OtherErrs: otherErrs.Load(),
+		Elapsed:   time.Since(start),
+	}, nil
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bagpipe/internal/data"
+	"bagpipe/internal/model"
+	"bagpipe/internal/nn"
+	"bagpipe/internal/tensor"
+	"bagpipe/internal/transport"
+)
+
+// ErrRateLimited is returned for a query shed at the door by the
+// per-client token bucket.
+var ErrRateLimited = errors.New("serve: rate limited")
+
+// EpochSource tells the front end the current write-back epoch — the clock
+// the cache's staleness bound is denominated in. In-process serving wires
+// the trainer's *train.Progress straight in (its Epoch is the min retired
+// iteration across trainers); a front end in a separate process from the
+// trainers (the TCP driver) uses a TickerEpoch, trading the exact iteration
+// clock for a wall-clock one with the same monotone contract.
+type EpochSource interface {
+	Epoch() int64
+}
+
+// FixedEpoch is an EpochSource pinned at a constant — the no-training
+// (pure serving) and unit-test case.
+type FixedEpoch int64
+
+// Epoch implements EpochSource.
+func (e FixedEpoch) Epoch() int64 { return int64(e) }
+
+// TickerEpoch advances the epoch once per period of wall time.
+type TickerEpoch struct {
+	start  time.Time
+	period time.Duration
+}
+
+// NewTickerEpoch returns a ticker epoch advancing every period.
+func NewTickerEpoch(period time.Duration) *TickerEpoch {
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	return &TickerEpoch{start: time.Now(), period: period}
+}
+
+// Epoch implements EpochSource.
+func (t *TickerEpoch) Epoch() int64 { return int64(time.Since(t.start) / t.period) }
+
+// Config assembles a Frontend.
+type Config struct {
+	// Store is the tier's read-mostly face (transport.AsReadStore over the
+	// same store training writes through).
+	Store transport.ReadStore
+	// Spec shapes queries and sizes the model; Model and Seed must match
+	// the training run so the dense replica agrees with the trainers'.
+	Spec  *data.Spec
+	Model string
+	Seed  uint64
+	// Epoch is the write-back epoch clock; nil means FixedEpoch(0).
+	Epoch EpochSource
+	// MaxStale is the advertised staleness bound in epochs (<= 0 means 8):
+	// a cached row is never served once the epoch has advanced more than
+	// this past its fetch.
+	MaxStale int64
+	// CacheRows caps the hot-row cache (<= 0 means 4096 rows).
+	CacheRows int
+	// Clients is the closed-loop client count (model replicas + rate
+	// buckets are per client).
+	Clients int
+	// RatePerClient is each client's admitted QPS (0 disables limiting);
+	// Burst is the bucket depth (< 1 means 1).
+	RatePerClient float64
+	Burst         float64
+	// Servers is the tier width the circuit breaker covers (<= 0 means 1).
+	Servers int
+	Breaker BreakerConfig
+	// Clock feeds the limiter and breaker; nil means wall clock.
+	Clock Clock
+}
+
+// Frontend is one inference serving process: admission control at the
+// door, a bounded-staleness hot-row cache, breaker-routed tier reads, a
+// per-client dense-model replica for the forward pass, and latency/audit
+// accounting. Serve is safe for concurrent use across clients; calls for
+// one client must be serial (each closed-loop client is one goroutine).
+type Frontend struct {
+	cfg     Config
+	store   transport.ReadStore
+	epoch   EpochSource
+	cache   *HotRowCache
+	limiter *RateLimiter
+	breaker *CircuitBreaker
+	auditor *Auditor
+	models  []model.Model
+	scratch []clientScratch
+	dim     int
+
+	// Lookup is embedding-gather time (cache + tier); E2E adds the model
+	// forward pass.
+	Lookup Hist
+	E2E    Hist
+
+	queries  counter
+	tierShed counter
+}
+
+// clientScratch is one client's reusable request state; with every id a
+// cache hit, a query touches none of the allocator.
+type clientScratch struct {
+	dense   *tensor.Matrix
+	emb     *tensor.Matrix
+	cats    [][]uint64
+	missIDs []uint64
+	missPos []int
+	_       [32]byte // keep neighboring clients' scratch off one cache line
+}
+
+// New builds a Frontend.
+func New(cfg Config) (*Frontend, error) {
+	if cfg.Store == nil || cfg.Spec == nil {
+		return nil, fmt.Errorf("serve: need a store and a spec")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.MaxStale <= 0 {
+		cfg.MaxStale = 8
+	}
+	if cfg.CacheRows <= 0 {
+		cfg.CacheRows = 4096
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Epoch == nil {
+		cfg.Epoch = FixedEpoch(0)
+	}
+	if cfg.Model == "" {
+		cfg.Model = "dlrm"
+	}
+	dim := cfg.Spec.EmbDim
+	if sd := cfg.Store.Dim(); sd != dim {
+		return nil, fmt.Errorf("serve: store dim %d != spec dim %d", sd, dim)
+	}
+	f := &Frontend{
+		cfg:     cfg,
+		store:   cfg.Store,
+		epoch:   cfg.Epoch,
+		limiter: NewRateLimiter(cfg.RatePerClient, cfg.Burst, cfg.Clients, cfg.Clock),
+		breaker: NewCircuitBreaker(cfg.Servers, cfg.Breaker, cfg.Clock),
+		auditor: NewAuditor(uint64(cfg.Spec.TotalRows()), cfg.MaxStale),
+		models:  make([]model.Model, cfg.Clients),
+		scratch: make([]clientScratch, cfg.Clients),
+		dim:     dim,
+	}
+	f.cache = NewHotRowCache(dim, cfg.CacheRows, cfg.MaxStale, f.auditor.ObserveTorn)
+	mcfg := model.Config{
+		NumCategorical: cfg.Spec.NumCategorical,
+		NumNumeric:     cfg.Spec.NumNumeric,
+		TotalRows:      cfg.Spec.TotalRows(),
+		EmbDim:         dim,
+		Seed:           cfg.Seed,
+	}
+	for c := range f.models {
+		m, err := model.New(cfg.Model, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.models[c] = m
+		sc := &f.scratch[c]
+		sc.dense = tensor.NewMatrix(1, cfg.Spec.NumNumeric)
+		sc.emb = tensor.NewMatrix(1, cfg.Spec.NumCategorical*dim)
+		sc.cats = make([][]uint64, 1)
+		sc.missIDs = make([]uint64, 0, cfg.Spec.NumCategorical)
+		sc.missPos = make([]int, 0, cfg.Spec.NumCategorical)
+	}
+	return f, nil
+}
+
+// lookup gathers ex's embedding rows into client's scratch emb matrix:
+// cache hits copy in place, misses batch into one breaker-routed ReadFetch
+// whose rows the cache adopts. This is the path the 0 allocs/op gate pins
+// (all-hit lookups never touch the allocator); the forward pass above it
+// allocates inside the model and is measured, not gated.
+func (f *Frontend) lookup(client int, ex *data.Example) error {
+	if err := f.auditor.CheckIDs(ex.Cat); err != nil {
+		return err
+	}
+	sc := &f.scratch[client]
+	epoch := f.epoch.Epoch()
+	sc.missIDs = sc.missIDs[:0]
+	sc.missPos = sc.missPos[:0]
+	for c, id := range ex.Cat {
+		dst := sc.emb.Data[c*f.dim : (c+1)*f.dim]
+		if lag, ok := f.cache.Get(id, epoch, dst); ok {
+			f.auditor.ObserveHit(lag)
+			continue
+		}
+		sc.missIDs = append(sc.missIDs, id)
+		sc.missPos = append(sc.missPos, c)
+	}
+	if len(sc.missIDs) == 0 {
+		return nil
+	}
+	rows, err := f.store.ReadFetch(sc.missIDs, f.breaker)
+	if err != nil {
+		f.tierShed.add(1)
+		return err
+	}
+	for i, c := range sc.missPos {
+		copy(sc.emb.Data[c*f.dim:(c+1)*f.dim], rows[i])
+		// The cache adopts the arena-owned row; it is recycled on
+		// eviction/invalidation, never here.
+		f.cache.Put(sc.missIDs[i], epoch, rows[i])
+	}
+	transport.PutRowSlice(rows)
+	return nil
+}
+
+// Serve answers one query for client: admission, embedding gather, model
+// forward, score. A shed query returns ErrRateLimited or the tier's
+// attributed *transport.TierError; latency histograms only record queries
+// that were actually served.
+func (f *Frontend) Serve(client int, ex *data.Example) (float32, error) {
+	if !f.limiter.Allow(client) {
+		return 0, ErrRateLimited
+	}
+	start := time.Now()
+	if err := f.lookup(client, ex); err != nil {
+		return 0, err
+	}
+	f.Lookup.Observe(time.Since(start))
+	sc := &f.scratch[client]
+	copy(sc.dense.Data, ex.Dense)
+	sc.cats[0] = ex.Cat
+	logits := f.models[client].Forward(sc.dense, sc.emb, sc.cats)
+	score := nn.SigmoidScalar(logits[0])
+	f.E2E.Observe(time.Since(start))
+	f.queries.add(1)
+	f.auditor.ObserveServed()
+	return score, nil
+}
+
+// Audit returns the auditor's verdict so far.
+func (f *Frontend) Audit() AuditReport { return f.auditor.Report() }
+
+// Breaker exposes the circuit breaker (chaos harness + tests).
+func (f *Frontend) Breaker() *CircuitBreaker { return f.breaker }
+
+// Cache exposes the hot-row cache (tests + stats).
+func (f *Frontend) Cache() *HotRowCache { return f.cache }
+
+// Stats is the front end's point-in-time serving summary.
+type Stats struct {
+	Queries    int64
+	RateShed   int64
+	TierShed   int64
+	Cache      CacheStats
+	Trips      int64
+	LookupP50  time.Duration
+	LookupP99  time.Duration
+	LookupP999 time.Duration
+	E2EP50     time.Duration
+	E2EP99     time.Duration
+	E2EP999    time.Duration
+}
+
+// Stats snapshots the serving counters and latency quantiles.
+func (f *Frontend) Stats() Stats {
+	return Stats{
+		Queries:    f.queries.load(),
+		RateShed:   f.limiter.Shed(),
+		TierShed:   f.tierShed.load(),
+		Cache:      f.cache.Stats(),
+		Trips:      f.breaker.Trips(),
+		LookupP50:  f.Lookup.Quantile(0.50),
+		LookupP99:  f.Lookup.Quantile(0.99),
+		LookupP999: f.Lookup.Quantile(0.999),
+		E2EP50:     f.E2E.Quantile(0.50),
+		E2EP99:     f.E2E.Quantile(0.99),
+		E2EP999:    f.E2E.Quantile(0.999),
+	}
+}
+
+// String renders the latency/shed report the CLI prints.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"serve: %d queries (shed %d rate, %d tier; breaker trips %d)\n"+
+			"serve: lookup p50=%v p99=%v p999=%v | e2e p50=%v p99=%v p999=%v\n"+
+			"serve: cache hits=%d misses=%d stale=%d evictions=%d",
+		s.Queries, s.RateShed, s.TierShed, s.Trips,
+		s.LookupP50, s.LookupP99, s.LookupP999, s.E2EP50, s.E2EP99, s.E2EP999,
+		s.Cache.Hits, s.Cache.Misses, s.Cache.Stale, s.Cache.Evictions)
+}

@@ -116,6 +116,7 @@ type lrppEngine struct {
 	mesh   transport.Mesh
 	coll   lrppColl
 	hooks  *LRPPHooks
+	prog   *Progress
 	worker bool // each trainer is its own process; record losses locally
 
 	losses []float64 // full-batch loss per iteration (written by trainer 0)
@@ -348,6 +349,7 @@ func newLRPPEngine(cfg *Config, mesh transport.Mesh, coll lrppColl) *lrppEngine 
 		mesh:   mesh,
 		coll:   coll,
 		hooks:  cfg.Hooks,
+		prog:   cfg.Progress,
 		losses: make([]float64, cfg.NumBatches),
 	}
 	if !cfg.SyncEager && cfg.LookAhead > 1 {
@@ -766,6 +768,9 @@ func (t *lrppTrainer) startMaintenance() {
 				if eng.hooks != nil && eng.hooks.OnRetire != nil {
 					eng.hooks.OnRetire(t.p, next)
 				}
+				if eng.prog != nil {
+					eng.prog.noteRetire(t.p, next)
+				}
 				t.tokens <- struct{}{}
 				delete(parked, next)
 				delete(done, next)
@@ -1001,6 +1006,9 @@ func (t *lrppTrainer) iterate(w *lrppWork) {
 		}
 	}
 	eng.syncEntries.Add(int64(nEntries))
+	if eng.prog != nil {
+		eng.prog.noteExamples(len(ls.mine))
+	}
 	t.mu.Lock()
 	for id, es := range owned {
 		t.depositLocked(id, x, t.p, es)

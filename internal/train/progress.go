@@ -1,0 +1,67 @@
+package train
+
+import "sync/atomic"
+
+// Progress is the live, lock-free view of a running LRPP engine that an
+// observer sharing the process — the serving front end — reads while
+// training mutates the tier. Two signals matter to serving:
+//
+//   - Epoch: the write-back epoch, the highest iteration e such that every
+//     trainer has retired every iteration ≤ e. Retirement is the moment a
+//     trainer's maintenance stage has landed all of an iteration's evicted
+//     rows on the tier (lrpp.go startMaintenance re-sequences it strictly
+//     in order), so rows fetched from the tier after Epoch() returns e can
+//     only reflect iterations ≤ e+ℒ in flight and nothing older than e is
+//     still pending — the serving cache's staleness bound is denominated
+//     in these epochs.
+//   - Examples: monotone count of examples whose backward pass completed,
+//     summed over the trainers this process hosts. Sampling it over wall
+//     time gives live train throughput, which is how the interference of
+//     serving load on training is measured (ex/s with serving on vs off).
+//
+// A Progress is optional (Config.Progress nil in ordinary runs) and
+// write-side costs two atomic stores per trainer iteration, nothing on the
+// steady-state allocation-free path's pools.
+type Progress struct {
+	retired  []atomic.Int64
+	examples atomic.Int64
+}
+
+// NewProgress sizes the tracker for a run with trainers ranks. Epoch
+// reports -1 until every trainer has retired its first iteration.
+func NewProgress(trainers int) *Progress {
+	p := &Progress{retired: make([]atomic.Int64, trainers)}
+	for i := range p.retired {
+		p.retired[i].Store(-1)
+	}
+	return p
+}
+
+// noteRetire records that trainer p has retired iteration iter (all its
+// write-backs for iter are on the tier). Called from each trainer's
+// maintenance goroutine, strictly in iteration order per trainer.
+func (p *Progress) noteRetire(trainer, iter int) {
+	p.retired[trainer].Store(int64(iter))
+}
+
+// noteExamples adds n completed examples.
+func (p *Progress) noteExamples(n int) {
+	p.examples.Add(int64(n))
+}
+
+// Epoch returns the write-back epoch: the minimum retired iteration across
+// trainers, -1 before every trainer has retired iteration 0.
+func (p *Progress) Epoch() int64 {
+	e := int64(1<<63 - 1)
+	for i := range p.retired {
+		if r := p.retired[i].Load(); r < e {
+			e = r
+		}
+	}
+	return e
+}
+
+// Examples returns the monotone completed-example count.
+func (p *Progress) Examples() int64 {
+	return p.examples.Load()
+}

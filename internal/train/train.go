@@ -110,6 +110,11 @@ type Config struct {
 	// Hooks, when non-nil, receives LRPP engine events for invariant
 	// auditing (differential + fuzz harness). Nil in production runs.
 	Hooks *LRPPHooks
+	// Progress, when non-nil, is updated live with the write-back epoch and
+	// completed-example count so an observer in the same process (the
+	// serving front end) can bound staleness and measure interference
+	// without touching engine internals. LRPP engine only.
+	Progress *Progress
 }
 
 func (c *Config) validate() error {

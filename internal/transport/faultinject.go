@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FaultStore wraps any child Store with a switchable fallible face — the
+// unit-level stand-in for a killed or crawling remote server. The PR-7
+// tier-failover suite uses it to condemn servers mid-run without real
+// sockets; the serving conformance suite reuses it to drive the read path's
+// breaker and shed logic. Production tiers never construct one; it lives in
+// the main build so test suites in other packages (train, serve) can inject
+// faults through the same wrapper.
+//
+// Semantics: while down, every fallible op fails with an error naming the
+// server; SetSlow injects a fixed latency before each fallible op (a slow
+// shard rather than a dead one). The errorless Store methods pass straight
+// through — the tier only routes fallible children through the
+// retry/failover machinery, so a FaultStore is always condemnable.
+type FaultStore struct {
+	Store
+	server int
+	down   atomic.Bool
+	slowNs atomic.Int64
+}
+
+// NewFaultStore wraps child as tier server index server.
+func NewFaultStore(child Store, server int) *FaultStore {
+	return &FaultStore{Store: child, server: server}
+}
+
+// SetDown switches the injected hard failure on or off.
+func (f *FaultStore) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports whether the store is currently failing.
+func (f *FaultStore) Down() bool { return f.down.Load() }
+
+// SetSlow injects d of latency before every fallible op (0 disables).
+func (f *FaultStore) SetSlow(d time.Duration) { f.slowNs.Store(int64(d)) }
+
+// instant preserves the child's scatter-path classification: wrapping an
+// in-process server must not silently switch the tier to the concurrent
+// scatter the serial tests pin.
+func (f *FaultStore) instant() bool {
+	if is, ok := f.Store.(instantStore); ok {
+		return is.instant()
+	}
+	return false
+}
+
+// gate injects the configured latency and reports the down error, if any.
+func (f *FaultStore) gate() error {
+	if d := time.Duration(f.slowNs.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if f.down.Load() {
+		return fmt.Errorf("transport: fault injection: server %d down", f.server)
+	}
+	return nil
+}
+
+// fallibleChild returns the child's fallible face, if it has one.
+func (f *FaultStore) fallibleChild() FallibleStore {
+	fs, _ := f.Store.(FallibleStore)
+	return fs
+}
+
+// TryFetch implements FallibleStore.
+func (f *FaultStore) TryFetch(ids []uint64) ([][]float32, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	if fs := f.fallibleChild(); fs != nil {
+		return fs.TryFetch(ids)
+	}
+	return f.Store.Fetch(ids), nil
+}
+
+// TryWrite implements FallibleStore.
+func (f *FaultStore) TryWrite(ids []uint64, rows [][]float32) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	if fs := f.fallibleChild(); fs != nil {
+		return fs.TryWrite(ids, rows)
+	}
+	f.Store.Write(ids, rows)
+	return nil
+}
+
+// TryFingerprintPart implements FallibleStore.
+func (f *FaultStore) TryFingerprintPart(part, of int) (uint64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if fs := f.fallibleChild(); fs != nil {
+		return fs.TryFingerprintPart(part, of)
+	}
+	pf, ok := f.Store.(partFingerprinter)
+	if !ok {
+		return 0, fmt.Errorf("transport: fault-injected server %d (%T) cannot serve partition fingerprints", f.server, f.Store)
+	}
+	return pf.FingerprintPart(part, of), nil
+}
+
+// TryCheckpoint implements FallibleStore.
+func (f *FaultStore) TryCheckpoint() ([]byte, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	if fs := f.fallibleChild(); fs != nil {
+		return fs.TryCheckpoint()
+	}
+	return f.Store.Checkpoint(), nil
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The read-mostly fast path. Training owns the tier's write story — acked
+// replicated writes, retry-then-condemn failover, panics when a partition
+// is truly gone, because a trainer without its tier cannot make progress.
+// An inference front end sharing the tier has the opposite contract: reads
+// only, latency-bounded, and a failed lookup must become a shed request,
+// never a dying process. ReadFetch is that contract: one attempt per live
+// replica in ring order, no retry sleep, no dead-marking, an attributed
+// *TierError returned as a value when every replica of a partition is
+// unavailable — and a ReadPolicy hook so an admission-control layer (the
+// serving circuit breaker) can veto servers it has observed failing or
+// crawling *before* a request queues behind them.
+
+// ReadPolicy steers the read path's per-server routing. AllowRead is
+// consulted before each attempt (an open circuit breaker answers false,
+// diverting the sub-batch to the next replica on the ring); ObserveRead is
+// told the outcome of every attempt actually made — duration and error —
+// which is the signal breakers and latency accounting feed on.
+// Implementations must be safe for concurrent use: the scatter calls them
+// from per-partition goroutines.
+type ReadPolicy interface {
+	AllowRead(server int) bool
+	ObserveRead(server int, d time.Duration, err error)
+}
+
+// ReadStore is the face the serving path consumes: a fail-fast,
+// policy-routed, errorful fetch. *ShardedStore implements it natively;
+// AsReadStore adapts the single-server transports.
+type ReadStore interface {
+	ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, error)
+	Dim() int
+}
+
+// ReadFetch implements ReadStore over the tier: the scatter/gather of
+// Fetch, but per partition each replica is tried exactly once in ring
+// order — skipping servers the tier knows are dead and servers pol vetoes —
+// and exhaustion returns an attributed *TierError instead of panicking.
+// Rows come from the same pooled allocator as Fetch (caller owns header and
+// rows); on error every row already gathered is recycled before returning,
+// so a shed request costs no pool capacity.
+func (t *ShardedStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, error) {
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	out := GetRowSlice(len(ids))
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		Rows(t.dim).PutN(out)
+		PutRowSlice(out)
+	}()
+	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if t.serialScatter(bounds) {
+		for part := range t.children {
+			if bounds[part] != bounds[part+1] {
+				record(t.readPartition(sc, part, ids, pos, bounds, out, pol))
+			}
+		}
+	} else {
+		var mu sync.Mutex
+		t.forEachPartition(bounds, func(part int) {
+			err := t.readPartition(sc, part, ids, pos, bounds, out, pol)
+			mu.Lock()
+			record(err)
+			mu.Unlock()
+		})
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	completed = true
+	return out, nil
+}
+
+// readPartition issues one partition's read sub-batch down its replica
+// ring, one attempt per admissible server, and gathers the rows into the
+// request-order result. Returns an attributed *TierError when no replica
+// served it.
+func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, out [][]float32, pol ReadPolicy) error {
+	run := pos[bounds[part]:bounds[part+1]]
+	sub := sc.sub[part][:0]
+	for _, p := range run {
+		sub = append(sub, ids[p])
+	}
+	sc.sub[part] = sub
+	S := len(t.children)
+	lastSrv, vetoed := part, false
+	var lastErr error
+	for k := 0; k < t.replicate; k++ {
+		s := (part + k) % S
+		if t.dead[s].Load() {
+			lastSrv = s
+			continue
+		}
+		if pol != nil && !pol.AllowRead(s) {
+			lastSrv, vetoed = s, true
+			continue
+		}
+		rows, err := t.readOnce(s, sub, pol)
+		if err != nil {
+			lastSrv, lastErr = s, err
+			continue
+		}
+		if s != part {
+			t.failovers.Add(1)
+		}
+		for i, p := range run {
+			out[p] = rows[i]
+		}
+		PutRowSlice(rows)
+		return nil
+	}
+	if lastErr == nil && vetoed {
+		lastErr = fmt.Errorf("transport: every live replica vetoed by the read policy (breaker open)")
+	}
+	if lastErr == nil {
+		lastErr = t.deadCause(lastSrv)
+	}
+	return &TierError{Op: "read", Partition: part, Server: lastSrv, Replicate: t.replicate, Cause: lastErr}
+}
+
+// readOnce is one timed, observed attempt against server s. Children
+// without a fallible face cannot fail, so they take the errorless call.
+func (t *ShardedStore) readOnce(s int, sub []uint64, pol ReadPolicy) (rows [][]float32, err error) {
+	start := time.Now()
+	if f := t.fallible[s]; f != nil {
+		rows, err = f.TryFetch(sub)
+	} else {
+		rows = t.children[s].Fetch(sub)
+	}
+	if pol != nil {
+		pol.ObserveRead(s, time.Since(start), err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// singleReadStore adapts a one-server Store to the ReadStore face: server
+// index 0, one attempt, the store's fallible face when it has one.
+type singleReadStore struct {
+	st  Store
+	f   FallibleStore
+	dim int
+}
+
+// AsReadStore returns the read-mostly face of any tier client: a
+// *ShardedStore serves it natively (replica routing, policy hooks), any
+// other Store becomes a one-server read path on server index 0 whose
+// failures (for fallible stores: a broken TCP link) surface as a *TierError
+// with partition 0 — the same attribution contract at every tier width.
+func AsReadStore(st Store) ReadStore {
+	if rs, ok := st.(ReadStore); ok {
+		return rs
+	}
+	f, _ := st.(FallibleStore)
+	return &singleReadStore{st: st, f: f, dim: st.Dim()}
+}
+
+// Dim implements ReadStore.
+func (s *singleReadStore) Dim() int { return s.dim }
+
+// ReadFetch implements ReadStore.
+func (s *singleReadStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, error) {
+	if pol != nil && !pol.AllowRead(0) {
+		return nil, &TierError{Op: "read", Partition: 0, Server: 0, Replicate: 1,
+			Cause: fmt.Errorf("transport: every live replica vetoed by the read policy (breaker open)")}
+	}
+	start := time.Now()
+	var (
+		rows [][]float32
+		err  error
+	)
+	if s.f != nil {
+		rows, err = s.f.TryFetch(ids)
+	} else {
+		rows = s.st.Fetch(ids)
+	}
+	if pol != nil {
+		pol.ObserveRead(0, time.Since(start), err)
+	}
+	if err != nil {
+		return nil, &TierError{Op: "read", Partition: 0, Server: 0, Replicate: 1, Cause: err}
+	}
+	return rows, nil
+}

@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingPolicy is a scripted ReadPolicy: a veto set plus a log of every
+// attempt observed — the regression tests' stand-in for the serving
+// circuit breaker.
+type recordingPolicy struct {
+	mu       sync.Mutex
+	veto     map[int]bool
+	observed []struct {
+		server int
+		err    error
+	}
+}
+
+func (p *recordingPolicy) AllowRead(server int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.veto[server]
+}
+
+func (p *recordingPolicy) ObserveRead(server int, d time.Duration, err error) {
+	p.mu.Lock()
+	p.observed = append(p.observed, struct {
+		server int
+		err    error
+	}{server, err})
+	p.mu.Unlock()
+}
+
+func (p *recordingPolicy) observedErrs(server int) (total, failed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, o := range p.observed {
+		if o.server == server {
+			total++
+			if o.err != nil {
+				failed++
+			}
+		}
+	}
+	return
+}
+
+// readIDs spans every partition of a 2-server tier.
+var readIDs = []uint64{0, 1, 2, 3, 10, 11, 20, 33}
+
+// ReadFetch on a healthy tier returns exactly what Fetch returns, and the
+// policy observes every attempt as a success.
+func TestReadFetchMatchesFetchWhenHealthy(t *testing.T) {
+	for _, S := range []int{1, 2} {
+		tier, _, _, _, _ := faultTier(S, TierOptions{Replicate: 1})
+		pol := &recordingPolicy{}
+		want := tier.Fetch(readIDs)
+		got, err := tier.ReadFetch(readIDs, pol)
+		if err != nil {
+			t.Fatalf("S=%d: ReadFetch on a healthy tier: %v", S, err)
+		}
+		for i := range want {
+			for c := range want[i] {
+				if want[i][c] != got[i][c] {
+					t.Fatalf("S=%d: row %d differs between Fetch and ReadFetch", S, i)
+				}
+			}
+		}
+		if total, failed := pol.observedErrs(0); total == 0 || failed != 0 {
+			t.Fatalf("S=%d: policy observed %d attempts, %d failures; want >0, 0", S, total, failed)
+		}
+		Rows(tier.Dim()).PutN(want)
+		Rows(tier.Dim()).PutN(got)
+	}
+}
+
+// The central regression: with every replica of a partition dead, ReadFetch
+// must return promptly — never hang, never panic — with a *TierError
+// attributing op, partition, and last server tried. And unlike the train
+// path, the read path must NOT condemn the server: a later train fetch
+// through the same tier still retries it.
+func TestReadFetchAllReplicasDeadAttributed(t *testing.T) {
+	const S = 2
+	tier, faults, _, _, _ := faultTier(S, TierOptions{Replicate: 2, Retries: 1, Backoff: time.Millisecond})
+	// Warm, then kill both servers: every partition loses every replica.
+	if _, err := tier.ReadFetch(readIDs, nil); err != nil {
+		t.Fatalf("warm read: %v", err)
+	}
+	faults[0].SetDown(true)
+	faults[1].SetDown(true)
+
+	type result struct {
+		rows [][]float32
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rows, err := tier.ReadFetch(readIDs, nil)
+		ch <- result{rows, err}
+	}()
+	var res result
+	select {
+	case res = <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReadFetch hung with all replicas dead")
+	}
+	if res.err == nil {
+		t.Fatal("ReadFetch returned rows from a fully dead tier")
+	}
+	var te *TierError
+	if !errors.As(res.err, &te) {
+		t.Fatalf("error %T is not a *TierError: %v", res.err, res.err)
+	}
+	if te.Op != "read" {
+		t.Fatalf("op %q, want \"read\"", te.Op)
+	}
+	if te.Partition < 0 || te.Partition >= S {
+		t.Fatalf("partition %d out of tier range", te.Partition)
+	}
+	if te.Server < 0 || te.Server >= S {
+		t.Fatalf("server %d out of tier range", te.Server)
+	}
+	if te.Replicate != 2 {
+		t.Fatalf("replication factor %d, want 2", te.Replicate)
+	}
+	if te.Cause == nil || !strings.Contains(te.Cause.Error(), "down") {
+		t.Fatalf("cause %v does not name the injected fault", te.Cause)
+	}
+
+	// Fail-fast reads never condemned the servers: revive them and the
+	// train-path Fetch works without a failover.
+	faults[0].SetDown(false)
+	faults[1].SetDown(false)
+	before := tier.TierHealth().Failovers
+	rows := tier.Fetch(readIDs)
+	Rows(tier.Dim()).PutN(rows)
+	if h := tier.TierHealth(); len(h.Dead) != 0 {
+		t.Fatalf("read path condemned servers %v", h.Dead)
+	}
+	if after := tier.TierHealth().Failovers; after != before {
+		t.Fatal("revived tier still failing over: read path must not mark servers dead")
+	}
+}
+
+// With one server dead and R=2, reads fail over to the surviving replica —
+// and the policy sees the failures it needs to trip a breaker.
+func TestReadFetchFailsOverToReplica(t *testing.T) {
+	tier, faults, _, _, _ := faultTier(2, TierOptions{Replicate: 2})
+	faults[1].SetDown(true)
+	pol := &recordingPolicy{}
+	rows, err := tier.ReadFetch(readIDs, pol)
+	if err != nil {
+		t.Fatalf("R=2 read with one dead server: %v", err)
+	}
+	Rows(tier.Dim()).PutN(rows)
+	if _, failed := pol.observedErrs(1); failed == 0 {
+		t.Fatal("policy never observed the dead server failing")
+	}
+}
+
+// A policy vetoing every live replica (breaker open tier-wide) surfaces an
+// attributed TierError naming the veto, instead of queueing behind the
+// vetoed servers.
+func TestReadFetchBreakerOpenAttributed(t *testing.T) {
+	tier, _, _, _, _ := faultTier(2, TierOptions{Replicate: 2})
+	pol := &recordingPolicy{veto: map[int]bool{0: true, 1: true}}
+	_, err := tier.ReadFetch(readIDs, pol)
+	var te *TierError
+	if !errors.As(err, &te) {
+		t.Fatalf("breaker-open error %T is not a *TierError: %v", err, err)
+	}
+	if te.Op != "read" {
+		t.Fatalf("op %q, want \"read\"", te.Op)
+	}
+	if !strings.Contains(err.Error(), "vetoed by the read policy") {
+		t.Fatalf("error does not name the veto: %v", err)
+	}
+	if total, _ := pol.observedErrs(0); total != 0 {
+		t.Fatal("vetoed server was still attempted")
+	}
+}
+
+// The single-server adapter keeps the same attribution contract at S=1:
+// failures surface as *TierError with partition 0, veto included.
+func TestSingleReadStoreAttribution(t *testing.T) {
+	tier := testTier(1)
+	fault := NewFaultStore(NewInProcess(tier[0]), 0)
+	rs := AsReadStore(fault)
+
+	rows, err := rs.ReadFetch(readIDs, nil)
+	if err != nil {
+		t.Fatalf("healthy single store: %v", err)
+	}
+	Rows(rs.Dim()).PutN(rows)
+
+	fault.SetDown(true)
+	_, err = rs.ReadFetch(readIDs, nil)
+	var te *TierError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TierError: %v", err, err)
+	}
+	if te.Op != "read" || te.Partition != 0 || te.Server != 0 || te.Replicate != 1 {
+		t.Fatalf("attribution %+v, want read/0/0/1", te)
+	}
+
+	fault.SetDown(false)
+	pol := &recordingPolicy{veto: map[int]bool{0: true}}
+	_, err = rs.ReadFetch(readIDs, pol)
+	if !errors.As(err, &te) || !strings.Contains(err.Error(), "vetoed by the read policy") {
+		t.Fatalf("veto error not attributed: %v", err)
+	}
+}
+
+// A partial outage sheds only the dead partition's reads at R=1; the other
+// partition still serves, and the error names the dead one.
+func TestReadFetchPartialOutageAttribution(t *testing.T) {
+	tier, faults, _, _, _ := faultTier(2, TierOptions{Replicate: 1})
+	faults[1].SetDown(true)
+
+	// IDs all owned by partition 0 still serve.
+	p0 := []uint64{0, 2, 10, 20}
+	rows, err := tier.ReadFetch(p0, nil)
+	if err != nil {
+		t.Fatalf("healthy partition shed by a neighbor's outage: %v", err)
+	}
+	Rows(tier.Dim()).PutN(rows)
+
+	// A batch touching partition 1 fails with partition 1 named.
+	_, err = tier.ReadFetch(readIDs, nil)
+	var te *TierError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TierError: %v", err, err)
+	}
+	if te.Partition != 1 || te.Server != 1 {
+		t.Fatalf("attributed partition %d server %d, want 1/1", te.Partition, te.Server)
+	}
+}
+
+// Concurrent ReadFetch against a mid-flight SetDown/SetUp flap never
+// panics, hangs, or returns an unattributed error (smoke for the pooled
+// scratch and row-recycling discipline on the error path).
+func TestReadFetchConcurrentFlap(t *testing.T) {
+	tier, faults, _, _, _ := faultTier(2, TierOptions{Replicate: 2})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			faults[i%2].SetDown(true)
+			time.Sleep(200 * time.Microsecond)
+			faults[i%2].SetDown(false)
+		}
+	}()
+	var readers sync.WaitGroup
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				rows, err := tier.ReadFetch(readIDs, nil)
+				if err != nil {
+					var te *TierError
+					if !errors.As(err, &te) {
+						errs <- fmt.Errorf("unattributed read error: %w", err)
+						return
+					}
+					continue
+				}
+				Rows(tier.Dim()).PutN(rows)
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -411,59 +410,15 @@ func TestShardedStoreScratchReturnedOnChildPanic(t *testing.T) {
 	}
 }
 
-// faultStore is an in-process server whose fallible face can be switched
-// off at runtime — the unit-level stand-in for a killed remote server.
-// notInstant demotes it to a "remote" child so the concurrent scatter path
-// is exercised too.
-type faultStore struct {
-	*InProcess
-	server int
-	down   atomic.Bool
-}
-
-func (f *faultStore) errIfDown() error {
-	if f.down.Load() {
-		return fmt.Errorf("transport test: server %d down", f.server)
-	}
-	return nil
-}
-
-func (f *faultStore) TryFetch(ids []uint64) ([][]float32, error) {
-	if err := f.errIfDown(); err != nil {
-		return nil, err
-	}
-	return f.InProcess.TryFetch(ids)
-}
-
-func (f *faultStore) TryWrite(ids []uint64, rows [][]float32) error {
-	if err := f.errIfDown(); err != nil {
-		return err
-	}
-	return f.InProcess.TryWrite(ids, rows)
-}
-
-func (f *faultStore) TryFingerprintPart(part, of int) (uint64, error) {
-	if err := f.errIfDown(); err != nil {
-		return 0, err
-	}
-	return f.InProcess.TryFingerprintPart(part, of)
-}
-
-func (f *faultStore) TryCheckpoint() ([]byte, error) {
-	if err := f.errIfDown(); err != nil {
-		return nil, err
-	}
-	return f.InProcess.TryCheckpoint()
-}
-
 // faultTier builds an S-server replicated tier over fault-injectable
-// children plus the S=1 reference it must stay equivalent to.
-func faultTier(S int, opts TierOptions) (*ShardedStore, []*faultStore, []*embed.Server, *embed.Server, Store) {
+// children (the exported FaultStore wrapper, shared with the serving
+// conformance suite) plus the S=1 reference it must stay equivalent to.
+func faultTier(S int, opts TierOptions) (*ShardedStore, []*FaultStore, []*embed.Server, *embed.Server, Store) {
 	tier := testTier(S)
-	faults := make([]*faultStore, S)
+	faults := make([]*FaultStore, S)
 	children := make([]Store, S)
 	for i, srv := range tier {
-		faults[i] = &faultStore{InProcess: NewInProcess(srv), server: i}
+		faults[i] = NewFaultStore(NewInProcess(srv), i)
 		children[i] = faults[i]
 	}
 	ref := embed.NewServer(3, 4, 11, 0.1)
@@ -515,7 +470,7 @@ func TestStoreFailoverReplicated(t *testing.T) {
 
 	step([]uint64{0, 1, 2, 3, 4, 5, 10, 13})
 	step([]uint64{1, 4, 7, 16})
-	faults[1].down.Store(true)           // chaos: server 1 dies mid-run
+	faults[1].SetDown(true)              // chaos: server 1 dies mid-run
 	step([]uint64{0, 1, 2, 6, 7, 9, 13}) // partition-1 ids now served by server 2
 	step([]uint64{4, 10, 19, 22})
 
@@ -583,7 +538,7 @@ func TestStoreFailoverUnreplicatedFailsLoudly(t *testing.T) {
 		if rows := st.Fetch([]uint64{0, 1, 2, 3}); len(rows) != 4 {
 			t.Fatalf("healthy fetch returned %d rows", len(rows))
 		}
-		faults[1].down.Store(true)
+		faults[1].SetDown(true)
 
 		func() {
 			defer func() {
