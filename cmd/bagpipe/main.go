@@ -37,6 +37,8 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bagpipe/internal/core"
@@ -89,6 +91,10 @@ var (
 	spawn       = flag.Bool("spawn", true, "tcp driver mode: fork the server and trainer processes locally over loopback")
 	killServer  = flag.Int("kill-server", -1, "chaos (tcp driver, lrpp): kill embedding server `K` mid-run; with -replicate >= 2 the run completes and certifies against the baseline")
 	killDelay   = flag.Duration("kill-delay", 500*time.Millisecond, "chaos: how long after spawning the trainers to kill the -kill-server target")
+	restartFl   = flag.Bool("restart-server", false, "chaos: respawn the -kill-server victim on its old address after -restart-delay and require its anti-entropy rejoin to certify (prints PASS: server K rejoined)")
+	restartWait = flag.Duration("restart-delay", 2*time.Second, "chaos: how long after the kill to respawn the -restart-server victim")
+	killAfterRj = flag.Int("kill-after-rejoin", -1, "chaos: once every trainer has re-admitted the rejoined server, kill server `K2` too — the rejoiner must then carry their shared partitions alone")
+	recoverFl   = flag.Bool("recover", false, "server mode (-serve): start in recovery — live writes are tracked as fresh and shielded from the anti-entropy snapshot until the tier certifies the rejoin and ends recovery")
 
 	serveInfer   = flag.Bool("serve-infer", false, "run the online inference front end against the live training tier (lrpp): local fabrics serve in-process on the trainer's retirement clock, the tcp driver serves from the driver process over its own tier links")
 	inferQPS     = flag.Float64("infer-qps", 0, "aggregate offered inference rate across clients (0 = unpaced closed loop)")
@@ -153,6 +159,33 @@ func main() {
 		if !*syncComp && !*syncCompGrad {
 			*verify = true
 		}
+	}
+	// The rejoin flags are validated in the driver only: the driver passes
+	// -restart-server down to the trainer processes as a hint to wait for an
+	// in-flight revival before departing, and those processes carry neither
+	// -kill-server nor the rest of the chaos configuration.
+	if (*restartFl || *killAfterRj >= 0) && *rank < 0 && !*serveFl {
+		if !*restartFl {
+			fatal(fmt.Errorf("-kill-after-rejoin requires -restart-server (there is no rejoin to wait for)"))
+		}
+		if *killServer < 0 {
+			fatal(fmt.Errorf("-restart-server requires -kill-server (nothing was killed, nothing can rejoin)"))
+		}
+		if *replicate < 2 {
+			fatal(fmt.Errorf("-restart-server needs -replicate >= 2: an anti-entropy rejoin is sourced from the dead server's surviving replicas"))
+		}
+		if *syncComp || *syncCompGrad {
+			fatal(fmt.Errorf("-restart-server certifies the rejoined server bit-for-bit; the lossy -sync-compress paths cannot"))
+		}
+		if *killAfterRj >= *servers {
+			fatal(fmt.Errorf("-kill-after-rejoin %d names no server (the tier has -servers %d)", *killAfterRj, *servers))
+		}
+		if *killAfterRj == *killServer {
+			fatal(fmt.Errorf("-kill-after-rejoin %d is the -kill-server victim itself; name a different replica", *killAfterRj))
+		}
+	}
+	if *recoverFl && !*serveFl {
+		fatal(fmt.Errorf("-recover is a -serve (embedding-server) flag"))
 	}
 
 	if *serveInfer {
@@ -633,9 +666,20 @@ func runServer(spec *data.Spec) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("embedding server: %d shards, dim %d, listening on %s\n",
-		*shards, spec.EmbDim, lis.Addr())
-	if err := transport.ServeEmbed(lis, newServer(spec)); err != nil {
+	srv := newServer(spec)
+	if *recoverFl {
+		// A respawned chaos victim: rows a tier client writes from here on
+		// are fresh and win over the anti-entropy snapshot; the tier ends
+		// recovery once the rejoin certifies.
+		srv.BeginRecovery()
+	}
+	mode := ""
+	if *recoverFl {
+		mode = " (recovery mode)"
+	}
+	fmt.Printf("embedding server: %d shards, dim %d, listening on %s%s\n",
+		*shards, spec.EmbDim, lis.Addr(), mode)
+	if err := transport.ServeEmbed(lis, srv); err != nil {
 		fatal(err)
 	}
 	fmt.Println("embedding server: shutdown")
@@ -674,11 +718,56 @@ func runWorker(cfg train.Config) {
 		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
 		fatal(err)
 	}
+	// A replicated tier gets a reviver: dead servers — killed mid-run or
+	// unreachable when dialStores first tried them — are re-dialed on a poll
+	// and brought back through the anti-entropy rejoin, concurrent with
+	// training. Links the reviver dials belong to the tier's slots, not the
+	// dialStores list, so they are tracked and closed separately.
+	var (
+		rev      *transport.Reviver
+		revMu    sync.Mutex
+		revLinks []*transport.TCPLink
+	)
+	tier, isTier := store.(*transport.ShardedStore)
+	if isTier && *replicate > 1 {
+		rev = transport.NewReviver(tier, func(s int) (transport.Store, error) {
+			link, err := transport.DialTCPLink(saddrs[s], time.Second)
+			if err != nil {
+				return nil, err
+			}
+			revMu.Lock()
+			revLinks = append(revLinks, link)
+			revMu.Unlock()
+			return link, nil
+		}, transport.RejoinOptions{}, func(s int, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bagpipe: rejoin of embedding server %d failed (will retry): %v\n", s, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "bagpipe: rejoined embedding server %d (resynced into the live tier)\n", s)
+		})
+	}
 	md := startMemDelta()
 	res, err := train.RunLRPPWorker(cfg, *rank, store, mesh)
 	if err != nil {
 		mesh.Shutdown()
 		fatal(err)
+	}
+	if rev != nil {
+		if *restartFl {
+			// The driver told us a killed server is coming back: give the
+			// revival a bounded chance to land (and this rank's forwarded
+			// writes with it) before departing, so the driver's rejoin
+			// certification sees every trainer's updates on the rejoiner.
+			deadline := time.Now().Add(20 * time.Second)
+			for time.Now().Before(deadline) {
+				if tier.TierHealth().Revived > 0 || len(tier.DownServers()) == 0 {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		rev.Stop() // waits out any in-flight rejoin before we start closing
 	}
 	report(res)
 	if *statsFl {
@@ -693,6 +782,11 @@ func runWorker(cfg train.Config) {
 			l.Close()
 		}
 	}
+	revMu.Lock()
+	for _, l := range revLinks {
+		l.Close()
+	}
+	revMu.Unlock()
 }
 
 // runTCPDriver forks the whole distributed system locally: -servers S
@@ -742,10 +836,18 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	}
 	// fatal would bypass deferred cleanup (os.Exit); every failure after the
 	// first spawn must go through die — including a failed spawn mid-loop,
-	// which would otherwise orphan the processes already started.
-	var spawned []*exec.Cmd
+	// which would otherwise orphan the processes already started. The spawn
+	// list is mutex-guarded because the -restart-server chaos goroutine
+	// respawns the victim while the main goroutine may be tearing down.
+	var (
+		spawnMu sync.Mutex
+		spawned []*exec.Cmd
+	)
 	killSpawned := func() {
-		for _, proc := range spawned {
+		spawnMu.Lock()
+		procs := append([]*exec.Cmd(nil), spawned...)
+		spawnMu.Unlock()
+		for _, proc := range procs {
 			if proc.Process != nil {
 				proc.Process.Kill()
 			}
@@ -754,7 +856,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		// accumulate across a chaos-test loop (the driver process lives on).
 		// Wait errors are expected here — killed children exit non-zero, and
 		// cleanly finished ones were already reaped by the happy path.
-		for _, proc := range spawned {
+		for _, proc := range procs {
 			if proc.Process != nil {
 				proc.Wait()
 			}
@@ -764,21 +866,29 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		killSpawned()
 		fatal(err)
 	}
-	startProc := func(tag string, extra ...string) *exec.Cmd {
+	// startProc forks one child; a non-nil tee additionally receives the
+	// child's raw (unprefixed) stderr — the driver's rejoin-marker watch.
+	startProc := func(tag string, tee io.Writer, extra ...string) *exec.Cmd {
 		cmd := exec.Command(exe, append(commonArgs(), extra...)...)
 		cmd.Stdout = newPrefixWriter(os.Stdout, "["+tag+"] ")
-		cmd.Stderr = newPrefixWriter(os.Stderr, "["+tag+"] ")
+		var serr io.Writer = newPrefixWriter(os.Stderr, "["+tag+"] ")
+		if tee != nil {
+			serr = io.MultiWriter(serr, tee)
+		}
+		cmd.Stderr = serr
 		if err := cmd.Start(); err != nil {
 			die(fmt.Errorf("spawn %s: %w", tag, err))
 		}
+		spawnMu.Lock()
 		spawned = append(spawned, cmd)
+		spawnMu.Unlock()
 		return cmd
 	}
 	defer killSpawned() // no-op after a clean Wait; covers panics
 
 	serverProcs := make([]*exec.Cmd, *servers)
 	for s := range serverProcs {
-		serverProcs[s] = startProc(fmt.Sprintf("server %d", s), "-serve", "-listen", srvAddrs[s])
+		serverProcs[s] = startProc(fmt.Sprintf("server %d", s), nil, "-serve", "-listen", srvAddrs[s])
 	}
 	var procs []*exec.Cmd
 
@@ -811,14 +921,47 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		resolveAutoLookahead(&cfg, rtt)
 	}
 
+	// The rejoin-marker watch: each trainer prints one "rejoined embedding
+	// server K" stderr line when its tier re-admits the respawned victim.
+	// Once every trainer has, the rejoin is fully certified tier-wide — the
+	// moment the -kill-after-rejoin double-chaos kill is allowed to fire
+	// (killing the peer earlier could destroy the only good copy of the
+	// partitions the rejoiner is still resyncing).
+	var (
+		rejoinMarks atomic.Int64
+		peerKilled  atomic.Bool
+		respawnCh   chan *exec.Cmd
+	)
+	var markWatch io.Writer
+	if *restartFl {
+		markWatch = &lineWatch{
+			match: []byte(fmt.Sprintf("rejoined embedding server %d", *killServer)),
+			fire: func() {
+				if int(rejoinMarks.Add(1)) != *trainers || *killAfterRj < 0 || peerKilled.Swap(true) {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "chaos: all %d trainers re-admitted server %d; killing its replica peer %d\n",
+					*trainers, *killServer, *killAfterRj)
+				if p := serverProcs[*killAfterRj].Process; p != nil {
+					p.Kill()
+				}
+			},
+		}
+	}
+
 	if *engineFl == "lrpp" {
 		fmt.Printf("spawned %d embedding server(s) at %s; spawning %d trainer processes\n\n",
 			*servers, strings.Join(srvAddrs, ","), *trainers)
 		for p := 0; p < *trainers; p++ {
-			procs = append(procs, startProc(fmt.Sprintf("trainer %d", p),
+			targs := []string{
 				"-rank", fmt.Sprint(p),
 				"-peers", strings.Join(meshAddrs, ","),
-				"-server-addrs", strings.Join(srvAddrs, ",")))
+				"-server-addrs", strings.Join(srvAddrs, ","),
+			}
+			if *restartFl {
+				targs = append(targs, "-restart-server") // wait hint: a revival is coming
+			}
+			procs = append(procs, startProc(fmt.Sprintf("trainer %d", p), markWatch, targs...))
 		}
 		// The serving leg lives in the driver process, on its own tier links,
 		// while the trainer processes mutate the tier. The front end cannot
@@ -831,6 +974,8 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			infErr   error
 			infDone  chan struct{}
 			infStop  chan struct{}
+			infRev   *transport.Reviver
+			infMu    sync.Mutex
 		)
 		if *serveInfer {
 			store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
@@ -842,6 +987,29 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			if err != nil {
 				die(err)
 			}
+			if tier, ok := store.(*transport.ShardedStore); ok && *restartFl {
+				// The front end never writes, so its rejoin is verify-only: it
+				// waits for the respawned server's partitions to match the
+				// live holders' digests (some trainer owns the actual
+				// transfer) before re-admitting it to the read ring — and the
+				// revival tells the circuit breaker to probe the server
+				// immediately instead of sitting out its cooldown.
+				front := infFE
+				tier.SubscribeRevived(func(s int) {
+					front.NotifyRevived(s)
+					fmt.Fprintf(os.Stderr, "serve: embedding server %d verified and re-admitted to the read path\n", s)
+				})
+				infRev = transport.NewReviver(tier, func(s int) (transport.Store, error) {
+					link, err := transport.DialTCPLink(srvAddrs[s], time.Second)
+					if err != nil {
+						return nil, err
+					}
+					infMu.Lock()
+					infLinks = append(infLinks, link)
+					infMu.Unlock()
+					return link, nil
+				}, transport.RejoinOptions{VerifyOnly: true}, nil)
+			}
 			infStop = make(chan struct{})
 			infDone = make(chan struct{})
 			go func() {
@@ -850,14 +1018,28 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			}()
 		}
 		if *killServer >= 0 {
+			if *restartFl {
+				respawnCh = make(chan *exec.Cmd, 1)
+			}
 			// The chaos arm: kill one embedding server while the trainers
 			// run. Kill only — reaping stays on the main goroutine (the final
 			// server Wait loop), so no two goroutines ever Wait on one child.
+			// With -restart-server the same goroutine then respawns the victim
+			// on its old address, in recovery mode; the main goroutine adopts
+			// the new process handle through respawnCh before it next touches
+			// serverProcs[*killServer].
 			go func() {
 				time.Sleep(*killDelay)
 				fmt.Fprintf(os.Stderr, "chaos: killing embedding server %d (%v after trainer spawn)\n", *killServer, *killDelay)
 				if p := serverProcs[*killServer].Process; p != nil {
 					p.Kill()
+				}
+				if respawnCh != nil {
+					time.Sleep(*restartWait)
+					fmt.Fprintf(os.Stderr, "chaos: respawning embedding server %d on %s in recovery mode (%v after the kill)\n",
+						*killServer, srvAddrs[*killServer], *restartWait)
+					respawnCh <- startProc(fmt.Sprintf("server %d", *killServer), nil,
+						"-serve", "-listen", srvAddrs[*killServer], "-recover")
 				}
 			}()
 		}
@@ -871,6 +1053,9 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		if *serveInfer {
 			close(infStop)
 			<-infDone
+			if infRev != nil {
+				infRev.Stop()
+			}
 			for _, l := range infLinks {
 				if l != nil {
 					l.Close()
@@ -924,13 +1109,28 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	// The post-run control store must not dial the chaos victim: it is dead
 	// by design (and if the run outpaced -kill-delay, make it dead now, or
 	// the final Wait below would block on a server nobody will shut down).
+	// With -restart-server the victim is alive again, but its state is only
+	// trustworthy once a rejoin has certified it: if the trainers' mid-run
+	// rejoin already did (proven by the marker count that gates the
+	// double-chaos kill), the control tier admits it live; otherwise it
+	// starts out dead here and the driver runs the anti-entropy rejoin
+	// itself below.
 	var ctlDead []bool
 	if *killServer >= 0 {
-		if p := serverProcs[*killServer].Process; p != nil {
-			p.Kill()
-		}
 		ctlDead = make([]bool, *servers)
-		ctlDead[*killServer] = true
+		if !*restartFl {
+			if p := serverProcs[*killServer].Process; p != nil {
+				p.Kill()
+			}
+			ctlDead[*killServer] = true
+		} else {
+			serverProcs[*killServer] = <-respawnCh // adopt the respawned handle
+			if peerKilled.Load() {
+				ctlDead[*killAfterRj] = true
+			} else {
+				ctlDead[*killServer] = true
+			}
+		}
 	}
 	ctl, ctlLinks, err := dialStores(srvAddrs, 10*time.Second, ctlDead, func(e *transport.TierError) {
 		killSpawned()
@@ -939,12 +1139,55 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	if err != nil {
 		die(err)
 	}
+	if *restartFl && !peerKilled.Load() {
+		// Driver-side rejoin: idempotent when the trainers already brought
+		// the victim back mid-run, and the only path when the run finished
+		// before the respawn. Sourced from the surviving replicas, certified
+		// partition by partition, then (for the double-chaos run that never
+		// saw every trainer rejoin mid-run) the peer kill fires here, after
+		// certification — the rejoiner must carry their shared partitions
+		// alone.
+		tier, ok := ctl.(*transport.ShardedStore)
+		if !ok {
+			die(fmt.Errorf("-restart-server needs a multi-server tier"))
+		}
+		link, err := transport.DialTCPLink(srvAddrs[*killServer], 10*time.Second)
+		if err != nil {
+			die(fmt.Errorf("re-dial respawned server %d: %w", *killServer, err))
+		}
+		if err := tier.Rejoin(*killServer, link, transport.RejoinOptions{}); err != nil {
+			link.Close()
+			die(fmt.Errorf("rejoin of server %d: %w", *killServer, err))
+		}
+		ctlLinks[*killServer] = link
+		fmt.Fprintf(os.Stderr, "bagpipe: server %d resynced and re-admitted to the control tier\n", *killServer)
+		if *killAfterRj >= 0 && !peerKilled.Swap(true) {
+			fmt.Fprintf(os.Stderr, "chaos: killing embedding server %d now that server %d rejoined\n", *killAfterRj, *killServer)
+			if p := serverProcs[*killAfterRj].Process; p != nil {
+				p.Kill()
+			}
+			// One throwaway tier op lets the failover machinery discover the
+			// death and settle the membership before the checkpoint snapshot.
+			ctl.Fingerprint()
+		}
+	}
 	if *verify {
 		if *engineFl == "baseline" {
 			die(fmt.Errorf("-verify compares against the baseline; pick -engine lrpp or pipelined"))
 		}
 		fmt.Println("\n--- verify: fetching remote tier checkpoints, rerunning the no-cache baseline locally ---")
-		remote, err := embed.RestoreTierReplicated(bytes.NewReader(ctl.Checkpoint()), *servers, *shards, *replicate, ctlDead)
+		// The restore's dead-set must match the membership the checkpoint was
+		// actually taken under — which the rejoin (server back in) and the
+		// double-chaos kill (peer out) may both have moved since dial time —
+		// so read it off the tier rather than reusing the dial-time slice.
+		deadNow := ctlDead
+		if tier, ok := ctl.(*transport.ShardedStore); ok {
+			deadNow = make([]bool, *servers)
+			for _, s := range tier.DownServers() {
+				deadNow[s] = true
+			}
+		}
+		remote, err := embed.RestoreTierReplicated(bytes.NewReader(ctl.Checkpoint()), *servers, *shards, *replicate, deadNow)
 		if err != nil {
 			die(fmt.Errorf("restore remote tier checkpoint: %w", err))
 		}
@@ -968,12 +1211,43 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 				die(fmt.Errorf("FAIL: surviving tier fingerprint %x != baseline %x", fp, ref))
 			}
 		}
+		if *restartFl {
+			// The rejoin certificate: every partition the revived server
+			// holds, fingerprinted over its own link (not the tier's failover
+			// routing), must be bit-identical to the no-cache baseline.
+			link := ctlLinks[*killServer]
+			if link == nil {
+				die(fmt.Errorf("no control link to the rejoined server %d", *killServer))
+			}
+			for k := 0; k < *replicate; k++ {
+				p := ((*killServer-k)%*servers + *servers) % *servers
+				got, err := link.TryFingerprintPart(p, *servers)
+				if err != nil {
+					die(fmt.Errorf("fingerprint partition %d on rejoined server %d: %w", p, *killServer, err))
+				}
+				if want := srvBase.FingerprintPart(p, *servers); got != want {
+					die(fmt.Errorf("FAIL: rejoined server %d partition %d fingerprint %x != baseline %x", *killServer, p, got, want))
+				}
+			}
+			fmt.Printf("\nPASS: server %d rejoined: all %d of its partitions certified bit-identical to the baseline after anti-entropy resync\n",
+				*killServer, *replicate)
+		}
 		if *killServer >= 0 {
 			fmt.Printf("\nPASS: distributed %s over loopback TCP survived killing embedding server %d: surviving tier bit-identical to the baseline across %d materialized rows\n",
 				*engineFl, *killServer, len(remote.MaterializedIDs()))
 		} else {
 			fmt.Printf("\nPASS: distributed %s over loopback TCP left the %d-server embedding tier bit-identical to the baseline across %d materialized rows\n",
 				*engineFl, *servers, len(remote.MaterializedIDs()))
+		}
+	}
+	if *restartFl {
+		// Certification done: the driver — the coordinator that knows every
+		// tier client has re-admitted the rejoiner — closes its server-side
+		// recovery window, returning it to plain-write service.
+		if tier, ok := ctl.(*transport.ShardedStore); ok {
+			if err := tier.EndRecovery(*killServer); err != nil {
+				die(fmt.Errorf("end recovery of server %d: %w", *killServer, err))
+			}
 		}
 	}
 	ctl.Shutdown()
@@ -989,7 +1263,11 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	var exitErr error
 	for s, proc := range serverProcs {
 		err := proc.Wait()
-		if s == *killServer {
+		// The chaos victims' kill-induced exits are the point, not failures:
+		// the original -kill-server incarnation (its respawn, which Waits
+		// here under the same index, must exit cleanly) and the
+		// -kill-after-rejoin peer.
+		if (s == *killServer && !*restartFl) || s == *killAfterRj {
 			continue
 		}
 		if err != nil && exitErr == nil {
@@ -1057,6 +1335,33 @@ func (p *prefixWriter) Write(b []byte) (int, error) {
 		b = b[i+1:]
 	}
 	return written, nil
+}
+
+// lineWatch is an io.Writer that scans a child's raw output stream and
+// invokes fire once per complete line containing match, buffering partial
+// lines across writes. The driver tees trainer stderr through one to count
+// rejoin markers.
+type lineWatch struct {
+	mu    sync.Mutex
+	match []byte
+	buf   []byte
+	fire  func()
+}
+
+func (lw *lineWatch) Write(b []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf = append(lw.buf, b...)
+	for {
+		i := bytes.IndexByte(lw.buf, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		if bytes.Contains(lw.buf[:i], lw.match) {
+			lw.fire()
+		}
+		lw.buf = lw.buf[i+1:]
+	}
 }
 
 // banner prints the experiment header.
@@ -1146,6 +1451,10 @@ func report(r *train.Result) {
 	if r.Tier != nil {
 		fmt.Printf("  tier: replicate %d over %d servers, %d failovers, %d rpc retries, dead %v\n",
 			r.Tier.Replicate, r.Tier.Servers, r.Tier.Failovers, r.Tier.Retries, r.Tier.Dead)
+		if r.Tier.Revived > 0 || r.Tier.ResyncRows > 0 {
+			fmt.Printf("  tier: %d server rejoin(s) certified, %d rows streamed by anti-entropy resync\n",
+				r.Tier.Revived, r.Tier.ResyncRows)
+		}
 	}
 	st := r.Transport
 	fmt.Printf("  traffic: fetched %d rows (%.2f MB) in %d calls, wrote %d rows (%.2f MB) in %d calls\n",

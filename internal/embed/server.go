@@ -39,6 +39,17 @@ type Server struct {
 	// Pooled (not a single field) because trainers issue concurrent RPCs.
 	groupMu      sync.Mutex
 	groupScratch []*core.GroupScratch
+
+	// Recovery mode (anti-entropy rejoin). While recovering, normal Writes
+	// record their ids as "fresh" so that WriteRecovery — the bulk transfer
+	// of a possibly stale partition snapshot from a surviving replica —
+	// never overwrites a row the live write stream has already updated.
+	// inRecovery is the fast-path gate; recoverMu serializes the
+	// mark-fresh/apply pairs against the filter-fresh/apply pairs, which is
+	// what makes the freshness protocol race-free.
+	inRecovery atomic.Bool
+	recoverMu  sync.Mutex
+	fresh      map[uint64]struct{}
 }
 
 // getGroupScratch pops (or creates) a grouping scratch; putGroupScratch
@@ -169,11 +180,39 @@ func (s *Server) FetchSerial(ids []uint64) [][]float32 {
 }
 
 // Write writes back updated rows (trainer evictions / background sync),
-// shard-grouped and shard-parallel like Fetch.
+// shard-grouped and shard-parallel like Fetch. While the server is in
+// recovery mode (BeginRecovery), every written id is also marked fresh so
+// concurrent anti-entropy transfers cannot clobber it with stale bytes.
 func (s *Server) Write(ids []uint64, rows [][]float32) {
 	if len(ids) != len(rows) {
 		panic("embed: Write ids/rows length mismatch")
 	}
+	if s.inRecovery.Load() {
+		// Mark and apply under one critical section: marking after applying
+		// would let a WriteRecovery slip between the two and overwrite the
+		// new value; applying outside the lock would let the transfer's
+		// filter read "not fresh" and then lose the race to Set.
+		s.recoverMu.Lock()
+		if s.fresh != nil {
+			for _, id := range ids {
+				s.fresh[id] = struct{}{}
+			}
+			s.applyWrite(ids, rows)
+			s.recoverMu.Unlock()
+			s.rowsWritten.Add(int64(len(ids)))
+			s.writes.Add(1)
+			return
+		}
+		s.recoverMu.Unlock()
+	}
+	s.applyWrite(ids, rows)
+	s.rowsWritten.Add(int64(len(ids)))
+	s.writes.Add(1)
+}
+
+// applyWrite is the shared shard-grouped row store underlying Write and
+// WriteRecovery.
+func (s *Server) applyWrite(ids []uint64, rows [][]float32) {
 	if len(s.shards) == 1 || len(ids) < parallelMinRows {
 		for i, id := range ids {
 			s.shards[s.ShardOf(id)].Set(id, rows[i])
@@ -186,7 +225,65 @@ func (s *Server) Write(ids []uint64, rows [][]float32) {
 		})
 		s.putGroupScratch(g)
 	}
-	s.rowsWritten.Add(int64(len(ids)))
+}
+
+// BeginRecovery puts the server into recovery mode: until EndRecovery,
+// normal Writes mark their ids fresh and WriteRecovery skips fresh ids.
+// A rejoining server enters this mode before it starts accepting any
+// traffic, so the anti-entropy snapshot stream and the live forwarded
+// write stream can interleave without losing updates.
+func (s *Server) BeginRecovery() {
+	s.recoverMu.Lock()
+	if s.fresh == nil {
+		s.fresh = make(map[uint64]struct{})
+	}
+	s.inRecovery.Store(true)
+	s.recoverMu.Unlock()
+}
+
+// EndRecovery leaves recovery mode and drops the freshness set. Called once
+// the tier has certified the rejoined server's partitions.
+func (s *Server) EndRecovery() {
+	s.recoverMu.Lock()
+	s.fresh = nil
+	s.inRecovery.Store(false)
+	s.recoverMu.Unlock()
+}
+
+// Recovering reports whether the server is in recovery mode.
+func (s *Server) Recovering() bool { return s.inRecovery.Load() }
+
+// WriteRecovery applies a bulk anti-entropy transfer: rows copied from a
+// surviving replica's (possibly slightly stale) snapshot. Ids the live
+// write stream has already touched since BeginRecovery are skipped — their
+// local value is newer than the snapshot's. Outside recovery mode it
+// degenerates to a plain write.
+func (s *Server) WriteRecovery(ids []uint64, rows [][]float32) {
+	if len(ids) != len(rows) {
+		panic("embed: WriteRecovery ids/rows length mismatch")
+	}
+	s.recoverMu.Lock()
+	if s.fresh == nil {
+		s.recoverMu.Unlock()
+		s.applyWrite(ids, rows)
+		s.rowsWritten.Add(int64(len(ids)))
+		s.writes.Add(1)
+		return
+	}
+	keptIDs := make([]uint64, 0, len(ids))
+	keptRows := make([][]float32, 0, len(rows))
+	for i, id := range ids {
+		if _, ok := s.fresh[id]; ok {
+			continue
+		}
+		keptIDs = append(keptIDs, id)
+		keptRows = append(keptRows, rows[i])
+	}
+	if len(keptIDs) > 0 {
+		s.applyWrite(keptIDs, keptRows)
+	}
+	s.recoverMu.Unlock()
+	s.rowsWritten.Add(int64(len(keptIDs)))
 	s.writes.Add(1)
 }
 
@@ -306,6 +403,34 @@ func (s *Server) FingerprintPart(part, of int) uint64 {
 		sum += rowDigest(id, row)
 	}
 	return sum
+}
+
+// ExportPart snapshots the materialized rows of partition part of an of-way
+// split (core.OwnerOf(id, of) == part), returning parallel id/row slices.
+// This is the anti-entropy source read: a surviving replica exports a
+// partition so a rejoining server can restore it. Rows are copied (peek, not
+// Get), so the export neither materializes rows nor aliases live storage;
+// concurrent writes interleaving with the copy are repaired by the
+// freshness protocol on the receiving side plus the fingerprint retry loop
+// in the tier's resync driver.
+func (s *Server) ExportPart(part, of int) ([]uint64, [][]float32) {
+	if of <= 0 || part < 0 || part >= of {
+		panic(fmt.Sprintf("embed: export partition %d of %d", part, of))
+	}
+	var ids []uint64
+	for _, id := range s.MaterializedIDs() {
+		if of > 1 && core.OwnerOf(id, of) != part {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	flat := make([]float32, len(ids)*s.Dim)
+	rows := make([][]float32, len(ids))
+	for i, id := range ids {
+		rows[i] = flat[i*s.Dim : (i+1)*s.Dim]
+		s.shards[s.ShardOf(id)].peek(id, rows[i])
+	}
+	return ids, rows
 }
 
 // rowDigest is the FNV-1a hash of one (id, row) pair, the unit Fingerprint

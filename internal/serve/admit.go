@@ -233,6 +233,26 @@ func (cb *CircuitBreaker) ObserveRead(server int, d time.Duration, err error) {
 	}
 }
 
+// NotifyRevived tells the breaker that server has been re-admitted to the
+// tier after a certified rejoin. An open breaker goes straight to half-open
+// — the next read probes the revived server immediately instead of waiting
+// out the cooldown window — and the consecutive-failure count resets so the
+// old incarnation's death doesn't linger against the new one. Closed and
+// half-open breakers just reset their failure count.
+func (cb *CircuitBreaker) NotifyRevived(server int) {
+	if server < 0 || server >= len(cb.srv) {
+		return
+	}
+	s := &cb.srv[server]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fails = 0
+	if s.state == BreakerOpen {
+		s.state = BreakerHalfOpen
+		s.probing = false
+	}
+}
+
 // State returns server's current breaker state (BreakerClosed/Open/HalfOpen).
 func (cb *CircuitBreaker) State(server int) int {
 	s := &cb.srv[server]

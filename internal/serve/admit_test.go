@@ -185,3 +185,61 @@ func TestCircuitBreakerPerServerIsolation(t *testing.T) {
 		t.Fatal("healthy server vetoed by its neighbor's breaker")
 	}
 }
+
+// A certified tier rejoin short-circuits the breaker's cooldown: an open
+// breaker goes straight to half-open — the very next read probes the
+// revived server — and the failure streak the old incarnation accrued is
+// forgiven. This is the serve-side half of the rejoin wiring
+// (transport.ShardedStore.SubscribeRevived → Frontend.NotifyRevived).
+func TestCircuitBreakerNotifyRevived(t *testing.T) {
+	clk := NewFakeClock()
+	cb := NewCircuitBreaker(2, BreakerConfig{
+		FailThreshold: 2,
+		Cooldown:      time.Minute,
+	}, clk)
+
+	fail := errors.New("down")
+	cb.ObserveRead(1, time.Millisecond, fail)
+	cb.ObserveRead(1, time.Millisecond, fail)
+	if st := cb.State(1); st != BreakerOpen {
+		t.Fatalf("state %d after trip, want open", st)
+	}
+	if cb.AllowRead(1) {
+		t.Fatal("open breaker admitted a read mid-cooldown")
+	}
+
+	// The rejoin certifies long before the minute-long cooldown elapses.
+	cb.NotifyRevived(1)
+	if st := cb.State(1); st != BreakerHalfOpen {
+		t.Fatalf("state %d after revival, want half-open", st)
+	}
+	if !cb.AllowRead(1) {
+		t.Fatal("revived server denied its probe")
+	}
+	if cb.AllowRead(1) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	cb.ObserveRead(1, time.Millisecond, nil)
+	if st := cb.State(1); st != BreakerClosed {
+		t.Fatalf("state %d after a successful probe, want closed", st)
+	}
+
+	// On a closed breaker the revival only forgives the failure streak: one
+	// old failure plus one new one must not re-trip.
+	cb.ObserveRead(1, time.Millisecond, fail)
+	cb.NotifyRevived(1)
+	cb.ObserveRead(1, time.Millisecond, fail)
+	if st := cb.State(1); st != BreakerClosed {
+		t.Fatalf("state %d, want closed: revival should have reset the streak", st)
+	}
+
+	// Out-of-range servers are ignored, not a panic (revival callbacks are
+	// wired across subsystems whose widths can drift).
+	cb.NotifyRevived(-1)
+	cb.NotifyRevived(99)
+
+	// The untouched neighbor stayed closed throughout.
+	if st := cb.State(0); st != BreakerClosed {
+		t.Fatalf("neighbor state %d, want closed", st)
+	}
+}

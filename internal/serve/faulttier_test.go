@@ -22,9 +22,15 @@ func faultedFrontend(t *testing.T, R int, clk Clock) (*Frontend, []*transport.Fa
 		faults[s] = transport.NewFaultStore(transport.NewInProcess(srv), s)
 		children[s] = faults[s]
 	}
+	// Retries (the tier's consecutive-read-error condemnation budget) sits
+	// above the breaker's FailThreshold: the breaker opens and vetoes the
+	// server before the tier condemns it, so a transient outage that heals
+	// within the cooldown stays a breaker affair — only sustained failure
+	// (post-cooldown probes that keep erroring) condemns the server and
+	// hands it to the rejoin machinery.
 	st := transport.NewTier(children, transport.TierOptions{
 		Replicate: R,
-		Retries:   2,
+		Retries:   3,
 		Backoff:   time.Millisecond,
 	})
 	fe, err := New(Config{

@@ -251,6 +251,12 @@ func (f *Frontend) Audit() AuditReport { return f.auditor.Report() }
 // Breaker exposes the circuit breaker (chaos harness + tests).
 func (f *Frontend) Breaker() *CircuitBreaker { return f.breaker }
 
+// NotifyRevived forwards a tier revival (a server certified and re-admitted
+// after an anti-entropy rejoin) to the circuit breaker, so an open breaker
+// probes the revived server promptly instead of waiting out its cooldown.
+// Wire it to transport.ShardedStore.SubscribeRevived.
+func (f *Frontend) NotifyRevived(server int) { f.breaker.NotifyRevived(server) }
+
 // Cache exposes the hot-row cache (tests + stats).
 func (f *Frontend) Cache() *HotRowCache { return f.cache }
 

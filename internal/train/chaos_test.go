@@ -132,3 +132,122 @@ func TestLRPPReplicatedTierSurvivesServerDeath(t *testing.T) {
 			base.FirstLoss, base.LastLoss, res.FirstLoss, res.LastLoss)
 	}
 }
+
+// TestLRPPServerRejoinMidTraining is the engine-level rejoin leg: the tier
+// loses a server mid-run, a pristine recovery-mode replacement comes up,
+// and each trainer's Reviver independently re-dials and anti-entropy
+// rejoins it — all while the LRPP engine keeps fetching and writing. The
+// run must finish, every trainer's tier must end with no down servers, and
+// the full tier (rejoiner included, no server excluded as dead) must still
+// certify bit-identical to the no-cache baseline. This is the in-test form
+// of `bagpipe -trainers P -servers S -replicate 2 -net tcp -kill-server 1
+// -restart-server`; under -race it additionally races the resync rounds
+// against live trainer traffic.
+func TestLRPPServerRejoinMidTraining(t *testing.T) {
+	const P, S, R = 2, 3, 2
+	const killAfterOps = 150
+
+	cfg := tinyConfig()
+	cfg.NumTrainers = P
+
+	srvBase := newServer(cfg.Spec, 3)
+	base, err := RunBaseline(cfg, transport.NewInProcess(srvBase))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	// The replacement process: same ctor parameters, pristine state,
+	// started in recovery mode (the -recover flag of a respawned -serve).
+	fresh := newServer(cfg.Spec, 3)
+	fresh.BeginRecovery()
+
+	tier := newTier(cfg.Spec, S, 3)
+	var ops atomic.Int64
+	tiers := make([]*transport.ShardedStore, P)
+	trs := make([]transport.Store, P)
+	for i := range trs {
+		children := make([]transport.Store, S)
+		for s, srv := range tier {
+			children[s] = &chaosStore{
+				InProcess: transport.NewInProcess(srv),
+				ops:       &ops,
+				doomed:    s == 1,
+				after:     killAfterOps,
+			}
+		}
+		tiers[i] = transport.NewTier(children, transport.TierOptions{
+			Replicate: R,
+			Retries:   2,
+			Backoff:   time.Millisecond,
+			Jitter:    func(d time.Duration) time.Duration { return 0 },
+		})
+		trs[i] = tiers[i]
+	}
+
+	// One Reviver per trainer, exactly as each worker process runs one:
+	// it notices the condemnation, "re-dials" the respawned server, and
+	// runs the rejoin concurrently with training.
+	revivers := make([]*transport.Reviver, P)
+	for i := range revivers {
+		st := tiers[i]
+		revivers[i] = transport.NewReviver(st, func(s int) (transport.Store, error) {
+			if s != 1 {
+				return nil, fmt.Errorf("train rejoin test: server %d is not the victim", s)
+			}
+			return transport.NewInProcess(fresh), nil
+		}, transport.RejoinOptions{RoundBackoff: 2 * time.Millisecond}, nil)
+	}
+
+	res, err := RunLRPP(cfg, trs, nil)
+	if err != nil {
+		t.Fatalf("lrpp with a mid-run death and rejoin: %v", err)
+	}
+	if res.Tier == nil {
+		t.Fatal("replicated run reported no tier health")
+	}
+	if res.Tier.Failovers == 0 {
+		t.Fatal("no failovers counted: the kill never forced a replica read")
+	}
+
+	// Training is done; any in-flight rejoin now converges against a
+	// quiescent tier. Every trainer's client must end with server 1 live.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, st := range tiers {
+		for len(st.DownServers()) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("tier still has down servers %v after training", st.DownServers())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if h := st.TierHealth(); h.Revived == 0 || h.ResyncRows == 0 {
+			t.Fatalf("tier health %+v: rejoin never streamed", h)
+		}
+	}
+	for _, rev := range revivers {
+		rev.Stop()
+	}
+	// Every client has re-admitted the server: the coordinator may end its
+	// recovery window.
+	if err := tiers[0].EndRecovery(1); err != nil {
+		t.Fatalf("end recovery: %v", err)
+	}
+	if fresh.Recovering() {
+		t.Fatal("rejoined server still in recovery mode")
+	}
+
+	// The differential property now holds over the FULL tier — the
+	// rejoined replacement is a first-class member, nobody is dead.
+	live := append([]*embed.Server(nil), tier...)
+	live[1] = fresh
+	merged, err := embed.MergeTierReplicated(live, R, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(srvBase, merged); len(d) != 0 {
+		t.Fatalf("rejoined tier diverged from baseline at %d ids (first: %v)", len(d), d[0])
+	}
+	if base.FirstLoss != res.FirstLoss || base.LastLoss != res.LastLoss {
+		t.Fatalf("losses diverged: baseline %v/%v chaos %v/%v",
+			base.FirstLoss, base.LastLoss, res.FirstLoss, res.LastLoss)
+	}
+}

@@ -244,7 +244,7 @@ func addTierHealth(res *Result, tr transport.Store) {
 		return
 	}
 	h := th.TierHealth()
-	if h.Replicate <= 1 && len(h.Dead) == 0 {
+	if h.Replicate <= 1 && len(h.Dead) == 0 && h.Revived == 0 {
 		return
 	}
 	if res.Tier == nil {
@@ -252,6 +252,8 @@ func addTierHealth(res *Result, tr transport.Store) {
 	}
 	res.Tier.Failovers += h.Failovers
 	res.Tier.Retries += h.Retries
+	res.Tier.Revived += h.Revived
+	res.Tier.ResyncRows += h.ResyncRows
 	for _, d := range h.Dead {
 		seen := false
 		for _, have := range res.Tier.Dead {

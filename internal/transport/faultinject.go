@@ -115,3 +115,40 @@ func (f *FaultStore) TryCheckpoint() ([]byte, error) {
 	}
 	return f.Store.Checkpoint(), nil
 }
+
+// TryExportPart implements PartExporter, gated like every fallible op so
+// tests can kill an anti-entropy *source* mid-resync.
+func (f *FaultStore) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
+	if err := f.gate(); err != nil {
+		return nil, nil, err
+	}
+	exp, ok := f.Store.(PartExporter)
+	if !ok {
+		return nil, nil, fmt.Errorf("transport: fault-injected server %d (%T) cannot export partitions", f.server, f.Store)
+	}
+	return exp.TryExportPart(part, of)
+}
+
+// TryWriteRecovery / TryEndRecovery implement RecoveryStore, gated so tests
+// can kill a *rejoiner* mid-transfer.
+func (f *FaultStore) TryWriteRecovery(ids []uint64, rows [][]float32) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	rec, ok := f.Store.(RecoveryStore)
+	if !ok {
+		return fmt.Errorf("transport: fault-injected server %d (%T) cannot accept recovery writes", f.server, f.Store)
+	}
+	return rec.TryWriteRecovery(ids, rows)
+}
+
+func (f *FaultStore) TryEndRecovery() error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	rec, ok := f.Store.(RecoveryStore)
+	if !ok {
+		return fmt.Errorf("transport: fault-injected server %d (%T) has no recovery face", f.server, f.Store)
+	}
+	return rec.TryEndRecovery()
+}

@@ -57,7 +57,7 @@ func (t *ShardedStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, err
 		Rows(t.dim).PutN(out)
 		PutRowSlice(out)
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
 	var firstErr error
 	record := func(err error) {
 		if err != nil && firstErr == nil {
@@ -65,7 +65,7 @@ func (t *ShardedStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, err
 		}
 	}
 	if t.serialScatter(bounds) {
-		for part := range t.children {
+		for part := 0; part < t.servers; part++ {
 			if bounds[part] != bounds[part+1] {
 				record(t.readPartition(sc, part, ids, pos, bounds, out, pol))
 			}
@@ -97,12 +97,15 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 		sub = append(sub, ids[p])
 	}
 	sc.sub[part] = sub
-	S := len(t.children)
+	S := t.servers
 	lastSrv, vetoed := part, false
 	var lastErr error
 	for k := 0; k < t.replicate; k++ {
 		s := (part + k) % S
-		if t.dead[s].Load() {
+		// down, not just dead: a resyncing server must not serve reads
+		// until its partitions verify — unverified rows never reach an
+		// inference response.
+		if t.down(s) {
 			lastSrv = s
 			continue
 		}
@@ -110,11 +113,23 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 			lastSrv, vetoed = s, true
 			continue
 		}
+		g := t.gen[s].Load()
 		rows, err := t.readOnce(s, sub, pol)
 		if err != nil {
+			// The read path tries each replica once per request, so the
+			// retry budget spreads across requests: `retries` consecutive
+			// read errors condemn the server (fenced by the generation
+			// captured before the attempt), exactly like a write-path
+			// exhaustion. This is how a read-only tier client (the serving
+			// front end) learns a server died — DeadServers() feeds its
+			// Reviver — instead of paying a failed attempt every request.
+			if t.replicate > 1 && int(t.readFails[s].Add(1)) >= t.retries {
+				t.markDeadIfGen(s, g, err)
+			}
 			lastSrv, lastErr = s, err
 			continue
 		}
+		t.readFails[s].Store(0)
 		if s != part {
 			t.failovers.Add(1)
 		}
@@ -137,10 +152,10 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 // without a fallible face cannot fail, so they take the errorless call.
 func (t *ShardedStore) readOnce(s int, sub []uint64, pol ReadPolicy) (rows [][]float32, err error) {
 	start := time.Now()
-	if f := t.fallible[s]; f != nil {
+	if f := t.fall(s); f != nil {
 		rows, err = f.TryFetch(sub)
 	} else {
-		rows = t.children[s].Fetch(sub)
+		rows = t.child(s).Fetch(sub)
 	}
 	if pol != nil {
 		pol.ObserveRead(s, time.Since(start), err)

@@ -81,9 +81,11 @@ func TestReadFetchMatchesFetchWhenHealthy(t *testing.T) {
 
 // The central regression: with every replica of a partition dead, ReadFetch
 // must return promptly — never hang, never panic — with a *TierError
-// attributing op, partition, and last server tried. And unlike the train
-// path, the read path must NOT condemn the server: a later train fetch
-// through the same tier still retries it.
+// attributing op, partition, and last server tried. The read path spreads
+// the tier's retry budget across requests (each replica is tried once per
+// request), so once a server exhausts that budget in consecutive read
+// errors it is condemned exactly like a write-path exhaustion — that is
+// how a read-only tier client's DeadServers() feeds its Reviver.
 func TestReadFetchAllReplicasDeadAttributed(t *testing.T) {
 	const S = 2
 	tier, faults, _, _, _ := faultTier(S, TierOptions{Replicate: 2, Retries: 1, Backoff: time.Millisecond})
@@ -132,18 +134,47 @@ func TestReadFetchAllReplicasDeadAttributed(t *testing.T) {
 		t.Fatalf("cause %v does not name the injected fault", te.Cause)
 	}
 
-	// Fail-fast reads never condemned the servers: revive them and the
-	// train-path Fetch works without a failover.
-	faults[0].SetDown(false)
-	faults[1].SetDown(false)
-	before := tier.TierHealth().Failovers
-	rows := tier.Fetch(readIDs)
+	// With Retries=1 the single failed attempt per server exhausted the
+	// read retry budget: both servers are condemned, which is what lets a
+	// read-only client's Reviver re-dial and rejoin them.
+	if h := tier.TierHealth(); len(h.Dead) != S {
+		t.Fatalf("read path condemned %v, want all %d servers after budget exhaustion", h.Dead, S)
+	}
+}
+
+// A transient read error below the retry budget must NOT condemn the
+// server: the next successful read resets the streak, and the train-path
+// Fetch never fails over.
+func TestReadFetchTransientErrorNotCondemned(t *testing.T) {
+	tier, faults, _, _, _ := faultTier(2, TierOptions{Replicate: 2, Retries: 3, Backoff: time.Millisecond})
+	faults[1].SetDown(true)
+	for i := 0; i < 2; i++ { // two failures: one short of the budget
+		rows, err := tier.ReadFetch(readIDs, nil)
+		if err != nil {
+			t.Fatalf("read %d with a live replica: %v", i, err)
+		}
+		Rows(tier.Dim()).PutN(rows)
+	}
+	faults[1].SetDown(false) // the blip heals
+	rows, err := tier.ReadFetch(readIDs, nil)
+	if err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
 	Rows(tier.Dim()).PutN(rows)
 	if h := tier.TierHealth(); len(h.Dead) != 0 {
-		t.Fatalf("read path condemned servers %v", h.Dead)
+		t.Fatalf("transient read errors condemned servers %v", h.Dead)
 	}
-	if after := tier.TierHealth().Failovers; after != before {
-		t.Fatal("revived tier still failing over: read path must not mark servers dead")
+	// The healed streak reset: two more failures still stay under budget.
+	faults[1].SetDown(true)
+	for i := 0; i < 2; i++ {
+		rows, err := tier.ReadFetch(readIDs, nil)
+		if err != nil {
+			t.Fatalf("read %d after re-down: %v", i, err)
+		}
+		Rows(tier.Dim()).PutN(rows)
+	}
+	if h := tier.TierHealth(); len(h.Dead) != 0 {
+		t.Fatalf("reset failure streak still condemned servers %v", h.Dead)
 	}
 }
 

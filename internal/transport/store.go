@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -51,7 +52,7 @@ type Store interface {
 // process intercept it first for a clean, attributed exit, and AsTierError
 // recovers it from either path in tests.
 type TierError struct {
-	Op        string // "fetch", "write", "fingerprint", "checkpoint"
+	Op        string // "fetch", "write", "fingerprint", "checkpoint", "read", "resync"
 	Partition int    // partition whose data became unreachable (== its owner server)
 	Server    int    // last server tried for the partition
 	Replicate int    // the tier's replication factor
@@ -125,6 +126,13 @@ type TierHealth struct {
 	Retries int64
 	// Dead lists the servers this client has declared dead, ascending.
 	Dead []int
+	// Revived counts servers re-admitted to the live set after an
+	// anti-entropy rejoin (dead → resync → live transitions completed).
+	Revived int64
+	// ResyncRows counts rows streamed to rejoining servers by the
+	// anti-entropy transfer (recovery writes only, not forwarded live
+	// writes).
+	ResyncRows int64
 }
 
 // TierOptions configures replication and failure handling for a
@@ -142,6 +150,12 @@ type TierOptions struct {
 	// Backoff is the sleep before the first retry, doubling per attempt
 	// (default 10ms).
 	Backoff time.Duration
+	// Jitter maps a computed backoff to the duration actually slept.
+	// The default draws uniformly from [d/2, d] (full jitter), so P
+	// trainer processes retrying a flapping server spread out instead of
+	// hammering it in lockstep. Tests inject an identity function to keep
+	// retry timing deterministic.
+	Jitter func(d time.Duration) time.Duration
 	// Dead marks servers already known dead at construction (index-aligned
 	// with children; a child may be nil only when Dead marks it). The
 	// driver's post-chaos control store uses this to certify a tier that
@@ -178,27 +192,71 @@ const (
 // reroutes — replicated runs remain certifiable against the baseline even
 // after a mid-run kill, because the surviving replicas hold every write.
 type ShardedStore struct {
-	children []Store
-	// fallible caches the FallibleStore face of each child (nil for
-	// errorless children), asserted once at construction so the hot path
-	// never type-switches.
-	fallible  []FallibleStore
+	// slots holds each server's connection state — the Store plus its
+	// cached FallibleStore face, asserted once so the hot path never
+	// type-switches. One atomic pointer per server so a rejoin can swap in
+	// a freshly dialed connection (a new incarnation) without locking the
+	// data path. A slot's store is nil only for a server dead since
+	// construction.
+	slots     []atomic.Pointer[serverSlot]
+	servers   int
 	dim       int
 	replicate int
 	retries   int
 	backoff   time.Duration
+	jitter    func(time.Duration) time.Duration
 	// instant is true when every live child completes without blocking on
 	// I/O (in-process servers); the scatter then runs serially — goroutine
 	// fan-out over direct calls is pure overhead and allocates.
 	instantChildren bool
 
-	dead       []atomic.Bool
-	causeMu    sync.Mutex
-	causes     []error
+	// Per-server revival state machine: state is srvLive/srvDead/srvResync,
+	// gen is the incarnation number fencing late RPC outcomes from an old
+	// connection (bumped on every rejoin). Hot paths read both with plain
+	// atomic loads; every *transition* (markDead, markLive, rejoin install)
+	// is serialized by stateMu — transitions are rare, and the mutex is
+	// what makes "OnFailover fires exactly once with the first cause" hold
+	// under racing condemnations.
+	state   []atomic.Int32
+	gen     []atomic.Uint64
+	stateMu sync.Mutex
+	causes  []error // guarded by stateMu
+
+	// partLocks serializes anti-entropy transfer rounds against the write
+	// fan-out, per partition: writePartition holds the read side, a resync
+	// round holds the write side around its export→transfer→verify
+	// sequence, so a snapshot can never be overwritten by a write that
+	// raced between export and apply.
+	partLocks []sync.RWMutex
+
+	// rejoinMu serializes whole rejoin operations (one server resyncing at
+	// a time keeps the transfer source stable and the gen bookkeeping
+	// simple).
+	rejoinMu sync.Mutex
+
 	failovers  atomic.Int64
 	retried    atomic.Int64
+	revived    atomic.Int64
+	resyncRows atomic.Int64
 	onFailover func(server int, cause error)
 	onLost     func(*TierError)
+
+	// readFails counts consecutive read-path errors per server. The read
+	// path tries each replica once per request (no inline retries), so it
+	// spreads the write path's retry budget across requests instead: once
+	// a server accumulates `retries` consecutive read errors it is
+	// condemned like a write-path exhaustion. Without this, a read-only
+	// tier client (the serving front end) would never learn a server died
+	// — DeadServers() drives the Reviver — and would pay a failed attempt
+	// on every request forever. Replicated tiers only; at R=1 there is
+	// nowhere to fail over, so the read just errors attributed.
+	readFails []atomic.Int32
+
+	// reviveSubs are callbacks fired (outside stateMu) when a server is
+	// re-admitted live — the serve layer uses this to nudge its circuit
+	// breaker into a prompt half-open probe.
+	reviveMu   sync.Mutex
+	reviveSubs []func(server int)
 
 	// scratchMu guards a pool of scatter scratches (grouping arrays plus
 	// per-partition sub-batch buffers). Pooled rather than per-store because
@@ -206,6 +264,54 @@ type ShardedStore struct {
 	// client.
 	scratchMu sync.Mutex
 	scratch   []*shardScratch
+}
+
+// serverSlot is one server's immutable connection record; rejoins replace
+// the whole slot rather than mutating it.
+type serverSlot struct {
+	store    Store
+	fallible FallibleStore // nil for errorless stores
+}
+
+// Per-server revival states. A resyncing server receives forwarded writes
+// and anti-entropy transfers but serves no reads and counts toward no write
+// quorum until markLive re-admits it.
+const (
+	srvLive int32 = iota
+	srvDead
+	srvResync
+)
+
+// child returns server s's current store (nil only for a
+// dead-at-construction server).
+func (t *ShardedStore) child(s int) Store {
+	if sl := t.slots[s].Load(); sl != nil {
+		return sl.store
+	}
+	return nil
+}
+
+// fall returns server s's current FallibleStore face, nil for errorless
+// children.
+func (t *ShardedStore) fall(s int) FallibleStore {
+	if sl := t.slots[s].Load(); sl != nil {
+		return sl.fallible
+	}
+	return nil
+}
+
+// down reports whether server s is not live (dead or resyncing) — the
+// read-path and quorum visibility predicate.
+func (t *ShardedStore) down(s int) bool { return t.state[s].Load() != srvLive }
+
+// allLive reports whether every server is live.
+func (t *ShardedStore) allLive() bool {
+	for s := range t.state {
+		if t.state[s].Load() != srvLive {
+			return false
+		}
+	}
+	return true
 }
 
 // shardScratch is one concurrent caller's reusable scatter state.
@@ -226,8 +332,8 @@ func (t *ShardedStore) getScratch() *shardScratch {
 		return sc
 	}
 	return &shardScratch{
-		sub:     make([][]uint64, len(t.children)),
-		subRows: make([][][]float32, len(t.children)),
+		sub:     make([][]uint64, t.servers),
+		subRows: make([][][]float32, t.servers),
 	}
 }
 
@@ -300,28 +406,55 @@ func NewTier(children []Store, opts TierOptions) *ShardedStore {
 		panic("transport: every server of the tier is dead at construction")
 	}
 	t := &ShardedStore{
-		children:        children,
-		fallible:        make([]FallibleStore, S),
+		slots:           make([]atomic.Pointer[serverSlot], S),
+		servers:         S,
 		dim:             dim,
 		replicate:       opts.Replicate,
 		retries:         opts.Retries,
 		backoff:         opts.Backoff,
+		jitter:          opts.Jitter,
 		instantChildren: instant,
-		dead:            make([]atomic.Bool, S),
+		state:           make([]atomic.Int32, S),
+		gen:             make([]atomic.Uint64, S),
+		readFails:       make([]atomic.Int32, S),
 		causes:          make([]error, S),
+		partLocks:       make([]sync.RWMutex, S),
 		onFailover:      opts.OnFailover,
 		onLost:          opts.OnLost,
 	}
+	if t.jitter == nil {
+		t.jitter = defaultJitter
+	}
 	for i, c := range children {
-		if opts.Dead[i] {
-			t.dead[i].Store(true)
-			continue
-		}
+		sl := &serverSlot{store: c}
 		if f, ok := c.(FallibleStore); ok {
-			t.fallible[i] = f
+			sl.fallible = f
+		}
+		t.slots[i].Store(sl)
+		if opts.Dead[i] {
+			t.state[i].Store(srvDead)
 		}
 	}
 	return t
+}
+
+// defaultJitter draws the slept backoff uniformly from [d/2, d] ("equal
+// jitter"): bounded above by the computed exponential step, but decorrelated
+// across the P trainer clients that would otherwise retry a flapping server
+// in lockstep.
+func defaultJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)+1))
+}
+
+// sleepBackoff counts and performs the a'th retry sleep (exponential base
+// backoff through the jitter source).
+func (t *ShardedStore) sleepBackoff(a int) {
+	t.retried.Add(1)
+	time.Sleep(t.jitter(t.backoff << a))
 }
 
 // instant implements instantStore: a tier of instant children is itself
@@ -330,78 +463,152 @@ func (t *ShardedStore) instant() bool { return t.instantChildren }
 
 // Name implements Store.
 func (t *ShardedStore) Name() string {
-	for s, c := range t.children {
-		if c == nil || t.dead[s].Load() {
+	for s := 0; s < t.servers; s++ {
+		c := t.child(s)
+		if c == nil || t.state[s].Load() == srvDead {
 			continue
 		}
-		return fmt.Sprintf("sharded-%d/%s", len(t.children), c.Name())
+		return fmt.Sprintf("sharded-%d/%s", t.servers, c.Name())
 	}
-	return fmt.Sprintf("sharded-%d/dead", len(t.children))
+	return fmt.Sprintf("sharded-%d/dead", t.servers)
 }
 
 // Dim implements Store.
 func (t *ShardedStore) Dim() int { return t.dim }
 
 // Servers returns the tier width S.
-func (t *ShardedStore) Servers() int { return len(t.children) }
+func (t *ShardedStore) Servers() int { return t.servers }
 
 // Replicate returns the tier's replication factor.
 func (t *ShardedStore) Replicate() int { return t.replicate }
 
 // DeadServers returns the indices of servers this client has declared dead,
-// ascending.
+// ascending. A resyncing server is no longer dead (its rejoin is in flight)
+// but not yet live; DownServers includes it.
 func (t *ShardedStore) DeadServers() []int {
 	var dead []int
-	for s := range t.dead {
-		if t.dead[s].Load() {
+	for s := range t.state {
+		if t.state[s].Load() == srvDead {
 			dead = append(dead, s)
 		}
 	}
 	return dead
 }
 
+// DownServers returns the indices of servers not currently serving reads
+// (dead or mid-resync), ascending — the set a consistent certification must
+// exclude.
+func (t *ShardedStore) DownServers() []int {
+	var down []int
+	for s := range t.state {
+		if t.state[s].Load() != srvLive {
+			down = append(down, s)
+		}
+	}
+	return down
+}
+
 // TierHealth returns the failover counters (-stats plumbing).
 func (t *ShardedStore) TierHealth() TierHealth {
 	return TierHealth{
-		Servers:   len(t.children),
-		Replicate: t.replicate,
-		Failovers: t.failovers.Load(),
-		Retries:   t.retried.Load(),
-		Dead:      t.DeadServers(),
+		Servers:    t.servers,
+		Replicate:  t.replicate,
+		Failovers:  t.failovers.Load(),
+		Retries:    t.retried.Load(),
+		Dead:       t.DeadServers(),
+		Revived:    t.revived.Load(),
+		ResyncRows: t.resyncRows.Load(),
 	}
 }
 
 // route returns the server currently serving reads for partition part: the
 // first live server of its replica set in ring order, or -1 when the whole
-// set is dead.
+// set is down. Resyncing servers are skipped — they must not serve reads
+// until their state verifies.
 func (t *ShardedStore) route(part int) int {
-	S := len(t.children)
 	for k := 0; k < t.replicate; k++ {
-		if s := (part + k) % S; !t.dead[s].Load() {
+		if s := (part + k) % t.servers; t.state[s].Load() == srvLive {
 			return s
 		}
 	}
 	return -1
 }
 
-// markDead declares server s dead with the given cause. Idempotent; the
-// first caller records the cause and fires OnFailover.
+// markDead declares server s dead with the given cause. Idempotent under
+// arbitrary contention: stateMu serializes the transition, so exactly one
+// caller wins, records the first cause, and fires OnFailover (after
+// releasing the lock — the callback may call back into the store).
 func (t *ShardedStore) markDead(s int, cause error) {
-	if !t.dead[s].CompareAndSwap(false, true) {
+	t.stateMu.Lock()
+	if t.state[s].Load() == srvDead {
+		t.stateMu.Unlock()
 		return
 	}
-	t.causeMu.Lock()
+	t.state[s].Store(srvDead)
 	t.causes[s] = cause
-	t.causeMu.Unlock()
+	t.stateMu.Unlock()
 	if t.onFailover != nil {
 		t.onFailover(s, cause)
 	}
 }
 
+// markDeadIfGen is markDead fenced by incarnation: it condemns server s only
+// if s still runs generation g. A slow RPC that started against the old
+// incarnation and failed after the server rejoined must not kill the new
+// incarnation — the failure belongs to a connection that no longer exists.
+func (t *ShardedStore) markDeadIfGen(s int, g uint64, cause error) {
+	t.stateMu.Lock()
+	if t.gen[s].Load() != g || t.state[s].Load() == srvDead {
+		t.stateMu.Unlock()
+		return
+	}
+	t.state[s].Store(srvDead)
+	t.causes[s] = cause
+	t.stateMu.Unlock()
+	if t.onFailover != nil {
+		t.onFailover(s, cause)
+	}
+}
+
+// markLive re-admits server s (generation g) to the live set after its
+// resync verified: the inverse of markDead. Only the resyncing incarnation
+// itself can come live — a concurrent markDeadIfGen wins by flipping the
+// state back to dead first, and a newer generation means this rejoin was
+// superseded. Revival subscribers fire outside stateMu.
+func (t *ShardedStore) markLive(s int, g uint64) bool {
+	t.stateMu.Lock()
+	if t.gen[s].Load() != g || t.state[s].Load() != srvResync {
+		t.stateMu.Unlock()
+		return false
+	}
+	t.state[s].Store(srvLive)
+	t.causes[s] = nil
+	// The new incarnation starts with a clean read-failure streak — the
+	// old connection's errors must not count against it.
+	t.readFails[s].Store(0)
+	t.stateMu.Unlock()
+	t.revived.Add(1)
+	t.reviveMu.Lock()
+	subs := append([]func(server int){}, t.reviveSubs...)
+	t.reviveMu.Unlock()
+	for _, fn := range subs {
+		fn(s)
+	}
+	return true
+}
+
+// SubscribeRevived registers fn to be called (on the reviving goroutine,
+// outside the store's locks) whenever a server is re-admitted live.
+func (t *ShardedStore) SubscribeRevived(fn func(server int)) {
+	t.reviveMu.Lock()
+	t.reviveSubs = append(t.reviveSubs, fn)
+	t.reviveMu.Unlock()
+}
+
 // deadCause returns the recorded error that condemned server s, if any.
 func (t *ShardedStore) deadCause(s int) error {
-	t.causeMu.Lock()
-	defer t.causeMu.Unlock()
+	t.stateMu.Lock()
+	defer t.stateMu.Unlock()
 	return t.causes[s]
 }
 
@@ -429,7 +636,7 @@ func (t *ShardedStore) serialScatter(bounds []int) bool {
 		return true
 	}
 	active := 0
-	for s := range t.children {
+	for s := 0; s < t.servers; s++ {
 		if bounds[s] != bounds[s+1] {
 			active++
 		}
@@ -454,7 +661,7 @@ func (t *ShardedStore) forEachPartition(bounds []int, fn func(part int)) {
 		panicMu  sync.Mutex
 		panicked *ShardPanic
 	)
-	for part := range t.children {
+	for part := 0; part < t.servers; part++ {
 		if bounds[part] == bounds[part+1] {
 			continue
 		}
@@ -501,9 +708,9 @@ func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
 		Rows(t.dim).PutN(out)
 		PutRowSlice(out)
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
 	if t.serialScatter(bounds) {
-		for part := range t.children {
+		for part := 0; part < t.servers; part++ {
 			if bounds[part] != bounds[part+1] {
 				t.fetchPartition(sc, part, ids, pos, bounds, out)
 			}
@@ -528,7 +735,7 @@ func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, 
 	for {
 		s := t.route(part)
 		if s < 0 {
-			t.lost(&TierError{Op: "fetch", Partition: part, Server: (part + t.replicate - 1) % len(t.children), Replicate: t.replicate})
+			t.lost(&TierError{Op: "fetch", Partition: part, Server: (part + t.replicate - 1) % t.servers, Replicate: t.replicate})
 		}
 		rows, err := t.tryFetch(s, sub)
 		if err != nil {
@@ -550,11 +757,14 @@ func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, 
 // tryFetch issues one sub-batch fetch to server s with bounded retry; on
 // exhaustion the server is declared dead and the last error returned.
 // Errorless children cannot report failure, so they bypass the retry loop
-// (their failures stay panics).
+// (their failures stay panics). The generation is captured *before* the
+// slot: if the server rejoins mid-call, the exhausted condemnation is
+// fenced off by markDeadIfGen rather than killing the new incarnation.
 func (t *ShardedStore) tryFetch(s int, sub []uint64) ([][]float32, error) {
-	f := t.fallible[s]
+	g := t.gen[s].Load()
+	f := t.fall(s)
 	if f == nil {
-		return t.children[s].Fetch(sub), nil
+		return t.child(s).Fetch(sub), nil
 	}
 	var lastErr error
 	for a := 0; ; a++ {
@@ -566,10 +776,9 @@ func (t *ShardedStore) tryFetch(s int, sub []uint64) ([][]float32, error) {
 		if a+1 >= t.retries {
 			break
 		}
-		t.retried.Add(1)
-		time.Sleep(t.backoff << a)
+		t.sleepBackoff(a)
 	}
-	t.markDead(s, lastErr)
+	t.markDeadIfGen(s, g, lastErr)
 	return nil, lastErr
 }
 
@@ -599,9 +808,9 @@ func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 			clear(s[:cap(s)])
 		}
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, len(t.children))
+	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
 	if t.serialScatter(bounds) {
-		for part := range t.children {
+		for part := 0; part < t.servers; part++ {
 			if bounds[part] != bounds[part+1] {
 				t.writePartition(sc, part, ids, pos, bounds, rows)
 			}
@@ -614,9 +823,14 @@ func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 
 // writePartition issues one partition's write sub-batch to every live
 // server of its replica set. Dead replicas are skipped (their state is
-// recovered from the survivors at merge time); a failing replica is
+// recovered from the survivors at merge time); a resyncing replica gets the
+// write *forwarded* — applied so no update is lost during the anti-entropy
+// window, but not counted toward the ack quorum; a failing live replica is
 // declared dead and does not fail the write as long as at least one live
-// replica acked.
+// replica acked. The partition's resync lock is held shared for the whole
+// fan-out (and released via defer, so the lost() panic path cannot leak
+// it): a transfer round's export→apply→verify cannot interleave with a
+// half-applied write.
 func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, rows [][]float32) {
 	run := pos[bounds[part]:bounds[part+1]]
 	sub, subRows := sc.sub[part][:0], sc.subRows[part][:0]
@@ -625,20 +839,25 @@ func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, 
 		subRows = append(subRows, rows[p])
 	}
 	sc.sub[part], sc.subRows[part] = sub, subRows
-	S := len(t.children)
+	lk := &t.partLocks[part]
+	lk.RLock()
+	defer lk.RUnlock()
 	acked, lastSrv := 0, part
 	var lastErr error
 	for k := 0; k < t.replicate; k++ {
-		s := (part + k) % S
-		if t.dead[s].Load() {
+		s := (part + k) % t.servers
+		switch t.state[s].Load() {
+		case srvDead:
 			lastSrv = s
-			continue
+		case srvResync:
+			t.forwardWrite(s, sub, subRows)
+		default: // srvLive
+			if err := t.tryWrite(s, sub, subRows); err != nil {
+				lastSrv, lastErr = s, err
+				continue
+			}
+			acked++
 		}
-		if err := t.tryWrite(s, sub, subRows); err != nil {
-			lastSrv, lastErr = s, err
-			continue
-		}
-		acked++
 	}
 	// Drop the row references so the pooled scratch doesn't pin the
 	// caller's buffers until the next write.
@@ -650,9 +869,10 @@ func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, 
 
 // tryWrite is tryFetch's write-side twin.
 func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error {
-	f := t.fallible[s]
+	g := t.gen[s].Load()
+	f := t.fall(s)
 	if f == nil {
-		t.children[s].Write(sub, subRows)
+		t.child(s).Write(sub, subRows)
 		return nil
 	}
 	var lastErr error
@@ -665,11 +885,28 @@ func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error 
 		if a+1 >= t.retries {
 			break
 		}
-		t.retried.Add(1)
-		time.Sleep(t.backoff << a)
+		t.sleepBackoff(a)
 	}
-	t.markDead(s, lastErr)
+	t.markDeadIfGen(s, g, lastErr)
 	return lastErr
+}
+
+// forwardWrite applies one write sub-batch to a resyncing server — the
+// write-forwarding half of the anti-entropy window. One attempt, no retry
+// loop: a rejoiner that cannot absorb the live write stream goes back to
+// dead (fenced by its generation) and the write proceeds on the survivors;
+// forwarded writes never count toward the ack quorum, so they cannot mask
+// a loss of every *verified* replica.
+func (t *ShardedStore) forwardWrite(s int, sub []uint64, subRows [][]float32) {
+	g := t.gen[s].Load()
+	f := t.fall(s)
+	if f == nil {
+		t.child(s).Write(sub, subRows)
+		return
+	}
+	if err := f.TryWrite(sub, subRows); err != nil {
+		t.markDeadIfGen(s, g, err)
+	}
 }
 
 // Stats implements Store: the field-wise sum over the tier. Fetches/Writes
@@ -680,7 +917,8 @@ func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error 
 // wall-clock time.
 func (t *ShardedStore) Stats() Stats {
 	var sum Stats
-	for _, c := range t.children {
+	for s := 0; s < t.servers; s++ {
+		c := t.child(s)
 		if c == nil {
 			continue
 		}
@@ -693,8 +931,9 @@ func (t *ShardedStore) Stats() Stats {
 // order (a nested sharded child contributes its own per-server entries; a
 // construction-dead child contributes one zero entry).
 func (t *ShardedStore) ServerStats() []Stats {
-	out := make([]Stats, 0, len(t.children))
-	for _, c := range t.children {
+	out := make([]Stats, 0, t.servers)
+	for s := 0; s < t.servers; s++ {
+		c := t.child(s)
 		if c == nil {
 			out = append(out, Stats{})
 			continue
@@ -720,16 +959,16 @@ type partFingerprinter interface {
 // each partition's first live holder instead, so replicated rows are
 // counted exactly once and dead servers not at all.
 func (t *ShardedStore) Fingerprint() uint64 {
-	S := len(t.children)
-	if t.replicate == 1 && len(t.DeadServers()) == 0 {
+	S := t.servers
+	if t.replicate == 1 && t.allLive() {
 		fps := make([]uint64, S)
 		var wg sync.WaitGroup
-		for s, c := range t.children {
+		for s := 0; s < S; s++ {
 			wg.Add(1)
 			go func(s int, c Store) {
 				defer wg.Done()
 				fps[s] = c.Fingerprint()
-			}(s, c)
+			}(s, t.child(s))
 		}
 		wg.Wait()
 		var sum uint64
@@ -758,22 +997,23 @@ func (t *ShardedStore) Fingerprint() uint64 {
 // fingerprintPartition fetches partition part's certificate from its first
 // live holder, failing over like the data path.
 func (t *ShardedStore) fingerprintPartition(part int) uint64 {
-	S := len(t.children)
+	S := t.servers
 	for {
 		s := t.route(part)
 		if s < 0 {
 			t.lost(&TierError{Op: "fingerprint", Partition: part, Server: (part + t.replicate - 1) % S, Replicate: t.replicate})
 		}
-		if f := t.fallible[s]; f != nil {
+		if t.fall(s) != nil {
 			fp, err := t.tryFingerprintPart(s, part, S)
 			if err != nil {
 				continue
 			}
 			return fp
 		}
-		pf, ok := t.children[s].(partFingerprinter)
+		c := t.child(s)
+		pf, ok := c.(partFingerprinter)
 		if !ok {
-			panic(fmt.Sprintf("transport: tier server %d (%T) cannot serve partition fingerprints", s, t.children[s]))
+			panic(fmt.Sprintf("transport: tier server %d (%T) cannot serve partition fingerprints", s, c))
 		}
 		return pf.FingerprintPart(part, S)
 	}
@@ -781,7 +1021,8 @@ func (t *ShardedStore) fingerprintPartition(part int) uint64 {
 
 // tryFingerprintPart is tryFetch's certificate-side twin.
 func (t *ShardedStore) tryFingerprintPart(s, part, of int) (uint64, error) {
-	f := t.fallible[s]
+	g := t.gen[s].Load()
+	f := t.fall(s)
 	var lastErr error
 	for a := 0; ; a++ {
 		fp, err := f.TryFingerprintPart(part, of)
@@ -792,10 +1033,9 @@ func (t *ShardedStore) tryFingerprintPart(s, part, of int) (uint64, error) {
 		if a+1 >= t.retries {
 			break
 		}
-		t.retried.Add(1)
-		time.Sleep(t.backoff << a)
+		t.sleepBackoff(a)
 	}
-	t.markDead(s, lastErr)
+	t.markDeadIfGen(s, g, lastErr)
 	return 0, lastErr
 }
 
@@ -809,11 +1049,18 @@ func (t *ShardedStore) tryFingerprintPart(s, part, of int) (uint64, error) {
 // writes live on their surviving replicas — unless some partition then has
 // no live replica at all, which is unrecoverable.
 func (t *ShardedStore) Checkpoint() []byte {
-	S := len(t.children)
+	S := t.servers
+	// Snapshot the down set once: servers changing state mid-checkpoint
+	// (a rejoin completing, a mid-pull death) must not leave the
+	// concatenation half from one membership view and half from another.
+	down := make([]bool, S)
+	for s := 0; s < S; s++ {
+		down[s] = t.down(s)
+	}
 	parts := make([][]byte, S)
 	var wg sync.WaitGroup
 	for s := 0; s < S; s++ {
-		if t.dead[s].Load() {
+		if down[s] {
 			continue
 		}
 		wg.Add(1)
@@ -823,14 +1070,29 @@ func (t *ShardedStore) Checkpoint() []byte {
 		}(s)
 	}
 	wg.Wait()
+	// A server whose pull failed was declared dead by checkpointServer and
+	// contributed no bytes; fold it into the snapshot before the coverage
+	// check.
+	for s := 0; s < S; s++ {
+		if !down[s] && parts[s] == nil {
+			down[s] = true
+		}
+	}
 	for part := 0; part < S; part++ {
-		if t.route(part) < 0 {
+		covered := false
+		for k := 0; k < t.replicate; k++ {
+			if !down[(part+k)%S] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
 			t.lost(&TierError{Op: "checkpoint", Partition: part, Server: (part + t.replicate - 1) % S, Replicate: t.replicate})
 		}
 	}
 	var out []byte
 	for s, p := range parts {
-		if t.dead[s].Load() {
+		if down[s] {
 			continue
 		}
 		out = append(out, p...)
@@ -841,9 +1103,10 @@ func (t *ShardedStore) Checkpoint() []byte {
 // checkpointServer pulls one server's checkpoint with bounded retry; on
 // exhaustion the server is declared dead and nil returned.
 func (t *ShardedStore) checkpointServer(s int) []byte {
-	f := t.fallible[s]
+	g := t.gen[s].Load()
+	f := t.fall(s)
 	if f == nil {
-		return t.children[s].Checkpoint()
+		return t.child(s).Checkpoint()
 	}
 	var lastErr error
 	for a := 0; ; a++ {
@@ -855,18 +1118,19 @@ func (t *ShardedStore) checkpointServer(s int) []byte {
 		if a+1 >= t.retries {
 			break
 		}
-		t.retried.Add(1)
-		time.Sleep(t.backoff << a)
+		t.sleepBackoff(a)
 	}
-	t.markDead(s, lastErr)
+	t.markDeadIfGen(s, g, lastErr)
 	return nil
 }
 
 // Shutdown implements Store, skipping dead servers (there is no process
-// left to ask).
+// left to ask). Resyncing servers are asked too — a rejoiner's process is
+// alive even though it isn't serving reads yet.
 func (t *ShardedStore) Shutdown() {
-	for s, c := range t.children {
-		if c == nil || t.dead[s].Load() {
+	for s := 0; s < t.servers; s++ {
+		c := t.child(s)
+		if c == nil || t.state[s].Load() == srvDead {
 			continue
 		}
 		c.Shutdown()

@@ -26,7 +26,9 @@ import (
 // linkMagic opens every link connection: "BGL" + protocol version.
 const linkMagic uint32 = 'B'<<24 | 'G'<<16 | 'L'<<8 | 1
 
-// Link protocol ops (first body byte of a link frame).
+// Link protocol ops (first body byte of a link frame). New ops append at
+// the end: existing op values are wire constants shared across process
+// generations.
 const (
 	opFetch byte = 0x10 + iota
 	opWrite
@@ -34,6 +36,9 @@ const (
 	opCheckpoint
 	opShutdown
 	opResp // server → client: u64 seq, then the op-specific result
+	opExportPart
+	opWriteRecovery
+	opEndRecovery
 )
 
 // maxFrame bounds a single link or mesh frame; a length prefix beyond it is
@@ -433,6 +438,59 @@ func (t *TCPLink) TryCheckpoint() ([]byte, error) {
 	return t.callErr(opCheckpoint, nil)
 }
 
+// TryExportPart implements PartExporter: pull one partition's materialized
+// snapshot from the server (the anti-entropy source read of a rejoin).
+// Off the hot path, so rows are plainly allocated, not pooled.
+func (t *TCPLink) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
+	resp, err := t.callErr(opExportPart, func(b []byte) []byte {
+		b = putU32(b, uint32(part))
+		return putU32(b, uint32(of))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &wireReader{b: resp}
+	ids := r.u64s()
+	n := r.count(4)
+	if r.err != nil || n != len(ids)*t.dim {
+		panic(fmt.Sprintf("transport: export response for %d ids carried %d floats", len(ids), n))
+	}
+	reg := r.take(n, 4)
+	flat := make([]float32, n)
+	rows := make([][]float32, len(ids))
+	for i := range rows {
+		rows[i] = flat[i*t.dim : (i+1)*t.dim]
+		off := i * t.dim * 4
+		for k := range rows[i] {
+			rows[i][k] = math.Float32frombits(binary.LittleEndian.Uint32(reg[off+4*k:]))
+		}
+	}
+	return ids, rows, nil
+}
+
+// TryWriteRecovery implements RecoveryStore: a bulk recovery write the
+// server filters through its freshness set (embed.Server.WriteRecovery).
+func (t *TCPLink) TryWriteRecovery(ids []uint64, rows [][]float32) error {
+	if len(ids) != len(rows) {
+		panic("transport: WriteRecovery ids/rows length mismatch")
+	}
+	_, err := t.callErr(opWriteRecovery, func(b []byte) []byte {
+		b = putU64s(b, ids)
+		for _, row := range rows {
+			b = putF32s(b, row)
+		}
+		return b
+	})
+	return err
+}
+
+// TryEndRecovery implements RecoveryStore: close the server's recovery
+// window once the whole tier has certified the rejoin.
+func (t *TCPLink) TryEndRecovery() error {
+	_, err := t.callErr(opEndRecovery, nil)
+	return err
+}
+
 // Shutdown implements Store: ask the serving process to stop accepting and
 // return from ServeEmbed once the ack is on the wire.
 func (t *TCPLink) Shutdown() {
@@ -612,6 +670,42 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 				return
 			}
 			resp = append(resp, buf.Bytes()...)
+		case opExportPart:
+			part, of := r.u32(), r.u32()
+			if r.err != nil || of == 0 || part >= of {
+				return
+			}
+			ids, rows := srv.ExportPart(int(part), int(of))
+			resp = putU64s(resp, ids)
+			resp = putU32(resp, uint32(len(ids)*srv.Dim))
+			for _, row := range rows {
+				resp = putF32sRaw(resp, row)
+			}
+		case opWriteRecovery:
+			ids := r.u64s()
+			if r.err != nil {
+				return
+			}
+			rows := GetRowSlice(len(ids))
+			arena := Rows(srv.Dim)
+			arena.GetN(rows)
+			ok := true
+			for i := range rows {
+				if !r.f32sInto(rows[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok || r.err != nil {
+				arena.PutN(rows)
+				PutRowSlice(rows)
+				return
+			}
+			srv.WriteRecovery(ids, rows)
+			arena.PutN(rows)
+			PutRowSlice(rows)
+		case opEndRecovery:
+			srv.EndRecovery()
 		case opShutdown:
 			writeFrame(bw, resp)
 			bw.Flush()

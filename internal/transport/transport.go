@@ -219,6 +219,24 @@ func (t *InProcess) TryFingerprintPart(part, of int) (uint64, error) {
 
 func (t *InProcess) TryCheckpoint() ([]byte, error) { return checkpointBytes(t.Server), nil }
 
+// TryExportPart implements PartExporter (the anti-entropy source read);
+// TryWriteRecovery and TryEndRecovery implement RecoveryStore (the rejoin
+// transfer sink). Errorless in-process, like the other Try faces.
+func (t *InProcess) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
+	ids, rows := t.Server.ExportPart(part, of)
+	return ids, rows, nil
+}
+
+func (t *InProcess) TryWriteRecovery(ids []uint64, rows [][]float32) error {
+	t.Server.WriteRecovery(ids, rows)
+	return nil
+}
+
+func (t *InProcess) TryEndRecovery() error {
+	t.Server.EndRecovery()
+	return nil
+}
+
 // checkpointBytes serializes srv. Checkpointing to memory cannot fail; an
 // encoder error means corrupted in-process state and dies loudly like every
 // other errorless-path failure.
@@ -356,3 +374,23 @@ func (t *SimNet) TryFingerprintPart(part, of int) (uint64, error) {
 }
 
 func (t *SimNet) TryCheckpoint() ([]byte, error) { return checkpointBytes(t.Server), nil }
+
+// TryExportPart implements PartExporter; TryWriteRecovery/TryEndRecovery
+// implement RecoveryStore. Recovery transfers move real payload, so the
+// simulated link charges them like the data path (control probes stay free).
+func (t *SimNet) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
+	ids, rows := t.Server.ExportPart(part, of)
+	t.delay(payloadBytes(len(ids), t.Server.Dim))
+	return ids, rows, nil
+}
+
+func (t *SimNet) TryWriteRecovery(ids []uint64, rows [][]float32) error {
+	t.delay(payloadBytes(len(ids), t.Server.Dim))
+	t.Server.WriteRecovery(ids, rows)
+	return nil
+}
+
+func (t *SimNet) TryEndRecovery() error {
+	t.Server.EndRecovery()
+	return nil
+}
