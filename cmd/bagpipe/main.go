@@ -44,6 +44,7 @@ import (
 	"bagpipe/internal/core"
 	"bagpipe/internal/data"
 	"bagpipe/internal/embed"
+	"bagpipe/internal/reshard"
 	"bagpipe/internal/serve"
 	"bagpipe/internal/train"
 	"bagpipe/internal/transport"
@@ -95,6 +96,9 @@ var (
 	restartWait = flag.Duration("restart-delay", 2*time.Second, "chaos: how long after the kill to respawn the -restart-server victim")
 	killAfterRj = flag.Int("kill-after-rejoin", -1, "chaos: once every trainer has re-admitted the rejoined server, kill server `K2` too — the rejoiner must then carry their shared partitions alone")
 	recoverFl   = flag.Bool("recover", false, "server mode (-serve): start in recovery — live writes are tracked as fresh and shielded from the anti-entropy snapshot until the tier certifies the rejoin and ends recovery")
+
+	reshardTo    = flag.Int("reshard-to", 0, "live reshard (lrpp): migrate the embedding tier to `S2` servers mid-run, per-partition dual-write/verify/cutover, while training and serving continue; the tcp driver spawns the new server processes on a grow and retires them after a shrink (0 disables)")
+	reshardDelay = flag.Duration("reshard-delay", 500*time.Millisecond, "reshard: how long after the trainers start before the migration begins")
 
 	serveInfer   = flag.Bool("serve-infer", false, "run the online inference front end against the live training tier (lrpp): local fabrics serve in-process on the trainer's retirement clock, the tcp driver serves from the driver process over its own tier links")
 	inferQPS     = flag.Float64("infer-qps", 0, "aggregate offered inference rate across clients (0 = unpaced closed loop)")
@@ -186,6 +190,33 @@ func main() {
 	}
 	if *recoverFl && !*serveFl {
 		fatal(fmt.Errorf("-recover is a -serve (embedding-server) flag"))
+	}
+	if *reshardTo < 0 {
+		fatal(fmt.Errorf("-reshard-to %d: the target tier width must be positive", *reshardTo))
+	}
+	// Worker and server processes receive -reshard-to as plumbing (it sizes
+	// their tier's spare capacity); the driver validates the migration once.
+	if *reshardTo > 0 && *rank < 0 && !*serveFl {
+		if *engineFl != "lrpp" {
+			fatal(fmt.Errorf("-reshard-to migrates the tier under live lrpp traffic; -engine %s has no reshard form", *engineFl))
+		}
+		if *reshardTo == *servers {
+			fatal(fmt.Errorf("-reshard-to %d: the tier already has -servers %d", *reshardTo, *servers))
+		}
+		if *reshardTo < *replicate {
+			fatal(fmt.Errorf("-reshard-to %d below -replicate %d: each row needs %d distinct servers in its replica ring", *reshardTo, *replicate, *replicate))
+		}
+		if *restartFl || *killAfterRj >= 0 {
+			fatal(fmt.Errorf("-reshard-to cannot be combined with -restart-server/-kill-after-rejoin: a rejoin is refused while the tier reshards"))
+		}
+		if err := transport.ValidateTierOptions(tierCapacity(), transport.TierOptions{Replicate: *replicate, InitialServers: *servers}); err != nil {
+			fatal(err)
+		}
+		// A migration is only meaningful if the migrated tier is certified,
+		// so resharding implies -verify on the lossless path.
+		if !*syncComp && !*syncCompGrad {
+			*verify = true
+		}
 	}
 
 	if *serveInfer {
@@ -281,9 +312,21 @@ func newServer(spec *data.Spec) *embed.Server {
 	return embed.NewServer(*shards, spec.EmbDim, *seed^0xE, 0.05)
 }
 
-// newServers builds the -servers S in-process embedding tier.
+// tierCapacity is the backend slot count every tier client provisions: the
+// launch width plus any spare slots a -reshard-to grow will route into.
+func tierCapacity() int {
+	if *reshardTo > *servers {
+		return *reshardTo
+	}
+	return *servers
+}
+
+// newServers builds the in-process embedding tier: the -servers S launch
+// width plus (with -reshard-to above it) the spare servers a grow migrates
+// into. Spares start absent — unrouted, invisible to the data plane — until
+// the reshard coordinator admits them.
 func newServers(spec *data.Spec) []*embed.Server {
-	srvs := make([]*embed.Server, *servers)
+	srvs := make([]*embed.Server, tierCapacity())
 	for i := range srvs {
 		srvs[i] = newServer(spec)
 	}
@@ -308,7 +351,11 @@ func storeOver(srvs []*embed.Server, netName string) transport.Store {
 	if len(children) == 1 {
 		return children[0]
 	}
-	return transport.NewTier(children, transport.TierOptions{Replicate: *replicate})
+	topts := transport.TierOptions{Replicate: *replicate}
+	if *reshardTo > 0 && len(children) > *servers {
+		topts.InitialServers = *servers
+	}
+	return transport.NewTier(children, topts)
 }
 
 // reportFailover is the tier's OnFailover hook in every role: one stderr
@@ -331,14 +378,25 @@ func exitOnTierLoss(e *transport.TierError) {
 // links stays nil — close loops must skip it); with -replicate >= 2 a
 // server that cannot be dialed is treated the same way, since its
 // partitions are covered by replicas until proven otherwise.
-func dialStores(addrs []string, timeout time.Duration, dead []bool, onLost func(*transport.TierError)) (transport.Store, []*transport.TCPLink, error) {
+//
+// Addresses at index >= spareFrom (when 0 < spareFrom < len(addrs)) are
+// spare reshard capacity: their server processes may not exist yet, so they
+// are not pre-dialed — the tier's Dial hook connects them on demand when a
+// routing install (a reshard grow) first references them. A link dialed
+// that way lands in the returned slice under the same mutex-free contract:
+// callers close links only after the tier has quiesced.
+func dialStores(addrs []string, timeout time.Duration, dead []bool, onLost func(*transport.TierError), spareFrom int) (transport.Store, []*transport.TCPLink, error) {
 	links := make([]*transport.TCPLink, len(addrs))
 	children := make([]transport.Store, len(addrs))
 	if dead == nil {
 		dead = make([]bool, len(addrs))
 	}
+	if spareFrom <= 0 || spareFrom > len(addrs) {
+		spareFrom = len(addrs)
+	}
+	var linkMu sync.Mutex
 	live := 0
-	for i, addr := range addrs {
+	for i, addr := range addrs[:spareFrom] {
 		if dead[i] {
 			continue
 		}
@@ -366,12 +424,26 @@ func dialStores(addrs []string, timeout time.Duration, dead []bool, onLost func(
 	if len(children) == 1 {
 		return children[0], links, nil
 	}
-	return transport.NewTier(children, transport.TierOptions{
+	topts := transport.TierOptions{
 		Replicate:  *replicate,
 		Dead:       dead,
 		OnFailover: reportFailover,
 		OnLost:     onLost,
-	}), links, nil
+	}
+	if spareFrom < len(addrs) {
+		topts.InitialServers = spareFrom
+		topts.Dial = func(s int) (transport.Store, error) {
+			link, err := transport.DialTCPLink(addrs[s], timeout)
+			if err != nil {
+				return nil, err
+			}
+			linkMu.Lock()
+			links[s] = link
+			linkMu.Unlock()
+			return link, nil
+		}
+	}
+	return transport.NewTier(children, topts), links, nil
 }
 
 // tierAddrs resolves the worker-mode server address list, honoring the
@@ -385,7 +457,11 @@ func tierAddrs() ([]string, error) {
 		return nil, fmt.Errorf("-rank requires -server-addrs (or -server-addr for a one-server tier)")
 	}
 	addrs := strings.Split(list, ",")
-	if len(addrs) != *servers {
+	if want := tierCapacity(); len(addrs) != want {
+		if want != *servers {
+			return nil, fmt.Errorf("-server-addrs lists %d addresses for -servers %d with -reshard-to %d (need %d: launch width plus spare capacity)",
+				len(addrs), *servers, *reshardTo, want)
+		}
 		return nil, fmt.Errorf("-server-addrs lists %d addresses for -servers %d", len(addrs), *servers)
 	}
 	return addrs, nil
@@ -506,10 +582,67 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 	}
 
 	srvs := newServers(spec)
+	// The reshard coordinator is its own tier client over the same servers:
+	// it waits out -reshard-delay, then migrates the live tier to -reshard-to
+	// while the trainers keep writing through their own clients (which adopt
+	// the new routing through the per-op stale-routing fence).
+	var (
+		reshardRep  *reshard.Report
+		reshardErr  error
+		reshardDone chan struct{}
+	)
+	var coord *transport.ShardedStore
+	if *reshardTo > 0 {
+		c, ok := storeOver(srvs, netName).(*transport.ShardedStore)
+		if !ok {
+			fatal(fmt.Errorf("-reshard-to needs a sharded tier client"))
+		}
+		coord = c
+		reshardDone = make(chan struct{})
+		go func() {
+			defer close(reshardDone)
+			time.Sleep(*reshardDelay)
+			reshardRep, reshardErr = reshard.Run(coord, reshard.Options{
+				To:  *reshardTo,
+				Log: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			})
+		}()
+	}
 	md := startMemDelta()
 	res, err := runEngine(srvs)
 	if err != nil {
 		fatal(err)
+	}
+	finalS := *servers
+	if reshardDone != nil {
+		<-reshardDone
+		if reshardErr != nil {
+			// An aborted migration rolled the routing back to the launch
+			// width and shed the streamed rows; either way the user asked for
+			// a reshard and did not get one — exit with the attributed error.
+			fatal(reshardErr)
+		}
+		finalS = *reshardTo
+		fmt.Printf("reshard: tier resharded %d -> %d in %d routing epochs (%d partitions, %d rows, %.2f MB streamed)\n",
+			*servers, finalS, reshardRep.Epochs, reshardRep.Parts, reshardRep.Rows, float64(reshardRep.Bytes)/1e6)
+		// The stream counters live in the coordinator's client, not the
+		// trainers'; fold them into the run's tier snapshot so -stats shows
+		// the migration's real progress numbers.
+		if res.Tier != nil {
+			ch := coord.TierHealth()
+			if ch.ReshardParts > res.Tier.ReshardParts {
+				res.Tier.ReshardParts = ch.ReshardParts
+			}
+			if ch.ReshardRows > res.Tier.ReshardRows {
+				res.Tier.ReshardRows = ch.ReshardRows
+			}
+			if ch.ReshardBytes > res.Tier.ReshardBytes {
+				res.Tier.ReshardBytes = ch.ReshardBytes
+			}
+			if ch.RoutingEpoch > res.Tier.RoutingEpoch {
+				res.Tier.RoutingEpoch = ch.RoutingEpoch
+			}
+		}
 	}
 	report(res)
 	if *statsFl {
@@ -533,7 +666,11 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 			fatal(err)
 		}
 		report(baseRes)
-		merged, err := embed.MergeTierReplicated(srvs, *replicate, nil)
+		// Merge only the final routed width: after a shrink the retired
+		// servers still hold their stale pre-migration partitions, and after
+		// a grow the migrated rows live on the new servers — finalS is where
+		// the routing settled.
+		merged, err := embed.MergeTierReplicated(srvs[:finalS], *replicate, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -542,10 +679,14 @@ func runLocal(cfg train.Config, spec *data.Spec, netName string) {
 			fatal(fmt.Errorf("FAIL: embedding state differs at %d ids (first %v)", len(diff), diff[0]))
 		}
 		fmt.Printf("\nPASS: %s over %d server(s) and baseline embedding state bit-identical across %d materialized rows\n",
-			*engineFl, *servers, len(merged.MaterializedIDs()))
+			*engineFl, finalS, len(merged.MaterializedIDs()))
 		if res.Elapsed < baseRes.Elapsed {
 			fmt.Printf("%s speedup over baseline: %.2fx\n",
 				*engineFl, baseRes.Elapsed.Seconds()/res.Elapsed.Seconds())
+		}
+		if *reshardTo > 0 {
+			fmt.Printf("\nPASS: tier resharded %d -> %d: migrated tier certified bit-identical to the no-cache baseline across %d materialized rows\n",
+				*servers, finalS, len(merged.MaterializedIDs()))
 		}
 	}
 }
@@ -563,7 +704,9 @@ func newFrontend(store transport.ReadStore, spec *data.Spec, epoch serve.EpochSo
 		CacheRows:     *inferCache,
 		Clients:       *inferClients,
 		RatePerClient: *inferRate,
-		Servers:       *servers,
+		// The breaker covers every slot a reshard can route reads into, not
+		// just the launch width.
+		Servers: tierCapacity(),
 	})
 }
 
@@ -605,9 +748,16 @@ func reportServe(fe *serve.Frontend, lr serve.LoadResult) error {
 func runLRPPServing(cfg train.Config, spec *data.Spec, srvs []*embed.Server, trs []transport.Store, mesh transport.Mesh, netName string) (*train.Result, error) {
 	prog := train.NewProgress(cfg.NumTrainers)
 	cfg.Progress = prog
-	fe, err := newFrontend(transport.AsReadStore(storeOver(srvs, netName)), spec, prog)
+	feStore := storeOver(srvs, netName)
+	fe, err := newFrontend(transport.AsReadStore(feStore), spec, prog)
 	if err != nil {
 		return nil, err
+	}
+	if tier, ok := feStore.(*transport.ShardedStore); ok && *reshardTo > 0 {
+		// Follow the migration's routing-epoch bumps: each install flushes
+		// the hot-row cache so no row is served under the predecessor's
+		// ownership map.
+		tier.SubscribeRouting(fe.NotifyRouting)
 	}
 	trainDone := make(chan struct{})
 	loadDone := make(chan struct{})
@@ -713,7 +863,7 @@ func runWorker(cfg train.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	store, links, err := dialStores(saddrs, 30*time.Second, nil, exitOnTierLoss)
+	store, links, err := dialStores(saddrs, 30*time.Second, nil, exitOnTierLoss, *servers)
 	if err != nil {
 		mesh.Shutdown() // depart cleanly so peers see a goodbye, not a crash
 		fatal(err)
@@ -800,11 +950,15 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	if err != nil {
 		fatal(err)
 	}
-	ports, err := freeLoopbackAddrs(*servers + *trainers)
+	// Reserve addresses for the full tier capacity: a -reshard-to grow
+	// spawns its spare server processes mid-run on addresses every tier
+	// client already knows.
+	capacity := tierCapacity()
+	ports, err := freeLoopbackAddrs(capacity + *trainers)
 	if err != nil {
 		fatal(err)
 	}
-	srvAddrs, meshAddrs := ports[:*servers], ports[*servers:]
+	srvAddrs, meshAddrs := ports[:capacity], ports[capacity:]
 
 	// commonArgs reads the flags at call time: the server is spawned before
 	// -auto-lookahead resolves ℒ (it needs the server up to measure the link
@@ -829,6 +983,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			fmt.Sprintf("-stats=%v", *statsFl),
 			"-servers", fmt.Sprint(*servers),
 			"-replicate", fmt.Sprint(*replicate),
+			"-reshard-to", fmt.Sprint(*reshardTo),
 			"-shards", fmt.Sprint(*shards),
 			"-emb-dim", fmt.Sprint(*embDim),
 			"-seed", fmt.Sprint(*seed),
@@ -886,8 +1041,10 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	}
 	defer killSpawned() // no-op after a clean Wait; covers panics
 
-	serverProcs := make([]*exec.Cmd, *servers)
-	for s := range serverProcs {
+	// serverProcs spans the full capacity; only the launch width is spawned
+	// here — a grow's spares are spawned by the reshard goroutine mid-run.
+	serverProcs := make([]*exec.Cmd, capacity)
+	for s := 0; s < *servers; s++ {
 		serverProcs[s] = startProc(fmt.Sprintf("server %d", s), nil, "-serve", "-listen", srvAddrs[s])
 	}
 	var procs []*exec.Cmd
@@ -902,7 +1059,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		// resolved ℒ is a floor — it covers propagation but not the fetch's
 		// serialization time, so heavily congested links may still want a
 		// hand-tuned, deeper -lookahead.
-		store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
+		store, links, err := dialStores(srvAddrs[:*servers], 30*time.Second, nil, nil, 0)
 		if err != nil {
 			die(err)
 		}
@@ -949,9 +1106,18 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		}
 	}
 
+	// The reshard coordinator runs in the driver over its own tier links,
+	// concurrent with the trainer processes; their clients adopt each routing
+	// epoch through the servers' stale-routing fences.
+	var (
+		reshardRep   *reshard.Report
+		reshardErr   error
+		reshardDone  chan struct{}
+		reshardLinks []*transport.TCPLink
+	)
 	if *engineFl == "lrpp" {
 		fmt.Printf("spawned %d embedding server(s) at %s; spawning %d trainer processes\n\n",
-			*servers, strings.Join(srvAddrs, ","), *trainers)
+			*servers, strings.Join(srvAddrs[:*servers], ","), *trainers)
 		for p := 0; p < *trainers; p++ {
 			targs := []string{
 				"-rank", fmt.Sprint(p),
@@ -978,7 +1144,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			infMu    sync.Mutex
 		)
 		if *serveInfer {
-			store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
+			store, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil, *servers)
 			if err != nil {
 				die(err)
 			}
@@ -986,6 +1152,16 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			infFE, err = newFrontend(transport.AsReadStore(store), spec, serve.NewTickerEpoch(100*time.Millisecond))
 			if err != nil {
 				die(err)
+			}
+			if tier, ok := store.(*transport.ShardedStore); ok && *reshardTo > 0 {
+				// Follow the migration: every routing-epoch install flushes
+				// the hot-row cache so no row is served under the
+				// predecessor's ownership map.
+				front := infFE
+				tier.SubscribeRouting(func(epoch uint64) {
+					front.NotifyRouting(epoch)
+					fmt.Fprintf(os.Stderr, "serve: adopted routing epoch %d, hot-row cache flushed\n", epoch)
+				})
 			}
 			if tier, ok := store.(*transport.ShardedStore); ok && *restartFl {
 				// The front end never writes, so its rejoin is verify-only: it
@@ -1043,6 +1219,36 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 				}
 			}()
 		}
+		if *reshardTo > 0 {
+			reshardDone = make(chan struct{})
+			go func() {
+				defer close(reshardDone)
+				time.Sleep(*reshardDelay)
+				// A grow spawns its target server processes now, mid-run; the
+				// coordinator's EnsureServer retries cover their boot time.
+				// (These slots are disjoint from the chaos goroutine's victim,
+				// which is always inside the launch width.)
+				for s := *servers; s < *reshardTo; s++ {
+					fmt.Fprintf(os.Stderr, "reshard: spawning embedding server %d on %s\n", s, srvAddrs[s])
+					serverProcs[s] = startProc(fmt.Sprintf("server %d", s), nil, "-serve", "-listen", srvAddrs[s])
+				}
+				coord, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil, *servers)
+				if err != nil {
+					reshardErr = err
+					return
+				}
+				reshardLinks = links
+				tier, ok := coord.(*transport.ShardedStore)
+				if !ok {
+					reshardErr = fmt.Errorf("-reshard-to needs a sharded tier client")
+					return
+				}
+				reshardRep, reshardErr = reshard.Run(tier, reshard.Options{
+					To:  *reshardTo,
+					Log: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+				})
+			}()
+		}
 		failed := false
 		for p, proc := range procs {
 			if err := proc.Wait(); err != nil {
@@ -1082,7 +1288,7 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	} else {
 		// baseline/pipelined are single-trainer-process engines: run the
 		// engine here, against the remote embedding tier.
-		tr, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil)
+		tr, links, err := dialStores(srvAddrs, 30*time.Second, nil, nil, 0)
 		if err != nil {
 			die(err)
 		}
@@ -1106,6 +1312,26 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		}
 	}
 
+	// Join the migration before any post-run certification: the tier's final
+	// width is wherever the routing settled. An aborted or failed migration
+	// is a run failure — the routing rolled back and the streamed rows were
+	// shed, but the user asked for a reshard and did not get one.
+	finalS := *servers
+	if reshardDone != nil {
+		<-reshardDone
+		for _, l := range reshardLinks {
+			if l != nil {
+				l.Close()
+			}
+		}
+		if reshardErr != nil {
+			die(reshardErr)
+		}
+		finalS = *reshardTo
+		fmt.Printf("reshard: tier resharded %d -> %d in %d routing epochs (%d partitions, %d rows, %.2f MB streamed)\n",
+			*servers, finalS, reshardRep.Epochs, reshardRep.Parts, reshardRep.Rows, float64(reshardRep.Bytes)/1e6)
+	}
+
 	// The post-run control store must not dial the chaos victim: it is dead
 	// by design (and if the run outpaced -kill-delay, make it dead now, or
 	// the final Wait below would block on a server nobody will shut down).
@@ -1117,12 +1343,16 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 	// itself below.
 	var ctlDead []bool
 	if *killServer >= 0 {
-		ctlDead = make([]bool, *servers)
+		ctlDead = make([]bool, finalS)
 		if !*restartFl {
 			if p := serverProcs[*killServer].Process; p != nil {
 				p.Kill()
 			}
-			ctlDead[*killServer] = true
+			// After a shrink the victim may sit outside the final width —
+			// retired from routing entirely, nothing to mark.
+			if *killServer < finalS {
+				ctlDead[*killServer] = true
+			}
 		} else {
 			serverProcs[*killServer] = <-respawnCh // adopt the respawned handle
 			if peerKilled.Load() {
@@ -1132,10 +1362,10 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			}
 		}
 	}
-	ctl, ctlLinks, err := dialStores(srvAddrs, 10*time.Second, ctlDead, func(e *transport.TierError) {
+	ctl, ctlLinks, err := dialStores(srvAddrs[:finalS], 10*time.Second, ctlDead, func(e *transport.TierError) {
 		killSpawned()
 		fatal(e)
-	})
+	}, 0)
 	if err != nil {
 		die(err)
 	}
@@ -1182,12 +1412,12 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 		// so read it off the tier rather than reusing the dial-time slice.
 		deadNow := ctlDead
 		if tier, ok := ctl.(*transport.ShardedStore); ok {
-			deadNow = make([]bool, *servers)
+			deadNow = make([]bool, finalS)
 			for _, s := range tier.DownServers() {
 				deadNow[s] = true
 			}
 		}
-		remote, err := embed.RestoreTierReplicated(bytes.NewReader(ctl.Checkpoint()), *servers, *shards, *replicate, deadNow)
+		remote, err := embed.RestoreTierReplicated(bytes.NewReader(ctl.Checkpoint()), finalS, *shards, *replicate, deadNow)
 		if err != nil {
 			die(fmt.Errorf("restore remote tier checkpoint: %w", err))
 		}
@@ -1237,7 +1467,11 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 				*engineFl, *killServer, len(remote.MaterializedIDs()))
 		} else {
 			fmt.Printf("\nPASS: distributed %s over loopback TCP left the %d-server embedding tier bit-identical to the baseline across %d materialized rows\n",
-				*engineFl, *servers, len(remote.MaterializedIDs()))
+				*engineFl, finalS, len(remote.MaterializedIDs()))
+		}
+		if *reshardTo > 0 {
+			fmt.Printf("\nPASS: tier resharded %d -> %d: migrated tier certified bit-identical to the no-cache baseline across %d materialized rows\n",
+				*servers, finalS, len(remote.MaterializedIDs()))
 		}
 	}
 	if *restartFl {
@@ -1256,18 +1490,41 @@ func runTCPDriver(cfg train.Config, spec *data.Spec) {
 			l.Close()
 		}
 	}
+	// Retire the server processes the routing no longer references: a
+	// shrink's [finalS, S) range still serves (the migration leaves their
+	// state untouched until the operator stops them) and an aborted grow may
+	// have left admitted-but-unrouted spares. The control store above only
+	// covers [0, finalS), so shut these down over their own links; a server
+	// that cannot be reached any more is killed so the Wait below cannot
+	// hang.
+	forceKilled := make([]bool, len(serverProcs))
+	for s := finalS; s < len(serverProcs); s++ {
+		if serverProcs[s] == nil || s == *killServer {
+			continue
+		}
+		if link, err := transport.DialTCPLink(srvAddrs[s], 5*time.Second); err == nil {
+			link.Shutdown()
+			link.Close()
+		} else if p := serverProcs[s].Process; p != nil {
+			p.Kill()
+			forceKilled[s] = true
+		}
+	}
 	// Wait for every server before reporting: bailing on the first bad exit
 	// would leave later servers running with no one to reap them. The chaos
 	// victim is reaped here too — its kill-induced exit error is the point,
 	// not a failure.
 	var exitErr error
 	for s, proc := range serverProcs {
+		if proc == nil {
+			continue
+		}
 		err := proc.Wait()
 		// The chaos victims' kill-induced exits are the point, not failures:
 		// the original -kill-server incarnation (its respawn, which Waits
 		// here under the same index, must exit cleanly) and the
 		// -kill-after-rejoin peer.
-		if (s == *killServer && !*restartFl) || s == *killAfterRj {
+		if (s == *killServer && !*restartFl) || s == *killAfterRj || forceKilled[s] {
 			continue
 		}
 		if err != nil && exitErr == nil {
@@ -1454,6 +1711,10 @@ func report(r *train.Result) {
 		if r.Tier.Revived > 0 || r.Tier.ResyncRows > 0 {
 			fmt.Printf("  tier: %d server rejoin(s) certified, %d rows streamed by anti-entropy resync\n",
 				r.Tier.Revived, r.Tier.ResyncRows)
+		}
+		if r.Tier.RoutingEpoch > 0 {
+			fmt.Printf("  tier: reshard routing epoch %d, %d partitions cut over, %d rows (%.2f MB) streamed through this process\n",
+				r.Tier.RoutingEpoch, r.Tier.ReshardParts, r.Tier.ReshardRows, float64(r.Tier.ReshardBytes)/1e6)
 		}
 	}
 	st := r.Transport

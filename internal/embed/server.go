@@ -50,6 +50,12 @@ type Server struct {
 	inRecovery atomic.Bool
 	recoverMu  sync.Mutex
 	fresh      map[uint64]struct{}
+
+	// Routing-epoch fence (see routing.go). routeEpoch 0 accepts every
+	// announced epoch, so pre-reshard deployments never block here.
+	routeMu    sync.RWMutex
+	routeEpoch uint64
+	routeTable any
 }
 
 // getGroupScratch pops (or creates) a grouping scratch; putGroupScratch
@@ -390,19 +396,7 @@ func (s *Server) Fingerprint() uint64 { return s.FingerprintPart(0, 1) }
 // partition — taken from any live holder of p — still equals the merged
 // state's certificate.
 func (s *Server) FingerprintPart(part, of int) uint64 {
-	if of <= 0 || part < 0 || part >= of {
-		panic(fmt.Sprintf("embed: fingerprint partition %d of %d", part, of))
-	}
-	row := make([]float32, s.Dim)
-	var sum uint64
-	for _, id := range s.MaterializedIDs() {
-		if of > 1 && core.OwnerOf(id, of) != part {
-			continue
-		}
-		s.shards[s.ShardOf(id)].peek(id, row)
-		sum += rowDigest(id, row)
-	}
-	return sum
+	return s.FingerprintPartIn(part, of, 0, 1)
 }
 
 // ExportPart snapshots the materialized rows of partition part of an of-way
@@ -414,23 +408,7 @@ func (s *Server) FingerprintPart(part, of int) uint64 {
 // freshness protocol on the receiving side plus the fingerprint retry loop
 // in the tier's resync driver.
 func (s *Server) ExportPart(part, of int) ([]uint64, [][]float32) {
-	if of <= 0 || part < 0 || part >= of {
-		panic(fmt.Sprintf("embed: export partition %d of %d", part, of))
-	}
-	var ids []uint64
-	for _, id := range s.MaterializedIDs() {
-		if of > 1 && core.OwnerOf(id, of) != part {
-			continue
-		}
-		ids = append(ids, id)
-	}
-	flat := make([]float32, len(ids)*s.Dim)
-	rows := make([][]float32, len(ids))
-	for i, id := range ids {
-		rows[i] = flat[i*s.Dim : (i+1)*s.Dim]
-		s.shards[s.ShardOf(id)].peek(id, rows[i])
-	}
-	return ids, rows
+	return s.ExportPartIn(part, of, 0, 1)
 }
 
 // rowDigest is the FNV-1a hash of one (id, row) pair, the unit Fingerprint

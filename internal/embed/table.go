@@ -218,6 +218,20 @@ func (t *Table) peek(id uint64, dst []float32) {
 	}
 }
 
+// Remove drops row id from the materialized set, reporting whether it was
+// materialized. The row's logical value reverts to its deterministic
+// (seed, id) init — Remove is how a reshard sheds partitions that migrated
+// away, not a way to zero a row.
+func (t *Table) Remove(id uint64) bool {
+	t.mu.Lock()
+	_, ok := t.rows[id]
+	if ok {
+		delete(t.rows, id)
+	}
+	t.mu.Unlock()
+	return ok
+}
+
 // IDs returns the sorted ids of every materialized row.
 func (t *Table) IDs() []uint64 {
 	t.mu.RLock()

@@ -1,0 +1,376 @@
+// Package reshard drives a live migration of the embedding tier from S to
+// S′ servers while training and serving continue against it.
+//
+// The paper's premise is that the embedding tier is the scaling bottleneck
+// of recommendation training: the working set grows and shrinks with the
+// workload, not with the trainer fleet. A tier that can only change width
+// by checkpoint-restart turns every capacity change into downtime. This
+// package removes that restriction using machinery the tier already has —
+// the per-partition export/recovery/fingerprint primitives built for dead-
+// server rejoin — re-aimed at ownership movement instead of replica repair.
+//
+// The algorithm, per new-space partition p′ (0 ≤ p′ < S′):
+//
+//  1. Open p′'s dual-write window: push a routing table (epoch bumped)
+//     marking p′ PartDual. From this epoch on, every tier client fans
+//     writes of p′'s rows to the old owner ring *and* the new one; reads
+//     still route old, so nothing is served from an unverified copy.
+//     Servers fence the data plane by epoch, so a client still routing by
+//     the predecessor table is rejected, adopts, and reissues — the window
+//     is airtight, not probabilistic.
+//  2. Stream p′'s rows to each new-ring member that does not already hold
+//     them: for every old partition q that intersects p′ (q ≡ p′ mod
+//     gcd(S, S′) — CRT; all other pairs are empty), export the (q ∩ p′)
+//     intersection from a live old-ring replica and recovery-write it to
+//     the target. Recovery writes pass the freshness filter opened before
+//     the first dual epoch: a row the dual fan already refreshed is
+//     skipped, so the stream can never clobber a newer live write.
+//  3. Verify: digest the same intersection on source and target and
+//     compare. A mismatch (a write raced between the two probes) retries
+//     the round after a backoff; rounds repeat until the digests agree or
+//     the round budget is spent.
+//  4. Cut over: push p′ as PartMoved. Reads flip to the new ring; writes
+//     keep fanning to both rings, which is what keeps abort safe — the old
+//     space stays complete until the final settle.
+//
+// When every partition has moved, a settled table at width S′ is pushed and
+// each surviving server sheds the rows it no longer owns (RetainOwned).
+// Any failure that leaves a partition uncertifiable — every old-ring source
+// dead, no new-ring target verified — aborts: a settled table at the *old*
+// width is pushed, streamed-in alien rows are shed, and the caller gets an
+// attributed *transport.TierError with the tier exactly as it was.
+package reshard
+
+import (
+	"fmt"
+	"time"
+
+	"bagpipe/internal/transport"
+)
+
+// Options configures one migration.
+type Options struct {
+	// To is the target tier width (required; 1 ≤ To ≤ tier capacity,
+	// To ≠ current width, To ≥ replication factor).
+	To int
+	// BatchRows bounds each recovery-write RPC (default 512).
+	BatchRows int
+	// MaxRounds bounds the export→stream→verify rounds per (old partition,
+	// target) pair before the migration aborts (default 64).
+	MaxRounds int
+	// RoundBackoff is the pause between verify rounds, giving racing dual
+	// writes time to land on both sides (default 25ms).
+	RoundBackoff time.Duration
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Report is the migration's accounting.
+type Report struct {
+	From, To  int   // tier widths, source and target
+	Replicate int   // the tier's replication factor
+	Parts     int   // new-space partitions verified and cut over
+	Rows      int   // rows streamed to migration targets
+	Bytes     int64 // payload bytes streamed
+	Epochs    int   // routing epochs consumed
+	Aborted   bool  // true when the tier was rolled back to width From
+}
+
+func (o *Options) defaults() {
+	if o.BatchRows <= 0 {
+		o.BatchRows = 512
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 64
+	}
+	if o.RoundBackoff <= 0 {
+		o.RoundBackoff = 25 * time.Millisecond
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+}
+
+// gcd of two positive widths.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// inRing reports whether server s is in the replicate-deep replica ring of
+// partition base in a width-wide split.
+func inRing(s, base, width, replicate int) bool {
+	depth := replicate
+	if depth > width {
+		depth = width
+	}
+	for k := 0; k < depth; k++ {
+		if (base+k)%width == s {
+			return true
+		}
+	}
+	return false
+}
+
+// firstLive returns the first live member of partition base's ring in a
+// width-wide split, or -1 when every replica is down.
+func firstLive(t *transport.ShardedStore, base, width, replicate int) int {
+	depth := replicate
+	if depth > width {
+		depth = width
+	}
+	for k := 0; k < depth; k++ {
+		if s := (base + k) % width; t.LiveServer(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// Run migrates t from its current width to opts.To and blocks until the
+// tier settles — at the new width on success, back at the old width on
+// abort (Report.Aborted true, error an attributed *transport.TierError).
+// The tier stays fully live throughout: Run holds no lock any client op
+// waits on beyond the per-epoch install barrier.
+//
+// Run must be the tier's only coordinator: one migration at a time, and
+// no concurrent Rejoin (a rejoin started mid-reshard is refused by the
+// tier; Run refuses to start unless the tier is settled).
+func Run(t *transport.ShardedStore, opts Options) (*Report, error) {
+	opts.defaults()
+	start := t.Routing()
+	if !start.Settled() {
+		return nil, fmt.Errorf("reshard: tier is already resharding (epoch %d, %d→%d)", start.Epoch, start.OldS, start.NewS)
+	}
+	S, To, R := start.NewS, opts.To, t.Replicate()
+	rep := &Report{From: S, To: To, Replicate: R}
+	switch {
+	case To < 1:
+		return nil, fmt.Errorf("reshard: target width %d", To)
+	case To > t.Capacity():
+		return nil, fmt.Errorf("reshard: target width %d over tier capacity %d", To, t.Capacity())
+	case To == S:
+		return nil, fmt.Errorf("reshard: tier is already %d wide", S)
+	case To < R:
+		return nil, fmt.Errorf("reshard: target width %d below replication factor %d", To, R)
+	}
+	opts.Log("reshard: %d -> %d (replicate %d, capacity %d)", S, To, R, t.Capacity())
+
+	// Grow: admit every spare the new space references before any routing
+	// changes. A spare process may still be booting, so admission retries
+	// on the round budget; a spare that never comes up fails the migration
+	// before it starts — the tier is untouched.
+	for s := S; s < To; s++ {
+		var err error
+		for round := 0; round < opts.MaxRounds; round++ {
+			if err = t.EnsureServer(s); err == nil {
+				break
+			}
+			time.Sleep(opts.RoundBackoff)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reshard: target server %d never came up: %w", s, err)
+		}
+		opts.Log("reshard: target server %d live", s)
+	}
+
+	// Open every target's recovery window *before* the first dual epoch.
+	// The freshness filter it installs is what lets migration streams
+	// interleave with live dual writes: a row the fan already refreshed is
+	// skipped by the stream. Opening it early is harmless — normal writes
+	// are unaffected — and closing it is the last step of both exits.
+	var began []int
+	endRecovery := func() {
+		for _, s := range began {
+			if !t.LiveServer(s) {
+				continue
+			}
+			if err := t.EndRecovery(s); err != nil {
+				opts.Log("reshard: end recovery on server %d: %v", s, err)
+			}
+		}
+	}
+	for s := 0; s < To; s++ {
+		if !t.LiveServer(s) {
+			continue
+		}
+		if err := t.BeginRecoveryOn(s); err != nil {
+			// Almost certainly a server dying in the window between admission
+			// and here (the chaos race): skip it rather than fail the whole
+			// migration — the data plane condemns it on first contact, and the
+			// per-partition verify decides whether the loss is fatal. A healthy
+			// server skipped here just misses the freshness filter, which the
+			// digest-compare rounds absorb like any racing write.
+			opts.Log("reshard: open recovery window on server %d failed, skipping it: %v", s, err)
+			continue
+		}
+		began = append(began, s)
+	}
+
+	epoch := start.Epoch
+	state := make([]transport.PartState, To)
+	push := func(settledWidth int) error {
+		epoch++
+		var rt *transport.RoutingTable
+		if settledWidth > 0 {
+			rt = &transport.RoutingTable{Epoch: epoch, OldS: settledWidth, NewS: settledWidth}
+		} else {
+			rt = &transport.RoutingTable{Epoch: epoch, OldS: S, NewS: To,
+				State: append([]transport.PartState(nil), state...)}
+		}
+		return t.PushRouting(rt)
+	}
+	abort := func(pn int, cause error) (*Report, error) {
+		opts.Log("reshard: ABORT at partition %d: %v", pn, cause)
+		if err := push(S); err != nil {
+			// The local install still happened or the table was invalid;
+			// either way the abort proceeds — clients self-heal by fence.
+			opts.Log("reshard: abort rollback push: %v", err)
+		}
+		// Shed the alien rows the aborted migration streamed into old-space
+		// servers. Spares admitted for a grow stay live but unrouted (no
+		// table references them); Shutdown retires them.
+		for s := 0; s < S; s++ {
+			if !t.LiveServer(s) {
+				continue
+			}
+			if _, err := t.RetainOwnedOn(s, s, S, R); err != nil {
+				opts.Log("reshard: abort cleanup on server %d: %v", s, err)
+			}
+		}
+		endRecovery()
+		rep.Aborted = true
+		rep.Epochs = int(epoch - start.Epoch)
+		return rep, &transport.TierError{Op: "reshard", Partition: pn, Server: -1, Replicate: R, Cause: cause}
+	}
+
+	g := gcd(S, To)
+	for pn := 0; pn < To; pn++ {
+		// 1. Open pn's dual-write window.
+		state[pn] = transport.PartDual
+		if err := push(0); err != nil {
+			return abort(pn, err)
+		}
+		// 2+3. Stream and verify pn on every new-ring member that does not
+		// already hold it. A target that fails mid-stream is condemned and
+		// skipped — the cutover needs one verified copy, not all of them;
+		// readRingSub routes around the dead ones exactly as in a failover.
+		verified := 0
+		var lastErr error
+		for k := 0; k < min(R, To); k++ {
+			dst := (pn + k) % To
+			if !t.LiveServer(dst) {
+				continue
+			}
+			ok := true
+			for q := pn % g; q < S; q += g {
+				if inRing(dst, q, S, R) {
+					continue // dst is an old-ring replica of q: already authoritative
+				}
+				if err := migratePair(t, &opts, rep, q, S, pn, To, dst); err != nil {
+					opts.Log("reshard: partition %d: target %d failed (old part %d): %v", pn, dst, q, err)
+					ok, lastErr = false, err
+					if noSource(err) {
+						return abort(pn, err) // every source replica dead: the data is gone
+					}
+					break
+				}
+			}
+			if ok {
+				verified++
+			}
+		}
+		if verified == 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("reshard: no live member in partition %d's new ring", pn)
+			}
+			return abort(pn, lastErr)
+		}
+		// 4. Cut pn's reads over to the new ring.
+		state[pn] = transport.PartMoved
+		if err := push(0); err != nil {
+			return abort(pn, err)
+		}
+		rep.Parts++
+		opts.Log("reshard: partition %d/%d moved (epoch %d, %d verified copies)", pn+1, To, epoch, verified)
+	}
+
+	// Settle at the new width, then shed what moved away. Retired servers
+	// (a shrink's [To, S) range) hold their old partitions untouched — the
+	// caller decides when to stop their processes.
+	if err := push(To); err != nil {
+		return abort(-1, err)
+	}
+	for s := 0; s < To; s++ {
+		if !t.LiveServer(s) {
+			continue
+		}
+		n, err := t.RetainOwnedOn(s, s, To, R)
+		if err != nil {
+			opts.Log("reshard: settle cleanup on server %d: %v", s, err)
+			continue
+		}
+		if n > 0 {
+			opts.Log("reshard: server %d shed %d rows", s, n)
+		}
+	}
+	endRecovery()
+	rep.Epochs = int(epoch - start.Epoch)
+	opts.Log("reshard: settled at width %d (%d epochs, %d rows, %d bytes streamed)", To, rep.Epochs, rep.Rows, rep.Bytes)
+	return rep, nil
+}
+
+// errNoSource marks the unrecoverable failure: every replica of an old
+// partition is dead, so its rows cannot be streamed anywhere.
+type errNoSource struct{ q int }
+
+func (e *errNoSource) Error() string {
+	return fmt.Sprintf("reshard: no live replica of old partition %d to stream from", e.q)
+}
+
+func noSource(err error) bool {
+	_, ok := err.(*errNoSource)
+	return ok
+}
+
+// migratePair streams the (q-of-S ∩ pn-of-To) intersection to dst and
+// verifies it digest-identical against a live source, retrying rounds on
+// the budget. Source failures rotate to the next live old-ring replica;
+// a dst failure is terminal for dst (it was condemned by the stream).
+func migratePair(t *transport.ShardedStore, opts *Options, rep *Report, q, S, pn, To, dst int) error {
+	for round := 0; round < opts.MaxRounds; round++ {
+		if round > 0 {
+			time.Sleep(opts.RoundBackoff)
+		}
+		src := firstLive(t, q, S, t.Replicate())
+		if src < 0 {
+			return &errNoSource{q: q}
+		}
+		ids, rows, err := t.ExportPartInFrom(src, q, S, pn, To)
+		if err != nil {
+			continue // src condemned; next round rotates to the next replica
+		}
+		n, b, err := t.RecoveryWriteTo(dst, ids, rows, opts.BatchRows)
+		rep.Rows += n
+		rep.Bytes += b
+		if err != nil {
+			return err
+		}
+		want, err := t.FingerprintPartInOn(src, q, S, pn, To)
+		if err != nil {
+			continue
+		}
+		got, err := t.FingerprintPartInOn(dst, q, S, pn, To)
+		if err != nil {
+			return err
+		}
+		if want == got {
+			return nil
+		}
+		// A live dual write raced between the probes; back off and re-run.
+	}
+	return fmt.Errorf("reshard: partition (%d of %d ∩ %d of %d) on server %d never verified after %d rounds",
+		q, S, pn, To, dst, opts.MaxRounds)
+}

@@ -1,0 +1,111 @@
+package reshard
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bagpipe/internal/embed"
+	"bagpipe/internal/transport"
+)
+
+// TestReshardTCP is the real-socket leg: a tier over TCP links grows 2->4
+// and shrinks back 4->2, with writes between every transition, and certifies
+// bit-identical against the reference at each settled width. The grow
+// targets are pre-dialed spares (the driver's in-test stand-in for spawned
+// server processes); the shrink retires them from routing but leaves their
+// processes serving until Shutdown, exactly like the TCP driver.
+func TestReshardTCP(t *testing.T) {
+	const S, To, R = 2, 4, 2
+	servers := make([]*embed.Server, To)
+	children := make([]transport.Store, To)
+	joins := make([]func(), To)
+	links := make([]*transport.TCPLink, To)
+	for i := range servers {
+		servers[i] = embed.NewServer(3, 4, 11, 0.1)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		srv := servers[i]
+		go func() { done <- transport.ServeEmbed(lis, srv) }()
+		joins[i] = func() {
+			if err := <-done; err != nil {
+				t.Errorf("ServeEmbed: %v", err)
+			}
+		}
+		links[i], err = transport.DialTCPLink(lis.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = links[i]
+	}
+	st := transport.NewTier(children, transport.TierOptions{
+		Replicate:      R,
+		InitialServers: S,
+		Retries:        2,
+		Backoff:        time.Millisecond,
+		Jitter:         zeroJitter,
+	})
+	ref := embed.NewServer(3, 4, 11, 0.1)
+	refStore := transport.NewInProcess(ref)
+
+	stamp := float32(0)
+	step := func(ids []uint64) {
+		t.Helper()
+		stamp++
+		rows, refRows := st.Fetch(ids), refStore.Fetch(ids)
+		for i := range rows {
+			for j := range rows[i] {
+				if rows[i][j] != refRows[i][j] {
+					t.Fatalf("id %d col %d: tier %v != reference %v", ids[i], j, rows[i][j], refRows[i][j])
+				}
+			}
+			rows[i][0], refRows[i][0] = stamp, stamp
+		}
+		st.Write(ids, rows)
+		refStore.Write(ids, refRows)
+	}
+	wide := make([]uint64, 50)
+	for i := range wide {
+		wide[i] = uint64(i)
+	}
+	step(wide)
+	step(wide[:30])
+
+	if rep, err := Run(st, fastOpts(To)); err != nil || rep.Aborted || rep.Parts != To {
+		t.Fatalf("tcp grow: %+v, %v", rep, err)
+	}
+	if got := st.Servers(); got != To {
+		t.Fatalf("Servers() = %d after tcp grow, want %d", got, To)
+	}
+	step(wide[:42])
+	if fp, want := st.Fingerprint(), ref.Fingerprint(); fp != want {
+		t.Fatalf("tier fingerprint %x != reference %x after tcp grow", fp, want)
+	}
+
+	if rep, err := Run(st, fastOpts(S)); err != nil || rep.Aborted || rep.Parts != S {
+		t.Fatalf("tcp shrink: %+v, %v", rep, err)
+	}
+	if got := st.Servers(); got != S {
+		t.Fatalf("Servers() = %d after tcp shrink, want %d", got, S)
+	}
+	step(wide)
+	if fp, want := st.Fingerprint(), ref.Fingerprint(); fp != want {
+		t.Fatalf("tier fingerprint %x != reference %x after tcp shrink", fp, want)
+	}
+	merged, err := embed.MergeTierReplicated(servers[:S], R, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := embed.Diff(ref, merged); len(d) != 0 {
+		t.Fatalf("merged tier differs from reference at %v", d)
+	}
+
+	st.Shutdown() // shuts down every live slot, including the retired spares
+	for i := range joins {
+		joins[i]()
+		links[i].Close()
+	}
+}

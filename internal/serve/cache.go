@@ -186,6 +186,24 @@ func (c *HotRowCache) takeSlotLocked() int32 {
 	}
 }
 
+// Flush drops every entry, recycling the rows, and returns how many went.
+// The serving front end calls it on a routing-epoch bump: a reshard moved
+// row ownership under the cache, and rather than reason about which cached
+// rows crossed an ownership boundary mid-migration, the cache starts cold —
+// the next queries refetch through the tier's new routing and re-warm it.
+func (c *HotRowCache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.ents {
+		if c.ents[i].live {
+			c.dropLocked(int32(i))
+			n++
+		}
+	}
+	return n
+}
+
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
 	Hits, Misses, Stale, Evictions, Torn int64

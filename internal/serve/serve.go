@@ -106,6 +106,7 @@ type Frontend struct {
 
 	queries  counter
 	tierShed counter
+	reroutes counter
 }
 
 // clientScratch is one client's reusable request state; with every id a
@@ -257,16 +258,31 @@ func (f *Frontend) Breaker() *CircuitBreaker { return f.breaker }
 // Wire it to transport.ShardedStore.SubscribeRevived.
 func (f *Frontend) NotifyRevived(server int) { f.breaker.NotifyRevived(server) }
 
+// NotifyRouting tells the front end a new routing table was installed (a
+// reshard epoch bump): the hot-row cache is flushed, since rows cached under
+// the predecessor's ownership may now be served by different servers, and
+// the next queries re-warm it through the tier's new routing. ReadFetch
+// itself needs no notification — the tier client adopts new tables through
+// the per-op stale-routing fence. Wire it to
+// transport.ShardedStore.SubscribeRouting.
+func (f *Frontend) NotifyRouting(epoch uint64) {
+	f.cache.Flush()
+	f.reroutes.add(1)
+}
+
 // Cache exposes the hot-row cache (tests + stats).
 func (f *Frontend) Cache() *HotRowCache { return f.cache }
 
 // Stats is the front end's point-in-time serving summary.
 type Stats struct {
-	Queries    int64
-	RateShed   int64
-	TierShed   int64
-	Cache      CacheStats
-	Trips      int64
+	Queries  int64
+	RateShed int64
+	TierShed int64
+	Cache    CacheStats
+	Trips    int64
+	// Reroutes counts routing-table installs the front end followed (cache
+	// flushes driven by a live reshard's epoch bumps).
+	Reroutes   int64
 	LookupP50  time.Duration
 	LookupP99  time.Duration
 	LookupP999 time.Duration
@@ -283,6 +299,7 @@ func (f *Frontend) Stats() Stats {
 		TierShed:   f.tierShed.load(),
 		Cache:      f.cache.Stats(),
 		Trips:      f.breaker.Trips(),
+		Reroutes:   f.reroutes.load(),
 		LookupP50:  f.Lookup.Quantile(0.50),
 		LookupP99:  f.Lookup.Quantile(0.99),
 		LookupP999: f.Lookup.Quantile(0.999),

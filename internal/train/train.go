@@ -244,7 +244,7 @@ func addTierHealth(res *Result, tr transport.Store) {
 		return
 	}
 	h := th.TierHealth()
-	if h.Replicate <= 1 && len(h.Dead) == 0 && h.Revived == 0 {
+	if h.Replicate <= 1 && len(h.Dead) == 0 && h.Revived == 0 && h.RoutingEpoch == 0 {
 		return
 	}
 	if res.Tier == nil {
@@ -254,6 +254,26 @@ func addTierHealth(res *Result, tr transport.Store) {
 	res.Tier.Retries += h.Retries
 	res.Tier.Revived += h.Revived
 	res.Tier.ResyncRows += h.ResyncRows
+	// Reshard progress is tier-global, not additive across trainers: every
+	// client converges on the same epoch, and the stream counters live in
+	// whichever client drove the migration. Report the max of each.
+	if h.RoutingEpoch > res.Tier.RoutingEpoch {
+		res.Tier.RoutingEpoch = h.RoutingEpoch
+	}
+	if h.ReshardParts > res.Tier.ReshardParts {
+		res.Tier.ReshardParts = h.ReshardParts
+	}
+	if h.ReshardRows > res.Tier.ReshardRows {
+		res.Tier.ReshardRows = h.ReshardRows
+	}
+	if h.ReshardBytes > res.Tier.ReshardBytes {
+		res.Tier.ReshardBytes = h.ReshardBytes
+	}
+	// The final tier width under the installed routing, not the launch
+	// width: a resharded run reports where it ended up.
+	if h.Servers > 0 {
+		res.Tier.Servers = h.Servers
+	}
 	for _, d := range h.Dead {
 		seen := false
 		for _, have := range res.Tier.Dead {

@@ -152,3 +152,82 @@ func (f *FaultStore) TryEndRecovery() error {
 	}
 	return rec.TryEndRecovery()
 }
+
+// reshardChild returns the child's reshard face or an attributed error.
+func (f *FaultStore) reshardChild() (ReshardStore, error) {
+	rs, ok := f.Store.(ReshardStore)
+	if !ok {
+		return nil, fmt.Errorf("transport: fault-injected server %d (%T) has no reshard face", f.server, f.Store)
+	}
+	return rs, nil
+}
+
+// TryInstallRouting, TryAnnounceEpoch, TryBeginRecovery, TryExportPartIn,
+// TryFingerprintPartIn, TryRetainOwned implement ReshardStore, gated like
+// every fallible op so tests can kill a migration source, target, or the
+// coordinator's control plane mid-reshard.
+func (f *FaultStore) TryInstallRouting(rt *RoutingTable) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return err
+	}
+	return rs.TryInstallRouting(rt)
+}
+
+func (f *FaultStore) TryAnnounceEpoch(epoch uint64) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return err
+	}
+	return rs.TryAnnounceEpoch(epoch)
+}
+
+func (f *FaultStore) TryBeginRecovery() error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return err
+	}
+	return rs.TryBeginRecovery()
+}
+
+func (f *FaultStore) TryExportPartIn(part, of, within, withinOf int) ([]uint64, [][]float32, error) {
+	if err := f.gate(); err != nil {
+		return nil, nil, err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs.TryExportPartIn(part, of, within, withinOf)
+}
+
+func (f *FaultStore) TryFingerprintPartIn(part, of, within, withinOf int) (uint64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return 0, err
+	}
+	return rs.TryFingerprintPartIn(part, of, within, withinOf)
+}
+
+func (f *FaultStore) TryRetainOwned(self, of, replicate int) (int, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	rs, err := f.reshardChild()
+	if err != nil {
+		return 0, err
+	}
+	return rs.TryRetainOwned(self, of, replicate)
+}

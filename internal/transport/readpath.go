@@ -45,6 +45,12 @@ type ReadStore interface {
 // Rows come from the same pooled allocator as Fetch (caller owns header and
 // rows); on error every row already gathered is recycled before returning,
 // so a shed request costs no pool capacity.
+//
+// Like Fetch, each pass runs under the routing install barrier; a server
+// rejecting a sub-batch as stale-routed aborts the pass, which adopts the
+// newer table and reissues — even the fail-fast read path self-heals
+// across a reshard, because the fence is routing disagreement, not server
+// trouble (it is invisible to the read policy and the failure streaks).
 func (t *ShardedStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, error) {
 	sc := t.getScratch()
 	defer t.putScratch(sc)
@@ -57,51 +63,127 @@ func (t *ShardedStore) ReadFetch(ids []uint64, pol ReadPolicy) ([][]float32, err
 		Rows(t.dim).PutN(out)
 		PutRowSlice(out)
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
-	var firstErr error
-	record := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
+	for attempt := 0; ; attempt++ {
+		stale, err := t.readFetchOnce(sc, ids, out, pol)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if t.serialScatter(bounds) {
-		for part := 0; part < t.servers; part++ {
-			if bounds[part] != bounds[part+1] {
-				record(t.readPartition(sc, part, ids, pos, bounds, out, pol))
-			}
+		if stale == nil {
+			break
 		}
-	} else {
-		var mu sync.Mutex
-		t.forEachPartition(bounds, func(part int) {
-			err := t.readPartition(sc, part, ids, pos, bounds, out, pol)
-			mu.Lock()
-			record(err)
-			mu.Unlock()
-		})
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		Rows(t.dim).PutN(out)
+		clear(out)
+		if attempt >= staleRetryLimit {
+			return nil, &TierError{Op: "read", Partition: -1, Server: stale.Server, Replicate: t.replicate, Cause: stale}
+		}
+		t.adoptRouting(stale)
 	}
 	completed = true
 	return out, nil
 }
 
+// readFetchOnce runs one read pass under the routing install barrier. A
+// stale-routing fence outranks a replica failure: the failure may be an
+// artifact of routing by the wrong table, so the caller adopts and
+// reissues before believing it.
+func (t *ShardedStore) readFetchOnce(sc *shardScratch, ids []uint64, out [][]float32, pol ReadPolicy) (*StaleRoutingError, error) {
+	t.installMu.RLock()
+	defer t.installMu.RUnlock()
+	rt := t.routing.Load()
+	if !rt.Settled() {
+		return t.readResharding(rt, ids, out, pol)
+	}
+	S := rt.NewS
+	pos, bounds := sc.group.GroupByOwner(ids, S)
+	var (
+		stale    *StaleRoutingError
+		firstErr error
+	)
+	record := func(se *StaleRoutingError, err error) {
+		if se != nil && stale == nil {
+			stale = se
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if t.serialScatter(bounds, S) {
+		for part := 0; part < S; part++ {
+			if bounds[part] != bounds[part+1] {
+				record(t.readPartition(sc, part, S, ids, pos, bounds, out, pol))
+			}
+		}
+	} else {
+		var mu sync.Mutex
+		t.forEachPartition(bounds, S, func(part int) {
+			se, err := t.readPartition(sc, part, S, ids, pos, bounds, out, pol)
+			mu.Lock()
+			record(se, err)
+			mu.Unlock()
+		})
+	}
+	if stale != nil {
+		return stale, nil
+	}
+	return nil, firstErr
+}
+
+// readResharding serves a read while a reshard is in flight: ids group by
+// their current read ring (old-space until a partition's reads cut over),
+// exactly like fetchResharding. Serial and allocating; the settled path is
+// untouched.
+func (t *ShardedStore) readResharding(rt *RoutingTable, ids []uint64, out [][]float32, pol ReadPolicy) (*StaleRoutingError, error) {
+	for rg, idxs := range groupByRing(rt, ids) {
+		sub := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			sub[j] = ids[i]
+		}
+		rows, se, err := t.readRingSub(rg.base, rg.width, sub, pol)
+		if se != nil || err != nil {
+			return se, err
+		}
+		for j, i := range idxs {
+			out[i] = rows[j]
+		}
+		PutRowSlice(rows)
+	}
+	return nil, nil
+}
+
 // readPartition issues one partition's read sub-batch down its replica
-// ring, one attempt per admissible server, and gathers the rows into the
-// request-order result. Returns an attributed *TierError when no replica
-// served it.
-func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, out [][]float32, pol ReadPolicy) error {
+// ring and gathers the rows into the request-order result.
+func (t *ShardedStore) readPartition(sc *shardScratch, part, S int, ids []uint64, pos, bounds []int, out [][]float32, pol ReadPolicy) (*StaleRoutingError, error) {
 	run := pos[bounds[part]:bounds[part+1]]
 	sub := sc.sub[part][:0]
 	for _, p := range run {
 		sub = append(sub, ids[p])
 	}
 	sc.sub[part] = sub
-	S := t.servers
-	lastSrv, vetoed := part, false
+	rows, se, err := t.readRingSub(part, S, sub, pol)
+	if se != nil || err != nil {
+		return se, err
+	}
+	for i, p := range run {
+		out[p] = rows[i]
+	}
+	PutRowSlice(rows)
+	return nil, nil
+}
+
+// readRingSub reads one sub-batch down the replica ring based at base in a
+// width-wide partition space: one attempt per admissible live server, an
+// attributed *TierError when none served it, a *StaleRoutingError when a
+// server fenced the attempt (never observed, never counted — routing
+// disagreement is not server trouble).
+func (t *ShardedStore) readRingSub(base, width int, sub []uint64, pol ReadPolicy) ([][]float32, *StaleRoutingError, error) {
+	depth := t.replicate
+	if depth > width {
+		depth = width
+	}
+	lastSrv, vetoed := base, false
 	var lastErr error
-	for k := 0; k < t.replicate; k++ {
-		s := (part + k) % S
+	for k := 0; k < depth; k++ {
+		s := (base + k) % width
 		// down, not just dead: a resyncing server must not serve reads
 		// until its partitions verify — unverified rows never reach an
 		// inference response.
@@ -116,6 +198,10 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 		g := t.gen[s].Load()
 		rows, err := t.readOnce(s, sub, pol)
 		if err != nil {
+			if se := asStaleRouting(err); se != nil {
+				se.Server = s
+				return nil, se, nil
+			}
 			// The read path tries each replica once per request, so the
 			// retry budget spreads across requests: `retries` consecutive
 			// read errors condemn the server (fenced by the generation
@@ -130,14 +216,10 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 			continue
 		}
 		t.readFails[s].Store(0)
-		if s != part {
+		if s != base {
 			t.failovers.Add(1)
 		}
-		for i, p := range run {
-			out[p] = rows[i]
-		}
-		PutRowSlice(rows)
-		return nil
+		return rows, nil, nil
 	}
 	if lastErr == nil && vetoed {
 		lastErr = fmt.Errorf("transport: every live replica vetoed by the read policy (breaker open)")
@@ -145,17 +227,22 @@ func (t *ShardedStore) readPartition(sc *shardScratch, part int, ids []uint64, p
 	if lastErr == nil {
 		lastErr = t.deadCause(lastSrv)
 	}
-	return &TierError{Op: "read", Partition: part, Server: lastSrv, Replicate: t.replicate, Cause: lastErr}
+	return nil, nil, &TierError{Op: "read", Partition: base, Server: lastSrv, Replicate: t.replicate, Cause: lastErr}
 }
 
 // readOnce is one timed, observed attempt against server s. Children
 // without a fallible face cannot fail, so they take the errorless call.
+// A stale-routing fence short-circuits *before* the policy observes it:
+// the fence carries no latency or health signal about the server.
 func (t *ShardedStore) readOnce(s int, sub []uint64, pol ReadPolicy) (rows [][]float32, err error) {
 	start := time.Now()
 	if f := t.fall(s); f != nil {
 		rows, err = f.TryFetch(sub)
 	} else {
 		rows = t.child(s).Fetch(sub)
+	}
+	if asStaleRouting(err) != nil {
+		return nil, err
 	}
 	if pol != nil {
 		pol.ObserveRead(s, time.Since(start), err)

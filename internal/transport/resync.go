@@ -75,9 +75,21 @@ func (o *RejoinOptions) defaults() {
 // it to the resync state under a new generation. From return onward the
 // write fan-out forwards s's partitions' writes to st; reads still avoid s
 // until CompleteRejoin certifies it. st must serve the tier's row width.
+//
+// A rejoin that races a reshard is refused: mid-reshard the partition map
+// is in motion, and re-admitting a server under ownership about to change
+// would certify it against the wrong id sets. The Reviver simply retries
+// next tick, after the tier settles. When the tier has resharded before
+// (epoch > 0), the current table is installed on the fresh connection
+// first — a rejoiner always lands in the *new* routing epoch, so a server
+// that died under old ownership can never resurrect it.
 func (t *ShardedStore) BeginRejoin(s int, st Store) error {
-	if s < 0 || s >= t.servers {
-		return fmt.Errorf("transport: rejoin of server %d outside tier [0, %d)", s, t.servers)
+	rt := t.routing.Load()
+	if !rt.Settled() {
+		return fmt.Errorf("transport: rejoin of server %d deferred: tier is resharding (epoch %d)", s, rt.Epoch)
+	}
+	if s < 0 || s >= rt.NewS {
+		return fmt.Errorf("transport: rejoin of server %d outside tier [0, %d)", s, rt.NewS)
 	}
 	if st == nil {
 		return fmt.Errorf("transport: rejoin of server %d with no store", s)
@@ -85,14 +97,16 @@ func (t *ShardedStore) BeginRejoin(s int, st Store) error {
 	if st.Dim() != t.dim {
 		return fmt.Errorf("transport: rejoining server %d serves dim %d, tier serves %d", s, st.Dim(), t.dim)
 	}
+	sl := newServerSlot(st)
+	if rt.Epoch > 0 && sl.reshard != nil {
+		if err := sl.reshard.TryInstallRouting(rt); err != nil {
+			return fmt.Errorf("transport: rejoining server %d refused the routing table: %w", s, err)
+		}
+	}
 	t.stateMu.Lock()
 	defer t.stateMu.Unlock()
 	if t.state[s].Load() != srvDead {
 		return fmt.Errorf("transport: rejoin of server %d which is not dead", s)
-	}
-	sl := &serverSlot{store: st}
-	if f, ok := st.(FallibleStore); ok {
-		sl.fallible = f
 	}
 	// Publication order matters for the incarnation fence: readers load gen
 	// before slot, so slot must be new by the time gen is, and both must be
@@ -114,15 +128,18 @@ func (t *ShardedStore) CompleteRejoin(s int, opts RejoinOptions) error {
 	opts.defaults()
 	t.rejoinMu.Lock()
 	defer t.rejoinMu.Unlock()
-	if s < 0 || s >= t.servers || t.state[s].Load() != srvResync {
+	// Widths come from the settled routing table (BeginRejoin refused a
+	// mid-reshard rejoin, so the width is stable for the whole transfer).
+	W := t.routing.Load().Width()
+	if s < 0 || s >= W || t.state[s].Load() != srvResync {
 		return fmt.Errorf("transport: complete rejoin of server %d which is not resyncing", s)
 	}
 	g := t.gen[s].Load()
 	// s holds every partition whose replica set contains s: partitions
 	// s, s−1, …, s−R+1 on the ownership ring.
 	for k := 0; k < t.replicate; k++ {
-		p := ((s-k)%t.servers + t.servers) % t.servers
-		if err := t.resyncPartition(s, g, p, &opts); err != nil {
+		p := ((s-k)%W + W) % W
+		if err := t.resyncPartition(s, g, p, W, &opts); err != nil {
 			return err
 		}
 	}
@@ -149,7 +166,7 @@ func (t *ShardedStore) Rejoin(s int, st Store, opts RejoinOptions) error {
 // date: rounds of export-from-live-holder → recovery-write → digest-verify,
 // each round under the partition's exclusive resync lock so this client's
 // own writes cannot interleave between a snapshot and its application.
-func (t *ShardedStore) resyncPartition(s int, g uint64, p int, opts *RejoinOptions) error {
+func (t *ShardedStore) resyncPartition(s int, g uint64, p, W int, opts *RejoinOptions) error {
 	fail := func(cause error) error {
 		t.markDeadIfGen(s, g, cause)
 		return &TierError{Op: "resync", Partition: p, Server: s, Replicate: t.replicate, Cause: cause}
@@ -166,7 +183,7 @@ func (t *ShardedStore) resyncPartition(s int, g uint64, p int, opts *RejoinOptio
 			}
 			return fail(cause)
 		}
-		ok, err := t.resyncRound(s, p, opts)
+		ok, err := t.resyncRound(s, p, W, opts)
 		if err != nil {
 			return fail(err)
 		}
@@ -187,11 +204,11 @@ func (t *ShardedStore) resyncPartition(s int, g uint64, p int, opts *RejoinOptio
 // when the round should be retried (divergence under concurrent writers, or
 // a *source* failure — the next round routes to the next live holder), and
 // a non-nil error only for rejoiner-side failures, which are terminal.
-func (t *ShardedStore) resyncRound(s, p int, opts *RejoinOptions) (bool, error) {
+func (t *ShardedStore) resyncRound(s, p, W int, opts *RejoinOptions) (bool, error) {
 	lk := &t.partLocks[p]
 	lk.Lock()
 	defer lk.Unlock()
-	src := t.route(p)
+	src := t.routeIn(p, W)
 	if src < 0 {
 		// Every verified holder of p is gone; the rejoin cannot be sourced
 		// (and the tier at large is about to discover the same loss).
@@ -204,7 +221,7 @@ func (t *ShardedStore) resyncRound(s, p int, opts *RejoinOptions) (bool, error) 
 		if !ok {
 			return false, fmt.Errorf("transport: tier server %d (%T) cannot export partitions", src, srcStore)
 		}
-		ids, rows, err := exp.TryExportPart(p, t.servers)
+		ids, rows, err := exp.TryExportPart(p, W)
 		if err != nil {
 			// Source failure: condemn it (fenced) and retry the round — the
 			// ring routes to the next live holder.
@@ -223,12 +240,12 @@ func (t *ShardedStore) resyncRound(s, p int, opts *RejoinOptions) (bool, error) 
 			t.resyncRows.Add(int64(end - off))
 		}
 	}
-	want, err := t.fingerprintOnce(src, p)
+	want, err := t.fingerprintOnce(src, p, W)
 	if err != nil {
 		t.markDeadIfGen(src, srcGen, err)
 		return false, nil
 	}
-	got, err := t.fingerprintOnce(s, p)
+	got, err := t.fingerprintOnce(s, p, W)
 	if err != nil {
 		return false, err
 	}
@@ -236,17 +253,18 @@ func (t *ShardedStore) resyncRound(s, p int, opts *RejoinOptions) (bool, error) 
 }
 
 // fingerprintOnce is a single (unretried) partition-fingerprint probe of
-// server idx — the resync rounds own the retry policy.
-func (t *ShardedStore) fingerprintOnce(idx, part int) (uint64, error) {
+// server idx in an of-way partition space — the resync rounds own the
+// retry policy.
+func (t *ShardedStore) fingerprintOnce(idx, part, of int) (uint64, error) {
 	if f := t.fall(idx); f != nil {
-		return f.TryFingerprintPart(part, t.servers)
+		return f.TryFingerprintPart(part, of)
 	}
 	c := t.child(idx)
 	pf, ok := c.(partFingerprinter)
 	if !ok {
 		return 0, fmt.Errorf("transport: tier server %d (%T) cannot serve partition fingerprints", idx, c)
 	}
-	return pf.FingerprintPart(part, t.servers), nil
+	return pf.FingerprintPart(part, of), nil
 }
 
 // EndRecovery closes server s's server-side recovery window (the freshness
@@ -255,8 +273,8 @@ func (t *ShardedStore) fingerprintOnce(idx, part int) (uint64, error) {
 // re-admitted it may call this — ending recovery while another client is
 // still transferring would let a stale snapshot overwrite live rows.
 func (t *ShardedStore) EndRecovery(s int) error {
-	if s < 0 || s >= t.servers {
-		return fmt.Errorf("transport: end recovery of server %d outside tier [0, %d)", s, t.servers)
+	if s < 0 || s >= t.capacity {
+		return fmt.Errorf("transport: end recovery of server %d outside tier capacity [0, %d)", s, t.capacity)
 	}
 	rec, ok := t.child(s).(RecoveryStore)
 	if !ok {

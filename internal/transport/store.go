@@ -133,6 +133,16 @@ type TierHealth struct {
 	// anti-entropy transfer (recovery writes only, not forwarded live
 	// writes).
 	ResyncRows int64
+	// RoutingEpoch is the installed routing-table epoch (0 before any
+	// reshard touches the tier).
+	RoutingEpoch uint64
+	// ReshardParts counts new-space partitions whose reads have cut over to
+	// their new owner ring (resharding progress).
+	ReshardParts int64
+	// ReshardRows / ReshardBytes count rows and payload bytes streamed by
+	// reshard migrations through this client.
+	ReshardRows  int64
+	ReshardBytes int64
 }
 
 // TierOptions configures replication and failure handling for a
@@ -168,6 +178,44 @@ type TierOptions struct {
 	// (every replica of a partition dead) — the hook a worker process uses
 	// to exit cleanly with an attributed message instead of panicking.
 	OnLost func(*TierError)
+	// InitialServers is the tier width S the store starts routing over
+	// (default len(children)). Children at index ≥ InitialServers are spare
+	// capacity for a live reshard: they start absent — unrouted, excluded
+	// from health — until a routing table that references them is
+	// installed. A spare child may be nil if Dial can produce it on demand.
+	InitialServers int
+	// Dial, if set, connects server s on demand when a routing install
+	// admits an absent slot that has no store yet (the reshard grow path in
+	// processes that cannot pre-dial servers that don't exist at launch).
+	Dial func(server int) (Store, error)
+}
+
+// ValidateTierOptions checks opts against a tier of numChildren backend
+// slots, returning the error NewTier would panic with. Exported so flag
+// parsing can reject a bad -replicate/-servers combination with a clean
+// message before any server dials.
+func ValidateTierOptions(numChildren int, opts TierOptions) error {
+	if numChildren == 0 {
+		return errors.New("transport: sharded store over zero servers")
+	}
+	width := opts.InitialServers
+	if width == 0 {
+		width = numChildren
+	}
+	if width < 1 || width > numChildren {
+		return fmt.Errorf("transport: initial tier width %d outside [1, %d]", width, numChildren)
+	}
+	rep := opts.Replicate
+	if rep == 0 {
+		rep = 1
+	}
+	if rep < 1 || rep > width {
+		return fmt.Errorf("transport: replication factor %d outside [1, %d]: each row needs %d distinct servers in its replica ring", rep, width, rep)
+	}
+	if opts.Dead != nil && len(opts.Dead) != numChildren {
+		return fmt.Errorf("transport: dead set lists %d servers for a %d-server tier", len(opts.Dead), numChildren)
+	}
+	return nil
 }
 
 const (
@@ -199,12 +247,33 @@ type ShardedStore struct {
 	// data path. A slot's store is nil only for a server dead since
 	// construction.
 	slots     []atomic.Pointer[serverSlot]
-	servers   int
+	capacity  int // backend slot count: the maximum width a reshard can grow to
 	dim       int
 	replicate int
 	retries   int
 	backoff   time.Duration
 	jitter    func(time.Duration) time.Duration
+
+	// routing is the installed routing table — the versioned ownership map
+	// every data op routes by (settled at the construction width until a
+	// reshard coordinator installs successors). installMu makes an install a
+	// barrier against the data plane: every Fetch/Write/ReadFetch/
+	// Fingerprint/Checkpoint holds the read side for its whole run, so
+	// InstallRouting returns only once no in-flight op still routes by the
+	// predecessor. Lock order: installMu before stateMu/partLocks, never
+	// reversed.
+	routing   atomic.Pointer[RoutingTable]
+	installMu sync.RWMutex
+	// dialFn connects absent spare slots admitted by a routing install.
+	dialFn func(int) (Store, error)
+	// routeSubs fire (outside the locks) after each routing install — the
+	// serve front end uses this to flush epoch-crossing cached reads.
+	routeMu   sync.Mutex
+	routeSubs []func(epoch uint64)
+
+	reshardParts atomic.Int64
+	reshardRows  atomic.Int64
+	reshardBytes atomic.Int64
 	// instant is true when every live child completes without blocking on
 	// I/O (in-process servers); the scatter then runs serially — goroutine
 	// fan-out over direct calls is pure overhead and allocates.
@@ -271,15 +340,33 @@ type ShardedStore struct {
 type serverSlot struct {
 	store    Store
 	fallible FallibleStore // nil for errorless stores
+	reshard  ReshardStore  // nil for stores without the reshard face
+}
+
+// newServerSlot builds a slot, asserting the optional faces once so the hot
+// paths never type-switch.
+func newServerSlot(c Store) *serverSlot {
+	sl := &serverSlot{store: c}
+	if f, ok := c.(FallibleStore); ok {
+		sl.fallible = f
+	}
+	if r, ok := c.(ReshardStore); ok {
+		sl.reshard = r
+	}
+	return sl
 }
 
 // Per-server revival states. A resyncing server receives forwarded writes
 // and anti-entropy transfers but serves no reads and counts toward no write
-// quorum until markLive re-admits it.
+// quorum until markLive re-admits it. An absent server is spare capacity
+// beyond the routed width: unrouted, not dead (the Reviver must not try to
+// rejoin it), admitted live by the routing install that first references
+// it.
 const (
 	srvLive int32 = iota
 	srvDead
 	srvResync
+	srvAbsent
 )
 
 // child returns server s's current store (nil only for a
@@ -300,13 +387,22 @@ func (t *ShardedStore) fall(s int) FallibleStore {
 	return nil
 }
 
-// down reports whether server s is not live (dead or resyncing) — the
-// read-path and quorum visibility predicate.
+// reshardFace returns server s's ReshardStore face, nil when the child
+// doesn't implement it.
+func (t *ShardedStore) reshardFace(s int) ReshardStore {
+	if sl := t.slots[s].Load(); sl != nil {
+		return sl.reshard
+	}
+	return nil
+}
+
+// down reports whether server s is not live (dead, resyncing, or absent) —
+// the read-path and quorum visibility predicate.
 func (t *ShardedStore) down(s int) bool { return t.state[s].Load() != srvLive }
 
-// allLive reports whether every server is live.
-func (t *ShardedStore) allLive() bool {
-	for s := range t.state {
+// allLiveIn reports whether every server of the width-w routed set is live.
+func (t *ShardedStore) allLiveIn(w int) bool {
+	for s := 0; s < w; s++ {
 		if t.state[s].Load() != srvLive {
 			return false
 		}
@@ -332,8 +428,8 @@ func (t *ShardedStore) getScratch() *shardScratch {
 		return sc
 	}
 	return &shardScratch{
-		sub:     make([][]uint64, t.servers),
-		subRows: make([][][]float32, t.servers),
+		sub:     make([][]uint64, t.capacity),
+		subRows: make([][][]float32, t.capacity),
 	}
 }
 
@@ -362,17 +458,21 @@ func NewShardedStore(children []Store) *ShardedStore {
 
 // NewTier builds the tier client over children with explicit replication
 // and failure-handling options. Construction errors are programming errors
-// and panic, matching NewShardedStore.
+// and panic, matching NewShardedStore. Children beyond
+// opts.InitialServers are spare reshard capacity and start absent (a spare
+// child may be nil when opts.Dial can connect it later); within the initial
+// width a nil child requires opts.Dead to mark it.
 func NewTier(children []Store, opts TierOptions) *ShardedStore {
-	S := len(children)
-	if S == 0 {
-		panic("transport: sharded store over zero servers")
+	nslots := len(children)
+	if err := ValidateTierOptions(nslots, opts); err != nil {
+		panic(err.Error())
+	}
+	width := opts.InitialServers
+	if width == 0 {
+		width = nslots
 	}
 	if opts.Replicate == 0 {
 		opts.Replicate = 1
-	}
-	if opts.Replicate < 1 || opts.Replicate > S {
-		panic(fmt.Sprintf("transport: replication factor %d outside [1, %d]", opts.Replicate, S))
 	}
 	if opts.Retries <= 0 {
 		opts.Retries = defaultTierRetries
@@ -381,15 +481,16 @@ func NewTier(children []Store, opts TierOptions) *ShardedStore {
 		opts.Backoff = defaultTierBackoff
 	}
 	if opts.Dead == nil {
-		opts.Dead = make([]bool, S)
-	} else if len(opts.Dead) != S {
-		panic(fmt.Sprintf("transport: dead set lists %d servers for a %d-server tier", len(opts.Dead), S))
+		opts.Dead = make([]bool, nslots)
 	}
 	dim, instant, anyLive := 0, true, false
 	for i, c := range children {
 		if c == nil {
-			if !opts.Dead[i] {
+			if i < width && !opts.Dead[i] {
 				panic(fmt.Sprintf("transport: live tier server %d has no store", i))
+			}
+			if i >= width && opts.Dial == nil {
+				panic(fmt.Sprintf("transport: spare tier server %d has no store and no dialer", i))
 			}
 			continue
 		}
@@ -406,32 +507,35 @@ func NewTier(children []Store, opts TierOptions) *ShardedStore {
 		panic("transport: every server of the tier is dead at construction")
 	}
 	t := &ShardedStore{
-		slots:           make([]atomic.Pointer[serverSlot], S),
-		servers:         S,
+		slots:           make([]atomic.Pointer[serverSlot], nslots),
+		capacity:        nslots,
 		dim:             dim,
 		replicate:       opts.Replicate,
 		retries:         opts.Retries,
 		backoff:         opts.Backoff,
 		jitter:          opts.Jitter,
 		instantChildren: instant,
-		state:           make([]atomic.Int32, S),
-		gen:             make([]atomic.Uint64, S),
-		readFails:       make([]atomic.Int32, S),
-		causes:          make([]error, S),
-		partLocks:       make([]sync.RWMutex, S),
+		dialFn:          opts.Dial,
+		state:           make([]atomic.Int32, nslots),
+		gen:             make([]atomic.Uint64, nslots),
+		readFails:       make([]atomic.Int32, nslots),
+		causes:          make([]error, nslots),
+		partLocks:       make([]sync.RWMutex, nslots),
 		onFailover:      opts.OnFailover,
 		onLost:          opts.OnLost,
 	}
 	if t.jitter == nil {
 		t.jitter = defaultJitter
 	}
+	t.routing.Store(settledRouting(0, width))
 	for i, c := range children {
-		sl := &serverSlot{store: c}
-		if f, ok := c.(FallibleStore); ok {
-			sl.fallible = f
+		if c != nil {
+			t.slots[i].Store(newServerSlot(c))
 		}
-		t.slots[i].Store(sl)
-		if opts.Dead[i] {
+		switch {
+		case i >= width:
+			t.state[i].Store(srvAbsent)
+		case opts.Dead[i]:
 			t.state[i].Store(srvDead)
 		}
 	}
@@ -463,31 +567,40 @@ func (t *ShardedStore) instant() bool { return t.instantChildren }
 
 // Name implements Store.
 func (t *ShardedStore) Name() string {
-	for s := 0; s < t.servers; s++ {
+	for s := 0; s < t.capacity; s++ {
 		c := t.child(s)
-		if c == nil || t.state[s].Load() == srvDead {
+		if c == nil || t.state[s].Load() != srvLive {
 			continue
 		}
-		return fmt.Sprintf("sharded-%d/%s", t.servers, c.Name())
+		return fmt.Sprintf("sharded-%d/%s", t.Servers(), c.Name())
 	}
-	return fmt.Sprintf("sharded-%d/dead", t.servers)
+	return fmt.Sprintf("sharded-%d/dead", t.Servers())
 }
 
 // Dim implements Store.
 func (t *ShardedStore) Dim() int { return t.dim }
 
-// Servers returns the tier width S.
-func (t *ShardedStore) Servers() int { return t.servers }
+// Servers returns the tier width S the store currently routes over: the
+// settled width, or the authoritative (old) width mid-reshard.
+func (t *ShardedStore) Servers() int { return t.routing.Load().Width() }
+
+// Capacity returns the backend slot count — the maximum width a reshard can
+// grow this store to.
+func (t *ShardedStore) Capacity() int { return t.capacity }
 
 // Replicate returns the tier's replication factor.
 func (t *ShardedStore) Replicate() int { return t.replicate }
 
-// DeadServers returns the indices of servers this client has declared dead,
-// ascending. A resyncing server is no longer dead (its rejoin is in flight)
-// but not yet live; DownServers includes it.
+// Routing returns the installed routing table.
+func (t *ShardedStore) Routing() *RoutingTable { return t.routing.Load() }
+
+// DeadServers returns the indices of routed servers this client has
+// declared dead, ascending. A resyncing server is no longer dead (its
+// rejoin is in flight) but not yet live; DownServers includes it. Absent
+// spares and servers outside the routed slot range are neither.
 func (t *ShardedStore) DeadServers() []int {
 	var dead []int
-	for s := range t.state {
+	for s := 0; s < t.routing.Load().MaxServer(); s++ {
 		if t.state[s].Load() == srvDead {
 			dead = append(dead, s)
 		}
@@ -495,13 +608,13 @@ func (t *ShardedStore) DeadServers() []int {
 	return dead
 }
 
-// DownServers returns the indices of servers not currently serving reads
-// (dead or mid-resync), ascending — the set a consistent certification must
-// exclude.
+// DownServers returns the indices of routed servers not currently serving
+// reads (dead or mid-resync), ascending — the set a consistent
+// certification must exclude.
 func (t *ShardedStore) DownServers() []int {
 	var down []int
-	for s := range t.state {
-		if t.state[s].Load() != srvLive {
+	for s := 0; s < t.routing.Load().MaxServer(); s++ {
+		if st := t.state[s].Load(); st != srvLive && st != srvAbsent {
 			down = append(down, s)
 		}
 	}
@@ -511,23 +624,32 @@ func (t *ShardedStore) DownServers() []int {
 // TierHealth returns the failover counters (-stats plumbing).
 func (t *ShardedStore) TierHealth() TierHealth {
 	return TierHealth{
-		Servers:    t.servers,
-		Replicate:  t.replicate,
-		Failovers:  t.failovers.Load(),
-		Retries:    t.retried.Load(),
-		Dead:       t.DeadServers(),
-		Revived:    t.revived.Load(),
-		ResyncRows: t.resyncRows.Load(),
+		Servers:      t.Servers(),
+		Replicate:    t.replicate,
+		Failovers:    t.failovers.Load(),
+		Retries:      t.retried.Load(),
+		Dead:         t.DeadServers(),
+		Revived:      t.revived.Load(),
+		ResyncRows:   t.resyncRows.Load(),
+		RoutingEpoch: t.routing.Load().Epoch,
+		ReshardParts: t.reshardParts.Load(),
+		ReshardRows:  t.reshardRows.Load(),
+		ReshardBytes: t.reshardBytes.Load(),
 	}
 }
 
-// route returns the server currently serving reads for partition part: the
-// first live server of its replica set in ring order, or -1 when the whole
-// set is down. Resyncing servers are skipped — they must not serve reads
-// until their state verifies.
-func (t *ShardedStore) route(part int) int {
-	for k := 0; k < t.replicate; k++ {
-		if s := (part + k) % t.servers; t.state[s].Load() == srvLive {
+// routeIn returns the server currently serving reads for the ring based at
+// base in a width-width partition space: the first live server of the
+// replica set in ring order, or -1 when the whole set is down. Resyncing
+// servers are skipped — they must not serve reads until their state
+// verifies.
+func (t *ShardedStore) routeIn(base, width int) int {
+	depth := t.replicate
+	if depth > width {
+		depth = width
+	}
+	for k := 0; k < depth; k++ {
+		if s := (base + k) % width; t.state[s].Load() == srvLive {
 			return s
 		}
 	}
@@ -631,12 +753,12 @@ func (t *ShardedStore) lost(e *TierError) {
 // closure forEachPartition needs — the closure escapes into goroutines and
 // would heap-allocate once per call, the exact per-batch cost the pooled
 // scatter exists to avoid on the hot in-process path.
-func (t *ShardedStore) serialScatter(bounds []int) bool {
+func (t *ShardedStore) serialScatter(bounds []int, width int) bool {
 	if t.instantChildren {
 		return true
 	}
 	active := 0
-	for s := 0; s < t.servers; s++ {
+	for s := 0; s < width; s++ {
 		if bounds[s] != bounds[s+1] {
 			active++
 		}
@@ -655,13 +777,13 @@ func (t *ShardedStore) serialScatter(bounds []int) bool {
 // calling goroutine once every in-flight sub-batch finishes, so the
 // caller's defers (scratch return, result-buffer recycling) still run and
 // the crash stays attributable to a server.
-func (t *ShardedStore) forEachPartition(bounds []int, fn func(part int)) {
+func (t *ShardedStore) forEachPartition(bounds []int, width int, fn func(part int)) {
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicked *ShardPanic
 	)
-	for part := 0; part < t.servers; part++ {
+	for part := 0; part < width; part++ {
 		if bounds[part] == bounds[part+1] {
 			continue
 		}
@@ -696,6 +818,12 @@ func (t *ShardedStore) forEachPartition(bounds []int, fn func(part int)) {
 // including when a shard's RPC panics mid-gather, in which case the result
 // header and every row already gathered into it go back to their pools too
 // (each failover exercise would otherwise leak pool capacity).
+//
+// The whole op runs under the routing install barrier (installMu read
+// side); a server rejecting a sub-batch as stale-routed aborts the op,
+// which adopts the newer table outside the barrier and reissues — rows
+// gathered by the aborted pass are recycled first (PutN skips the nils of
+// partitions that never delivered).
 func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
 	sc := t.getScratch()
 	defer t.putScratch(sc)
@@ -708,24 +836,125 @@ func (t *ShardedStore) Fetch(ids []uint64) [][]float32 {
 		Rows(t.dim).PutN(out)
 		PutRowSlice(out)
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
-	if t.serialScatter(bounds) {
-		for part := 0; part < t.servers; part++ {
-			if bounds[part] != bounds[part+1] {
-				t.fetchPartition(sc, part, ids, pos, bounds, out)
-			}
+	for attempt := 0; ; attempt++ {
+		stale := t.fetchOnce(sc, ids, out)
+		if stale == nil {
+			break
 		}
-	} else {
-		t.forEachPartition(bounds, func(part int) { t.fetchPartition(sc, part, ids, pos, bounds, out) })
+		Rows(t.dim).PutN(out)
+		clear(out)
+		if attempt >= staleRetryLimit {
+			t.lost(&TierError{Op: "fetch", Partition: -1, Server: stale.Server, Replicate: t.replicate, Cause: stale})
+		}
+		t.adoptRouting(stale)
 	}
 	completed = true
 	return out
 }
 
+// fetchOnce runs one fetch pass under the routing install barrier,
+// reporting the stale-routing fence that aborted it, if any. The deferred
+// unlock keeps a tier-lost panic from leaking the barrier's read side.
+func (t *ShardedStore) fetchOnce(sc *shardScratch, ids []uint64, out [][]float32) *StaleRoutingError {
+	t.installMu.RLock()
+	defer t.installMu.RUnlock()
+	rt := t.routing.Load()
+	if rt.Settled() {
+		return t.fetchSettled(sc, rt.NewS, ids, out)
+	}
+	return t.fetchResharding(rt, ids, out)
+}
+
+// fetchSettled is the scatter over a settled width-S routing — the
+// allocation-free hot path every pre-reshard (and post-reshard) batch
+// takes.
+func (t *ShardedStore) fetchSettled(sc *shardScratch, width int, ids []uint64, out [][]float32) *StaleRoutingError {
+	pos, bounds := sc.group.GroupByOwner(ids, width)
+	if t.serialScatter(bounds, width) {
+		for part := 0; part < width; part++ {
+			if bounds[part] != bounds[part+1] {
+				if se := t.fetchPartition(sc, part, width, ids, pos, bounds, out); se != nil {
+					return se
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		staleMu sync.Mutex
+		stale   *StaleRoutingError
+	)
+	t.forEachPartition(bounds, width, func(part int) {
+		if se := t.fetchPartition(sc, part, width, ids, pos, bounds, out); se != nil {
+			staleMu.Lock()
+			if stale == nil {
+				stale = se
+			}
+			staleMu.Unlock()
+		}
+	})
+	return stale
+}
+
+// fetchResharding serves a fetch while a reshard is in flight: ids group by
+// their *current read ring* — old-space for pending/dual partitions,
+// new-space once a partition's reads cut over — instead of by a single
+// width. Runs serially and allocates; mid-reshard batches are the rare
+// case, and the settled path is untouched.
+func (t *ShardedStore) fetchResharding(rt *RoutingTable, ids []uint64, out [][]float32) *StaleRoutingError {
+	for rg, idxs := range groupByRing(rt, ids) {
+		sub := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			sub[j] = ids[i]
+		}
+		for {
+			s := t.routeIn(rg.base, rg.width)
+			if s < 0 {
+				t.lost(&TierError{Op: "fetch", Partition: rg.base, Server: (rg.base + t.replicate - 1) % rg.width, Replicate: t.replicate})
+			}
+			rows, err := t.tryFetch(s, sub)
+			if se := asStaleRouting(err); se != nil {
+				se.Server = s
+				return se
+			}
+			if err != nil {
+				continue // s is dead now; route to the next live replica
+			}
+			if s != rg.base {
+				t.failovers.Add(1)
+			}
+			for j, i := range idxs {
+				out[i] = rows[j]
+			}
+			PutRowSlice(rows)
+			break
+		}
+	}
+	return nil
+}
+
+// ring identifies one replica ring: a base server in a width-wide partition
+// space.
+type ring struct{ base, width int }
+
+// groupByRing buckets ids by the replica ring their reads currently route
+// to under rt.
+func groupByRing(rt *RoutingTable, ids []uint64) map[ring][]int {
+	groups := make(map[ring][]int)
+	for i, id := range ids {
+		base, width := rt.readRing(id)
+		key := ring{base, width}
+		groups[key] = append(groups[key], i)
+	}
+	return groups
+}
+
 // fetchPartition issues one partition's fetch sub-batch — to its primary
 // server, failing over along the replica ring as servers die — and gathers
-// the rows into the request-order result.
-func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, out [][]float32) {
+// the rows into the request-order result. A stale-routing rejection aborts
+// the sub-batch for the caller to re-route; it is a fence, not a failure,
+// so it never counts against the server.
+func (t *ShardedStore) fetchPartition(sc *shardScratch, part, width int, ids []uint64, pos, bounds []int, out [][]float32) *StaleRoutingError {
 	run := pos[bounds[part]:bounds[part+1]]
 	sub := sc.sub[part][:0]
 	for _, p := range run {
@@ -733,11 +962,15 @@ func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, 
 	}
 	sc.sub[part] = sub
 	for {
-		s := t.route(part)
+		s := t.routeIn(part, width)
 		if s < 0 {
-			t.lost(&TierError{Op: "fetch", Partition: part, Server: (part + t.replicate - 1) % t.servers, Replicate: t.replicate})
+			t.lost(&TierError{Op: "fetch", Partition: part, Server: (part + t.replicate - 1) % width, Replicate: t.replicate})
 		}
 		rows, err := t.tryFetch(s, sub)
+		if se := asStaleRouting(err); se != nil {
+			se.Server = s
+			return se
+		}
 		if err != nil {
 			continue // s is dead now; route to the next live replica
 		}
@@ -750,7 +983,7 @@ func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, 
 		// The child's result header is dead now that its rows moved into
 		// out; recycle it.
 		PutRowSlice(rows)
-		return
+		return nil
 	}
 }
 
@@ -760,6 +993,8 @@ func (t *ShardedStore) fetchPartition(sc *shardScratch, part int, ids []uint64, 
 // (their failures stay panics). The generation is captured *before* the
 // slot: if the server rejoins mid-call, the exhausted condemnation is
 // fenced off by markDeadIfGen rather than killing the new incarnation.
+// A stale-routing rejection short-circuits: no retries, no condemnation —
+// the routing layer heals it.
 func (t *ShardedStore) tryFetch(s int, sub []uint64) ([][]float32, error) {
 	g := t.gen[s].Load()
 	f := t.fall(s)
@@ -771,6 +1006,9 @@ func (t *ShardedStore) tryFetch(s int, sub []uint64) ([][]float32, error) {
 		rows, err := f.TryFetch(sub)
 		if err == nil {
 			return rows, nil
+		}
+		if asStaleRouting(err) != nil {
+			return nil, err
 		}
 		lastErr = err
 		if a+1 >= t.retries {
@@ -808,17 +1046,159 @@ func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 			clear(s[:cap(s)])
 		}
 	}()
-	pos, bounds := sc.group.GroupByOwner(ids, t.servers)
-	if t.serialScatter(bounds) {
-		for part := 0; part < t.servers; part++ {
-			if bounds[part] != bounds[part+1] {
-				t.writePartition(sc, part, ids, pos, bounds, rows)
-			}
+	for attempt := 0; ; attempt++ {
+		stale := t.writeOnce(sc, ids, rows)
+		if stale == nil {
+			break
 		}
-	} else {
-		t.forEachPartition(bounds, func(part int) { t.writePartition(sc, part, ids, pos, bounds, rows) })
+		// A reissue after adopting rewrites sub-batches that already
+		// landed; writes are idempotent (Set overwrites with the same
+		// bytes), so the only cost is the duplicate RPC.
+		if attempt >= staleRetryLimit {
+			t.lost(&TierError{Op: "write", Partition: -1, Server: stale.Server, Replicate: t.replicate, Cause: stale})
+		}
+		t.adoptRouting(stale)
 	}
 	completed = true
+}
+
+// writeOnce runs one write pass under the routing install barrier (see
+// fetchOnce).
+func (t *ShardedStore) writeOnce(sc *shardScratch, ids []uint64, rows [][]float32) *StaleRoutingError {
+	t.installMu.RLock()
+	defer t.installMu.RUnlock()
+	rt := t.routing.Load()
+	if rt.Settled() {
+		return t.writeSettled(sc, rt.NewS, ids, rows)
+	}
+	return t.writeResharding(rt, ids, rows)
+}
+
+// writeSettled is the scatter over a settled width-S routing — the
+// allocation-free write hot path.
+func (t *ShardedStore) writeSettled(sc *shardScratch, width int, ids []uint64, rows [][]float32) *StaleRoutingError {
+	pos, bounds := sc.group.GroupByOwner(ids, width)
+	if t.serialScatter(bounds, width) {
+		for part := 0; part < width; part++ {
+			if bounds[part] != bounds[part+1] {
+				if se := t.writePartition(sc, part, width, ids, pos, bounds, rows); se != nil {
+					return se
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		staleMu sync.Mutex
+		stale   *StaleRoutingError
+	)
+	t.forEachPartition(bounds, width, func(part int) {
+		if se := t.writePartition(sc, part, width, ids, pos, bounds, rows); se != nil {
+			staleMu.Lock()
+			if stale == nil {
+				stale = se
+			}
+			staleMu.Unlock()
+		}
+	})
+	return stale
+}
+
+// writeResharding fans a write out while a reshard is in flight. Ids group
+// by (old partition, new partition) pair: every group's old-space owner
+// ring takes the write exactly as a settled write would (it remains the
+// authoritative copy until the tier settles), and once the new partition's
+// dual-write window is open the group is also written to the new-space
+// ring members that aren't already covered by the old ring. Serial and
+// allocating, like fetchResharding.
+func (t *ShardedStore) writeResharding(rt *RoutingTable, ids []uint64, rows [][]float32) *StaleRoutingError {
+	groups := make(map[int][]int)
+	for i, id := range ids {
+		q := int(id % uint64(rt.OldS))
+		pn := int(id % uint64(rt.NewS))
+		groups[q*rt.NewS+pn] = append(groups[q*rt.NewS+pn], i)
+	}
+	for key, idxs := range groups {
+		q, pn := key/rt.NewS, key%rt.NewS
+		sub := make([]uint64, len(idxs))
+		subRows := make([][]float32, len(idxs))
+		for j, i := range idxs {
+			sub[j], subRows[j] = ids[i], rows[i]
+		}
+		if se := t.writeGroupResharding(rt, q, pn, sub, subRows); se != nil {
+			return se
+		}
+	}
+	return nil
+}
+
+// writeGroupResharding writes one (old partition q, new partition pn) group:
+// the old ring under q's resync lock with full ack accounting, then — when
+// pn's dual-write window is open — a best-effort single-attempt write to
+// each new-ring member not already in the old ring. Best-effort is enough
+// for the dual leg: a member that misses the write (marked dead here) is
+// either re-streamed or abandoned by the coordinator, and the migration
+// verify rounds compare digests before any read ever routes to it.
+func (t *ShardedStore) writeGroupResharding(rt *RoutingTable, q, pn int, sub []uint64, subRows [][]float32) *StaleRoutingError {
+	oldDepth, newDepth := t.replicate, t.replicate
+	if oldDepth > rt.OldS {
+		oldDepth = rt.OldS
+	}
+	if newDepth > rt.NewS {
+		newDepth = rt.NewS
+	}
+	lk := &t.partLocks[q]
+	lk.RLock()
+	defer lk.RUnlock()
+	acked, lastSrv := 0, q
+	var lastErr error
+	for k := 0; k < oldDepth; k++ {
+		s := (q + k) % rt.OldS
+		switch t.state[s].Load() {
+		case srvDead:
+			lastSrv = s
+		case srvResync:
+			if se := t.forwardWrite(s, sub, subRows); se != nil {
+				return se
+			}
+		default: // srvLive
+			if err := t.tryWrite(s, sub, subRows); err != nil {
+				if se := asStaleRouting(err); se != nil {
+					se.Server = s
+					return se
+				}
+				lastSrv, lastErr = s, err
+				continue
+			}
+			acked++
+		}
+	}
+	if acked == 0 {
+		t.lost(&TierError{Op: "write", Partition: q, Server: lastSrv, Replicate: t.replicate, Cause: lastErr})
+	}
+	if rt.State[pn] == PartPending {
+		return nil
+	}
+	for k := 0; k < newDepth; k++ {
+		s := (pn + k) % rt.NewS
+		inOld := false
+		for j := 0; j < oldDepth; j++ {
+			if s == (q+j)%rt.OldS {
+				inOld = true
+				break
+			}
+		}
+		if inOld || t.state[s].Load() != srvLive {
+			continue
+		}
+		if err := t.tryWriteOnce(s, sub, subRows); err != nil {
+			if se := asStaleRouting(err); se != nil {
+				se.Server = s
+				return se
+			}
+		}
+	}
+	return nil
 }
 
 // writePartition issues one partition's write sub-batch to every live
@@ -831,7 +1211,7 @@ func (t *ShardedStore) Write(ids []uint64, rows [][]float32) {
 // fan-out (and released via defer, so the lost() panic path cannot leak
 // it): a transfer round's export→apply→verify cannot interleave with a
 // half-applied write.
-func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, pos, bounds []int, rows [][]float32) {
+func (t *ShardedStore) writePartition(sc *shardScratch, part, width int, ids []uint64, pos, bounds []int, rows [][]float32) *StaleRoutingError {
 	run := pos[bounds[part]:bounds[part+1]]
 	sub, subRows := sc.sub[part][:0], sc.subRows[part][:0]
 	for _, p := range run {
@@ -842,32 +1222,45 @@ func (t *ShardedStore) writePartition(sc *shardScratch, part int, ids []uint64, 
 	lk := &t.partLocks[part]
 	lk.RLock()
 	defer lk.RUnlock()
+	// Drop the row references so the pooled scratch doesn't pin the
+	// caller's buffers until the next write; deferred so the stale-abort
+	// returns clear too.
+	defer clear(subRows)
+	depth := t.replicate
+	if depth > width {
+		depth = width
+	}
 	acked, lastSrv := 0, part
 	var lastErr error
-	for k := 0; k < t.replicate; k++ {
-		s := (part + k) % t.servers
+	for k := 0; k < depth; k++ {
+		s := (part + k) % width
 		switch t.state[s].Load() {
 		case srvDead:
 			lastSrv = s
 		case srvResync:
-			t.forwardWrite(s, sub, subRows)
+			if se := t.forwardWrite(s, sub, subRows); se != nil {
+				return se
+			}
 		default: // srvLive
 			if err := t.tryWrite(s, sub, subRows); err != nil {
+				if se := asStaleRouting(err); se != nil {
+					se.Server = s
+					return se
+				}
 				lastSrv, lastErr = s, err
 				continue
 			}
 			acked++
 		}
 	}
-	// Drop the row references so the pooled scratch doesn't pin the
-	// caller's buffers until the next write.
-	clear(subRows)
 	if acked == 0 {
 		t.lost(&TierError{Op: "write", Partition: part, Server: lastSrv, Replicate: t.replicate, Cause: lastErr})
 	}
+	return nil
 }
 
-// tryWrite is tryFetch's write-side twin.
+// tryWrite is tryFetch's write-side twin (stale routing short-circuits the
+// retry loop the same way).
 func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error {
 	g := t.gen[s].Load()
 	f := t.fall(s)
@@ -877,11 +1270,14 @@ func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error 
 	}
 	var lastErr error
 	for a := 0; ; a++ {
-		if err := f.TryWrite(sub, subRows); err == nil {
+		err := f.TryWrite(sub, subRows)
+		if err == nil {
 			return nil
-		} else {
-			lastErr = err
 		}
+		if asStaleRouting(err) != nil {
+			return err
+		}
+		lastErr = err
 		if a+1 >= t.retries {
 			break
 		}
@@ -891,22 +1287,38 @@ func (t *ShardedStore) tryWrite(s int, sub []uint64, subRows [][]float32) error 
 	return lastErr
 }
 
+// tryWriteOnce is the single-attempt write: a hard failure condemns the
+// server (fenced by generation) without retrying, a stale-routing fence is
+// passed through untouched. The dual-write leg and write forwarding use it
+// — both are best-effort lanes repaired by verify rounds, so burning the
+// retry budget on them would only stall the authoritative leg.
+func (t *ShardedStore) tryWriteOnce(s int, sub []uint64, subRows [][]float32) error {
+	g := t.gen[s].Load()
+	f := t.fall(s)
+	if f == nil {
+		t.child(s).Write(sub, subRows)
+		return nil
+	}
+	err := f.TryWrite(sub, subRows)
+	if err != nil && asStaleRouting(err) == nil {
+		t.markDeadIfGen(s, g, err)
+	}
+	return err
+}
+
 // forwardWrite applies one write sub-batch to a resyncing server — the
 // write-forwarding half of the anti-entropy window. One attempt, no retry
 // loop: a rejoiner that cannot absorb the live write stream goes back to
 // dead (fenced by its generation) and the write proceeds on the survivors;
 // forwarded writes never count toward the ack quorum, so they cannot mask
-// a loss of every *verified* replica.
-func (t *ShardedStore) forwardWrite(s int, sub []uint64, subRows [][]float32) {
-	g := t.gen[s].Load()
-	f := t.fall(s)
-	if f == nil {
-		t.child(s).Write(sub, subRows)
-		return
+// a loss of every *verified* replica. A stale-routing fence is returned for
+// the op to re-route (the rejoiner is not condemned for it).
+func (t *ShardedStore) forwardWrite(s int, sub []uint64, subRows [][]float32) *StaleRoutingError {
+	if se := asStaleRouting(t.tryWriteOnce(s, sub, subRows)); se != nil {
+		se.Server = s
+		return se
 	}
-	if err := f.TryWrite(sub, subRows); err != nil {
-		t.markDeadIfGen(s, g, err)
-	}
+	return nil
 }
 
 // Stats implements Store: the field-wise sum over the tier. Fetches/Writes
@@ -917,7 +1329,7 @@ func (t *ShardedStore) forwardWrite(s int, sub []uint64, subRows [][]float32) {
 // wall-clock time.
 func (t *ShardedStore) Stats() Stats {
 	var sum Stats
-	for s := 0; s < t.servers; s++ {
+	for s := 0; s < t.capacity; s++ {
 		c := t.child(s)
 		if c == nil {
 			continue
@@ -931,8 +1343,8 @@ func (t *ShardedStore) Stats() Stats {
 // order (a nested sharded child contributes its own per-server entries; a
 // construction-dead child contributes one zero entry).
 func (t *ShardedStore) ServerStats() []Stats {
-	out := make([]Stats, 0, t.servers)
-	for s := 0; s < t.servers; s++ {
+	out := make([]Stats, 0, t.capacity)
+	for s := 0; s < t.capacity; s++ {
 		c := t.child(s)
 		if c == nil {
 			out = append(out, Stats{})
@@ -958,12 +1370,23 @@ type partFingerprinter interface {
 // replicated (or bereaved) tier sums partition-scoped fingerprints from
 // each partition's first live holder instead, so replicated rows are
 // counted exactly once and dead servers not at all.
+// Mid-reshard the certificate is taken in the *old* partition space
+// (RoutingTable.Width): dual writes keep it complete there until the
+// settle, and the per-partition path is immune to the streamed-in alien
+// rows a migration parks on its targets (FingerprintPart(p, W) filters to
+// exactly p's id set). The whole-server fast path is gated on a settled
+// table for the same reason: mid-shrink an old server holds rows of
+// partitions it doesn't own in the old space, and summing whole servers
+// would count them twice.
 func (t *ShardedStore) Fingerprint() uint64 {
-	S := t.servers
-	if t.replicate == 1 && t.allLive() {
-		fps := make([]uint64, S)
+	t.installMu.RLock()
+	defer t.installMu.RUnlock()
+	rt := t.routing.Load()
+	W := rt.Width()
+	if rt.Settled() && t.replicate == 1 && t.allLiveIn(W) {
+		fps := make([]uint64, W)
 		var wg sync.WaitGroup
-		for s := 0; s < S; s++ {
+		for s := 0; s < W; s++ {
 			wg.Add(1)
 			go func(s int, c Store) {
 				defer wg.Done()
@@ -977,13 +1400,13 @@ func (t *ShardedStore) Fingerprint() uint64 {
 		}
 		return sum
 	}
-	fps := make([]uint64, S)
+	fps := make([]uint64, W)
 	var wg sync.WaitGroup
-	for p := 0; p < S; p++ {
+	for p := 0; p < W; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			fps[p] = t.fingerprintPartition(p)
+			fps[p] = t.fingerprintPartition(p, W)
 		}(p)
 	}
 	wg.Wait()
@@ -994,17 +1417,17 @@ func (t *ShardedStore) Fingerprint() uint64 {
 	return sum
 }
 
-// fingerprintPartition fetches partition part's certificate from its first
-// live holder, failing over like the data path.
-func (t *ShardedStore) fingerprintPartition(part int) uint64 {
-	S := t.servers
+// fingerprintPartition fetches partition part's certificate (in a width-W
+// partition space) from its first live holder, failing over like the data
+// path.
+func (t *ShardedStore) fingerprintPartition(part, W int) uint64 {
 	for {
-		s := t.route(part)
+		s := t.routeIn(part, W)
 		if s < 0 {
-			t.lost(&TierError{Op: "fingerprint", Partition: part, Server: (part + t.replicate - 1) % S, Replicate: t.replicate})
+			t.lost(&TierError{Op: "fingerprint", Partition: part, Server: (part + t.replicate - 1) % W, Replicate: t.replicate})
 		}
 		if t.fall(s) != nil {
-			fp, err := t.tryFingerprintPart(s, part, S)
+			fp, err := t.tryFingerprintPart(s, part, W)
 			if err != nil {
 				continue
 			}
@@ -1015,7 +1438,7 @@ func (t *ShardedStore) fingerprintPartition(part int) uint64 {
 		if !ok {
 			panic(fmt.Sprintf("transport: tier server %d (%T) cannot serve partition fingerprints", s, c))
 		}
-		return pf.FingerprintPart(part, S)
+		return pf.FingerprintPart(part, W)
 	}
 }
 
@@ -1049,7 +1472,13 @@ func (t *ShardedStore) tryFingerprintPart(s, part, of int) (uint64, error) {
 // writes live on their surviving replicas — unless some partition then has
 // no live replica at all, which is unrecoverable.
 func (t *ShardedStore) Checkpoint() []byte {
-	S := t.servers
+	// Like Fingerprint, checkpoints are taken in the authoritative
+	// partition space under the install barrier: the old width mid-reshard
+	// (where dual writes keep every server complete), the settled width
+	// otherwise.
+	t.installMu.RLock()
+	defer t.installMu.RUnlock()
+	S := t.routing.Load().Width()
 	// Snapshot the down set once: servers changing state mid-checkpoint
 	// (a rejoin completing, a mid-pull death) must not leave the
 	// concatenation half from one membership view and half from another.
@@ -1124,15 +1553,22 @@ func (t *ShardedStore) checkpointServer(s int) []byte {
 	return nil
 }
 
-// Shutdown implements Store, skipping dead servers (there is no process
-// left to ask). Resyncing servers are asked too — a rejoiner's process is
-// alive even though it isn't serving reads yet.
+// Shutdown implements Store, skipping dead and absent servers (there is no
+// process to ask). Resyncing servers are asked too — a rejoiner's process
+// is alive even though it isn't serving reads yet — and so are servers a
+// shrink routed away from (their processes outlive the migration until
+// someone stops them). A child whose process is already gone may panic on
+// the shutdown call; that is swallowed, since shutdown is best-effort by
+// contract.
 func (t *ShardedStore) Shutdown() {
-	for s := 0; s < t.servers; s++ {
+	for s := 0; s < t.capacity; s++ {
 		c := t.child(s)
-		if c == nil || t.state[s].Load() == srvDead {
+		if st := t.state[s].Load(); c == nil || st == srvDead || st == srvAbsent {
 			continue
 		}
-		c.Shutdown()
+		func() {
+			defer func() { _ = recover() }()
+			c.Shutdown()
+		}()
 	}
 }

@@ -39,6 +39,21 @@ const (
 	opExportPart
 	opWriteRecovery
 	opEndRecovery
+	opRespErr // server → client: u64 seq, kind byte, then the error payload
+	opBeginRecovery
+	opInstallRouting
+	opAnnounceEpoch
+	opExportPartIn
+	opFingerprintPartIn
+	opRetainOwned
+)
+
+// opRespErr kinds.
+const (
+	respErrGeneric byte = iota
+	// respErrStale is the routing fence: u64 epoch, then the server's
+	// installed routing table in encodeRouting form.
+	respErrStale
 )
 
 // maxFrame bounds a single link or mesh frame; a length prefix beyond it is
@@ -218,7 +233,7 @@ func (t *TCPLink) readLoop() {
 			t.failPending(err)
 			return
 		}
-		if len(body) < 9 || body[0] != opResp {
+		if len(body) < 9 || (body[0] != opResp && body[0] != opRespErr) {
 			t.failPending(fmt.Errorf("transport: malformed link response (%d bytes)", len(body)))
 			return
 		}
@@ -228,7 +243,9 @@ func (t *TCPLink) readLoop() {
 		delete(t.pending, seq)
 		t.mu.Unlock()
 		if ch != nil {
-			ch <- body[9:]
+			// The full frame, op byte included: callErr tells a result from a
+			// per-request error (opRespErr — the routing fence) by it.
+			ch <- body
 		}
 	}
 }
@@ -314,7 +331,34 @@ func (t *TCPLink) callErr(op byte, body func(b []byte) []byte) ([]byte, error) {
 		t.mu.Unlock()
 		return nil, t.linkErr(err)
 	}
-	return resp, nil
+	if resp[0] == opRespErr {
+		return nil, decodeLinkErr(resp[9:])
+	}
+	return resp[9:], nil
+}
+
+// decodeLinkErr parses an opRespErr payload: a per-request failure the
+// link survives (unlike a broken connection). The stale-routing kind
+// reconstructs the server's fence rejection, table included.
+func decodeLinkErr(pay []byte) error {
+	if len(pay) < 1 {
+		return fmt.Errorf("transport: malformed link error response")
+	}
+	switch pay[0] {
+	case respErrStale:
+		r := &wireReader{b: pay[1:]}
+		epoch := r.u64()
+		if r.err != nil {
+			return fmt.Errorf("transport: malformed stale-routing response")
+		}
+		se := &StaleRoutingError{Server: -1, Epoch: epoch}
+		if rt, err := decodeRouting(r.b); err == nil {
+			se.Table = rt
+		}
+		return se
+	default:
+		return fmt.Errorf("transport: server error: %s", string(pay[1:]))
+	}
 }
 
 // Name implements Transport.
@@ -449,6 +493,12 @@ func (t *TCPLink) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	ids, rows := t.decodeExport(resp)
+	return ids, rows, nil
+}
+
+// decodeExport parses an export response: ids, then a flat float matrix.
+func (t *TCPLink) decodeExport(resp []byte) ([]uint64, [][]float32) {
 	r := &wireReader{b: resp}
 	ids := r.u64s()
 	n := r.count(4)
@@ -465,7 +515,7 @@ func (t *TCPLink) TryExportPart(part, of int) ([]uint64, [][]float32, error) {
 			rows[i][k] = math.Float32frombits(binary.LittleEndian.Uint32(reg[off+4*k:]))
 		}
 	}
-	return ids, rows, nil
+	return ids, rows
 }
 
 // TryWriteRecovery implements RecoveryStore: a bulk recovery write the
@@ -489,6 +539,78 @@ func (t *TCPLink) TryWriteRecovery(ids []uint64, rows [][]float32) error {
 func (t *TCPLink) TryEndRecovery() error {
 	_, err := t.callErr(opEndRecovery, nil)
 	return err
+}
+
+// TryInstallRouting implements ReshardStore: ship rt to the server (which
+// installs it monotonically and keeps the encoded bytes to hand back in
+// fence rejections) and mark this connection announced at rt.Epoch.
+func (t *TCPLink) TryInstallRouting(rt *RoutingTable) error {
+	_, err := t.callErr(opInstallRouting, func(b []byte) []byte {
+		return encodeRouting(b, rt)
+	})
+	return err
+}
+
+// TryAnnounceEpoch implements ReshardStore: declare the epoch this
+// connection's future data ops are routed by.
+func (t *TCPLink) TryAnnounceEpoch(epoch uint64) error {
+	_, err := t.callErr(opAnnounceEpoch, func(b []byte) []byte {
+		return putU64(b, epoch)
+	})
+	return err
+}
+
+// TryBeginRecovery implements ReshardStore: open the server's recovery
+// window ahead of a migration stream.
+func (t *TCPLink) TryBeginRecovery() error {
+	_, err := t.callErr(opBeginRecovery, nil)
+	return err
+}
+
+// TryExportPartIn implements ReshardStore: the partition-intersection
+// export (embed.Server.ExportPartIn).
+func (t *TCPLink) TryExportPartIn(part, of, within, withinOf int) ([]uint64, [][]float32, error) {
+	resp, err := t.callErr(opExportPartIn, func(b []byte) []byte {
+		b = putU32(b, uint32(part))
+		b = putU32(b, uint32(of))
+		b = putU32(b, uint32(within))
+		return putU32(b, uint32(withinOf))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, rows := t.decodeExport(resp)
+	return ids, rows, nil
+}
+
+// TryFingerprintPartIn implements ReshardStore: the intersection digest.
+func (t *TCPLink) TryFingerprintPartIn(part, of, within, withinOf int) (uint64, error) {
+	resp, err := t.callErr(opFingerprintPartIn, func(b []byte) []byte {
+		b = putU32(b, uint32(part))
+		b = putU32(b, uint32(of))
+		b = putU32(b, uint32(within))
+		return putU32(b, uint32(withinOf))
+	})
+	if err != nil {
+		return 0, err
+	}
+	r := &wireReader{b: resp}
+	return r.u64(), nil
+}
+
+// TryRetainOwned implements ReshardStore: settle-time cleanup of rows the
+// new routing moved away.
+func (t *TCPLink) TryRetainOwned(self, of, replicate int) (int, error) {
+	resp, err := t.callErr(opRetainOwned, func(b []byte) []byte {
+		b = putU32(b, uint32(self))
+		b = putU32(b, uint32(of))
+		return putU32(b, uint32(replicate))
+	})
+	if err != nil {
+		return 0, err
+	}
+	r := &wireReader{b: resp}
+	return int(r.u64()), nil
 }
 
 // Shutdown implements Store: ask the serving process to stop accepting and
@@ -575,6 +697,24 @@ func ServeEmbed(lis net.Listener, srv *embed.Server) error {
 	}
 }
 
+// linkStaleResp builds the opRespErr frame for a routing fence rejection:
+// the server's installed epoch, then its installed table so the client can
+// adopt it in one round trip.
+func linkStaleResp(seq uint64, se *embed.StaleRouting) []byte {
+	resp := make([]byte, 0, 64)
+	resp = append(resp, opRespErr)
+	resp = putU64(resp, seq)
+	resp = append(resp, respErrStale)
+	resp = putU64(resp, se.Epoch)
+	switch tb := se.Table.(type) {
+	case []byte:
+		resp = append(resp, tb...)
+	case *RoutingTable:
+		resp = encodeRouting(resp, tb)
+	}
+	return resp
+}
+
 // serveEmbedConn answers one client's requests until EOF or shutdown.
 func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 	var hello [4]byte
@@ -596,6 +736,12 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 	}
 
 	br := bufio.NewReaderSize(conn, 1<<16)
+	// announced is this connection's declared routing epoch (see
+	// embed.Server.RoutedFetchInto): data ops are fenced against the
+	// server's installed epoch, and an install or announce op on this
+	// connection moves it. Per-connection, not per-server — each tier
+	// client adopts a new table at its own pace.
+	var announced uint64
 	for {
 		body, err := readFrame(br)
 		if err != nil {
@@ -623,7 +769,12 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 			rows := GetRowSlice(len(ids))
 			arena := Rows(srv.Dim)
 			arena.GetN(rows)
-			srv.FetchInto(ids, rows)
+			if se := srv.RoutedFetchInto(announced, ids, rows); se != nil {
+				arena.PutN(rows)
+				PutRowSlice(rows)
+				resp = linkStaleResp(seq, se)
+				break
+			}
 			resp = putU32(resp, uint32(len(ids)*srv.Dim))
 			for _, row := range rows {
 				resp = putF32sRaw(resp, row)
@@ -650,9 +801,12 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 				PutRowSlice(rows)
 				return
 			}
-			srv.Write(ids, rows)
+			se := srv.RoutedWrite(announced, ids, rows)
 			arena.PutN(rows)
 			PutRowSlice(rows)
+			if se != nil {
+				resp = linkStaleResp(seq, se)
+			}
 		case opFingerprint:
 			// Body: two u32s (partition, split width); an empty body — older
 			// clients — means the whole server (partition 0 of 1).
@@ -706,6 +860,47 @@ func serveEmbedConn(conn net.Conn, srv *embed.Server, shutdown func()) {
 			PutRowSlice(rows)
 		case opEndRecovery:
 			srv.EndRecovery()
+		case opBeginRecovery:
+			srv.BeginRecovery()
+		case opInstallRouting:
+			rt, err := decodeRouting(r.b)
+			if err != nil {
+				return
+			}
+			// The server keeps the encoded bytes (its own copy — r.b aliases
+			// the frame) so fence rejections can hand the table back without
+			// re-encoding.
+			srv.InstallRouting(rt.Epoch, append([]byte(nil), r.b...))
+			announced = rt.Epoch
+		case opAnnounceEpoch:
+			e := r.u64()
+			if r.err != nil {
+				return
+			}
+			announced = e
+		case opExportPartIn:
+			part, of, within, withinOf := r.u32(), r.u32(), r.u32(), r.u32()
+			if r.err != nil || of == 0 || part >= of || (withinOf > 1 && within >= withinOf) {
+				return
+			}
+			ids, rows := srv.ExportPartIn(int(part), int(of), int(within), int(withinOf))
+			resp = putU64s(resp, ids)
+			resp = putU32(resp, uint32(len(ids)*srv.Dim))
+			for _, row := range rows {
+				resp = putF32sRaw(resp, row)
+			}
+		case opFingerprintPartIn:
+			part, of, within, withinOf := r.u32(), r.u32(), r.u32(), r.u32()
+			if r.err != nil || of == 0 || part >= of || (withinOf > 1 && within >= withinOf) {
+				return
+			}
+			resp = putU64(resp, srv.FingerprintPartIn(int(part), int(of), int(within), int(withinOf)))
+		case opRetainOwned:
+			self, of, rep := r.u32(), r.u32(), r.u32()
+			if r.err != nil || of == 0 || self >= of || rep == 0 {
+				return
+			}
+			resp = putU64(resp, uint64(srv.RetainOwned(int(self), int(of), int(rep))))
 		case opShutdown:
 			writeFrame(bw, resp)
 			bw.Flush()

@@ -125,6 +125,12 @@ type InProcess struct {
 
 	arena *RowArena
 
+	// announced is the routing epoch this link's data ops are declared
+	// under (see embed.Server.RoutedFetchInto). 0 until a reshard touches
+	// the tier — and the server accepts everything at epoch 0, so the
+	// pre-reshard path is unchanged.
+	announced atomic.Uint64
+
 	fetches, writes            atomic.Int64
 	rowsFetched, rowsWritten   atomic.Int64
 	bytesFetched, bytesWritten atomic.Int64
@@ -155,22 +161,22 @@ func (t *InProcess) rowArena() *RowArena {
 }
 
 // Fetch implements Transport, serving the rows out of the shared arena.
+// The errorless face cannot surface a routing fence; only tier clients
+// (which use TryFetch) ever install routing, so a fence here is a
+// programming error and dies loudly.
 func (t *InProcess) Fetch(ids []uint64) [][]float32 {
-	rows := GetRowSlice(len(ids))
-	t.rowArena().GetN(rows)
-	t.Server.FetchInto(ids, rows)
-	t.fetches.Add(1)
-	t.rowsFetched.Add(int64(len(ids)))
-	t.bytesFetched.Add(payloadBytes(len(ids), t.Server.Dim))
+	rows, err := t.TryFetch(ids)
+	if err != nil {
+		panic(err)
+	}
 	return rows
 }
 
-// Write implements Transport.
+// Write implements Transport (see Fetch for the fence contract).
 func (t *InProcess) Write(ids []uint64, rows [][]float32) {
-	t.Server.Write(ids, rows)
-	t.writes.Add(1)
-	t.rowsWritten.Add(int64(len(ids)))
-	t.bytesWritten.Add(payloadBytes(len(ids), t.Server.Dim))
+	if err := t.TryWrite(ids, rows); err != nil {
+		panic(err)
+	}
 }
 
 // Stats implements Transport.
@@ -203,13 +209,31 @@ func (t *InProcess) Shutdown() {}
 func (t *InProcess) ServerStats() []Stats { return []Stats{t.Stats()} }
 
 // TryFetch, TryWrite, TryFingerprintPart, TryCheckpoint implement
-// FallibleStore. A shared address space cannot fail, so they never return an
-// error — implementing the interface anyway keeps the replicated tier's
-// routing uniform across fabrics (and lets tests inject faults by wrapping).
-func (t *InProcess) TryFetch(ids []uint64) ([][]float32, error) { return t.Fetch(ids), nil }
+// FallibleStore. A shared address space cannot fail, so the only error they
+// can return is the routing fence — implementing the interface keeps the
+// replicated tier's routing uniform across fabrics (and lets tests inject
+// faults by wrapping).
+func (t *InProcess) TryFetch(ids []uint64) ([][]float32, error) {
+	rows := GetRowSlice(len(ids))
+	t.rowArena().GetN(rows)
+	if se := t.Server.RoutedFetchInto(t.announced.Load(), ids, rows); se != nil {
+		t.rowArena().PutN(rows)
+		PutRowSlice(rows)
+		return nil, staleFromEmbed(se)
+	}
+	t.fetches.Add(1)
+	t.rowsFetched.Add(int64(len(ids)))
+	t.bytesFetched.Add(payloadBytes(len(ids), t.Server.Dim))
+	return rows, nil
+}
 
 func (t *InProcess) TryWrite(ids []uint64, rows [][]float32) error {
-	t.Write(ids, rows)
+	if se := t.Server.RoutedWrite(t.announced.Load(), ids, rows); se != nil {
+		return staleFromEmbed(se)
+	}
+	t.writes.Add(1)
+	t.rowsWritten.Add(int64(len(ids)))
+	t.bytesWritten.Add(payloadBytes(len(ids), t.Server.Dim))
 	return nil
 }
 
@@ -235,6 +259,55 @@ func (t *InProcess) TryWriteRecovery(ids []uint64, rows [][]float32) error {
 func (t *InProcess) TryEndRecovery() error {
 	t.Server.EndRecovery()
 	return nil
+}
+
+// TryInstallRouting, TryAnnounceEpoch, TryBeginRecovery, TryExportPartIn,
+// TryFingerprintPartIn, TryRetainOwned implement ReshardStore. The server
+// holds the table by reference — no wire, no encoding.
+func (t *InProcess) TryInstallRouting(rt *RoutingTable) error {
+	t.Server.InstallRouting(rt.Epoch, rt)
+	t.announced.Store(rt.Epoch)
+	return nil
+}
+
+func (t *InProcess) TryAnnounceEpoch(epoch uint64) error {
+	t.announced.Store(epoch)
+	return nil
+}
+
+func (t *InProcess) TryBeginRecovery() error {
+	t.Server.BeginRecovery()
+	return nil
+}
+
+func (t *InProcess) TryExportPartIn(part, of, within, withinOf int) ([]uint64, [][]float32, error) {
+	ids, rows := t.Server.ExportPartIn(part, of, within, withinOf)
+	return ids, rows, nil
+}
+
+func (t *InProcess) TryFingerprintPartIn(part, of, within, withinOf int) (uint64, error) {
+	return t.Server.FingerprintPartIn(part, of, within, withinOf), nil
+}
+
+func (t *InProcess) TryRetainOwned(self, of, replicate int) (int, error) {
+	return t.Server.RetainOwned(self, of, replicate), nil
+}
+
+// staleFromEmbed converts the embed layer's fence rejection to the
+// transport's attributed form, decoding the carried table when the server
+// holds it in a form this transport understands (a *RoutingTable installed
+// in-process, or encoded bytes installed over a wire).
+func staleFromEmbed(se *embed.StaleRouting) *StaleRoutingError {
+	out := &StaleRoutingError{Server: -1, Epoch: se.Epoch}
+	switch tb := se.Table.(type) {
+	case *RoutingTable:
+		out.Table = tb
+	case []byte:
+		if rt, err := decodeRouting(tb); err == nil {
+			out.Table = rt
+		}
+	}
+	return out
 }
 
 // checkpointBytes serializes srv. Checkpointing to memory cannot fail; an
@@ -266,6 +339,10 @@ type SimNet struct {
 	Bandwidth float64
 
 	arena *RowArena
+
+	// announced is the routing epoch this link's data ops are declared
+	// under (see InProcess.announced).
+	announced atomic.Uint64
 
 	fetches, writes            atomic.Int64
 	rowsFetched, rowsWritten   atomic.Int64
@@ -307,27 +384,20 @@ func (t *SimNet) rowArena() *RowArena {
 	return Rows(t.Server.Dim)
 }
 
-// Fetch implements Transport.
+// Fetch implements Transport (see InProcess.Fetch for the fence contract).
 func (t *SimNet) Fetch(ids []uint64) [][]float32 {
-	bytes := payloadBytes(len(ids), t.Server.Dim)
-	t.delay(bytes)
-	rows := GetRowSlice(len(ids))
-	t.rowArena().GetN(rows)
-	t.Server.FetchInto(ids, rows)
-	t.fetches.Add(1)
-	t.rowsFetched.Add(int64(len(ids)))
-	t.bytesFetched.Add(bytes)
+	rows, err := t.TryFetch(ids)
+	if err != nil {
+		panic(err)
+	}
 	return rows
 }
 
 // Write implements Transport.
 func (t *SimNet) Write(ids []uint64, rows [][]float32) {
-	bytes := payloadBytes(len(ids), t.Server.Dim)
-	t.delay(bytes)
-	t.Server.Write(ids, rows)
-	t.writes.Add(1)
-	t.rowsWritten.Add(int64(len(ids)))
-	t.bytesWritten.Add(bytes)
+	if err := t.TryWrite(ids, rows); err != nil {
+		panic(err)
+	}
 }
 
 // Stats implements Transport.
@@ -360,12 +430,35 @@ func (t *SimNet) Shutdown() {}
 func (t *SimNet) ServerStats() []Stats { return []Stats{t.Stats()} }
 
 // TryFetch, TryWrite, TryFingerprintPart, TryCheckpoint implement
-// FallibleStore; a simulated link models delay, not loss, so they never
-// fail (the fault-injection tests wrap these to model loss).
-func (t *SimNet) TryFetch(ids []uint64) ([][]float32, error) { return t.Fetch(ids), nil }
+// FallibleStore; a simulated link models delay, not loss, so the only
+// error they can return is the routing fence (the fault-injection tests
+// wrap these to model loss). A fenced op still pays the link charge — the
+// bytes moved and were refused, exactly like a real network.
+func (t *SimNet) TryFetch(ids []uint64) ([][]float32, error) {
+	bytes := payloadBytes(len(ids), t.Server.Dim)
+	t.delay(bytes)
+	rows := GetRowSlice(len(ids))
+	t.rowArena().GetN(rows)
+	if se := t.Server.RoutedFetchInto(t.announced.Load(), ids, rows); se != nil {
+		t.rowArena().PutN(rows)
+		PutRowSlice(rows)
+		return nil, staleFromEmbed(se)
+	}
+	t.fetches.Add(1)
+	t.rowsFetched.Add(int64(len(ids)))
+	t.bytesFetched.Add(bytes)
+	return rows, nil
+}
 
 func (t *SimNet) TryWrite(ids []uint64, rows [][]float32) error {
-	t.Write(ids, rows)
+	bytes := payloadBytes(len(ids), t.Server.Dim)
+	t.delay(bytes)
+	if se := t.Server.RoutedWrite(t.announced.Load(), ids, rows); se != nil {
+		return staleFromEmbed(se)
+	}
+	t.writes.Add(1)
+	t.rowsWritten.Add(int64(len(ids)))
+	t.bytesWritten.Add(bytes)
 	return nil
 }
 
@@ -393,4 +486,38 @@ func (t *SimNet) TryWriteRecovery(ids []uint64, rows [][]float32) error {
 func (t *SimNet) TryEndRecovery() error {
 	t.Server.EndRecovery()
 	return nil
+}
+
+// TryInstallRouting, TryAnnounceEpoch, TryBeginRecovery, TryExportPartIn,
+// TryFingerprintPartIn, TryRetainOwned implement ReshardStore. Control ops
+// are free like the other tier plumbing; the export moves real payload and
+// is charged like the recovery stream.
+func (t *SimNet) TryInstallRouting(rt *RoutingTable) error {
+	t.Server.InstallRouting(rt.Epoch, rt)
+	t.announced.Store(rt.Epoch)
+	return nil
+}
+
+func (t *SimNet) TryAnnounceEpoch(epoch uint64) error {
+	t.announced.Store(epoch)
+	return nil
+}
+
+func (t *SimNet) TryBeginRecovery() error {
+	t.Server.BeginRecovery()
+	return nil
+}
+
+func (t *SimNet) TryExportPartIn(part, of, within, withinOf int) ([]uint64, [][]float32, error) {
+	ids, rows := t.Server.ExportPartIn(part, of, within, withinOf)
+	t.delay(payloadBytes(len(ids), t.Server.Dim))
+	return ids, rows, nil
+}
+
+func (t *SimNet) TryFingerprintPartIn(part, of, within, withinOf int) (uint64, error) {
+	return t.Server.FingerprintPartIn(part, of, within, withinOf), nil
+}
+
+func (t *SimNet) TryRetainOwned(self, of, replicate int) (int, error) {
+	return t.Server.RetainOwned(self, of, replicate), nil
 }
